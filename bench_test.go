@@ -1,0 +1,511 @@
+// Benchmarks regenerating the performance-relevant paper artefacts.
+// Accuracy-shaped experiments (the actual numbers for Figure 4 and the
+// §5.1/§5.2 results) are produced by cmd/experiments; the benchmarks
+// here measure the cost of each pipeline stage on the same workloads.
+// One benchmark exists per experiment in DESIGN.md §4.
+package indoorloc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/core"
+	"indoorloc/internal/filter"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/rf"
+	"indoorloc/internal/server"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/uwb"
+	"indoorloc/internal/wiscan"
+)
+
+// benchFixture builds the paper-house training artefacts once for all
+// benchmarks.
+type benchFixture struct {
+	scen sim.Scenario
+	env  *rf.Environment
+	lm   *locmap.Map
+	coll *wiscan.Collection
+	db   *trainingdb.DB
+}
+
+var (
+	fixOnce sync.Once
+	fix     benchFixture
+)
+
+func fixture(b *testing.B) *benchFixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		scen := sim.PaperHouse()
+		env, err := scen.Environment()
+		if err != nil {
+			panic(err)
+		}
+		lm, err := scen.TrainingPoints()
+		if err != nil {
+			panic(err)
+		}
+		coll := sim.NewScanner(env, 1).CaptureCollection(lm, 90) // paper: 1.5 min
+		db, _, err := trainingdb.Generate(coll, lm, trainingdb.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fix = benchFixture{scen: scen, env: env, lm: lm, coll: coll, db: db}
+	})
+	return &fix
+}
+
+// observations draws n averaged test observations over the 13 paper
+// test points, cycling.
+func observations(f *benchFixture, n int, seed int64) []localize.Observation {
+	sc := sim.NewScanner(f.env, seed)
+	out := make([]localize.Observation, n)
+	for i := range out {
+		p := f.scen.TestPoints[i%len(f.scen.TestPoints)]
+		out[i] = localize.ObservationFromRecords(sc.Capture(p, 10, 0))
+	}
+	return out
+}
+
+// BenchmarkFloorPlanProcessor is experiment Fig. 2: a full Floor Plan
+// Processor session — blueprint, APs, scale, origin, 30 location
+// names, save.
+func BenchmarkFloorPlanProcessor(b *testing.B) {
+	f := fixture(b)
+	for i := 0; i < b.N; i++ {
+		plan, err := compositor.Blueprint("experiment house", compositor.BlueprintSpec{
+			Outline: f.scen.Outline,
+			Walls:   f.scen.Walls,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, ap := range f.scen.APs {
+			px, err := plan.ToPixel(ap.Pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.AddAP(fmt.Sprintf("%c", 'A'+j), px)
+		}
+		for _, name := range f.lm.Names() {
+			w, _ := f.lm.Lookup(name)
+			px, _ := plan.ToPixel(w)
+			if err := plan.AddLocation(name, px); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := plan.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompositorRender is experiment Fig. 3: rendering the floor
+// plan with the 13 test locations and their estimates marked.
+func BenchmarkCompositorRender(b *testing.B) {
+	f := fixture(b)
+	plan, err := compositor.Blueprint("experiment house", compositor.BlueprintSpec{
+		Outline: f.scen.Outline,
+		Walls:   f.scen.Walls,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j, ap := range f.scen.APs {
+		px, _ := plan.ToPixel(ap.Pos)
+		plan.AddAP(fmt.Sprintf("%c", 'A'+j), px)
+	}
+	vectors := make([]compositor.ErrorVector, len(f.scen.TestPoints))
+	for i, p := range f.scen.TestPoints {
+		vectors[i] = compositor.ErrorVector{
+			Actual:    p,
+			Estimated: p.Add(geom.Pt(3, -2)),
+		}
+	}
+	opts := compositor.RenderOptions{DrawAPs: true, DrawWalls: true, Labels: true, Vectors: vectors}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compositor.Render(plan, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4RegressionFit is experiment Fig. 4: fitting the
+// inverse-square signal↔distance model for one AP from its training
+// samples.
+func BenchmarkFig4RegressionFit(b *testing.B) {
+	f := fixture(b)
+	bssid := f.db.BSSIDs[0]
+	apPos := f.scen.APPositions()[bssid]
+	dists, rssis := f.db.DistanceSamples(bssid, apPos)
+	basis := regress.InversePowerBasis{Degree: 2, MinDist: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.Fit(basis, dists, rssis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbabilisticLocalize is experiment R5.1: one Gaussian
+// maximum-likelihood localization over the 30-point training grid.
+func BenchmarkProbabilisticLocalize(b *testing.B) {
+	f := fixture(b)
+	ml := localize.NewMaxLikelihood(f.db)
+	obs := observations(f, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.Locate(obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramLocalize measures the distribution-aware variant
+// (future work §6.2) on the same workload as R5.1.
+func BenchmarkHistogramLocalize(b *testing.B) {
+	f := fixture(b)
+	h := localize.NewHistogram(f.db)
+	obs := observations(f, 64, 3)
+	if _, err := h.Locate(obs[0]); err != nil { // build caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Locate(obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeometricLocalize is experiment R5.2: model inversion,
+// pairwise circle intersection and the median point for one
+// observation.
+func BenchmarkGeometricLocalize(b *testing.B) {
+	f := fixture(b)
+	g, err := localize.FitGeometric(f.db, f.scen.APPositions(),
+		regress.InversePowerBasis{Degree: 2, MinDist: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := observations(f, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Locate(obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNNSweep is experiment A1: kNN localization cost across k.
+func BenchmarkKNNSweep(b *testing.B) {
+	f := fixture(b)
+	obs := observations(f, 64, 5)
+	for _, k := range []int{1, 2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			knn := localize.NewKNN(f.db, k)
+			for i := 0; i < b.N; i++ {
+				if _, err := knn.Locate(obs[i%len(obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainingDBGenerate measures the Training Database Generator
+// on the paper-house collection (30 locations × 90 sweeps × 4 APs).
+func BenchmarkTrainingDBGenerate(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := trainingdb.Generate(f.coll, f.lm, trainingdb.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainingDBSaveLoad measures the compressed database round
+// trip — the paper's stated reason for the format ("loaded into memory
+// more quickly than reading multiple wi-scan files line by line").
+func BenchmarkTrainingDBSaveLoad(b *testing.B) {
+	f := fixture(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trainingdb.Save(&buf, f.db); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trainingdb.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWiScanParse measures raw wi-scan parsing, the path the
+// training database exists to avoid.
+func BenchmarkWiScanParse(b *testing.B) {
+	f := fixture(b)
+	name := f.lm.SortedNames()[0]
+	var buf bytes.Buffer
+	if err := wiscan.Write(&buf, f.coll.Files[name]); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wiscan.Read(bytes.NewReader(raw), name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScannerCapture measures drawing one 90-sweep training
+// capture from the RF simulator.
+func BenchmarkScannerCapture(b *testing.B) {
+	f := fixture(b)
+	sc := sim.NewScanner(f.env, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := sc.Capture(geom.Pt(25, 20), 90, 0); len(recs) == 0 {
+			b.Fatal("empty capture")
+		}
+	}
+}
+
+// BenchmarkKalmanTracking is experiment A5: filtering a 100-step walk.
+func BenchmarkKalmanTracking(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	path := make([]geom.Point, 100)
+	for i := range path {
+		path[i] = geom.Pt(float64(i)*0.5+rng.NormFloat64()*4, 20+rng.NormFloat64()*4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := &filter.Kalman{Dt: 1, ProcessNoise: 0.5, MeasurementNoise: 5}
+		for _, p := range path {
+			k.Update(p)
+		}
+	}
+}
+
+// BenchmarkParticleTracking is experiment A5's heavyweight variant.
+func BenchmarkParticleTracking(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	path := make([]geom.Point, 100)
+	for i := range path {
+		path[i] = geom.Pt(float64(i)*0.5+rng.NormFloat64()*4, 20+rng.NormFloat64()*4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf := &filter.Particle{N: 500, Rng: rand.New(rand.NewSource(8))}
+		for _, p := range path {
+			pf.Update(p)
+		}
+	}
+}
+
+// BenchmarkUWBRanging is experiment A6: one UWB positioning fix
+// (4 ranging exchanges + multilateration).
+func BenchmarkUWBRanging(b *testing.B) {
+	sys, err := uwb.NewSystem([]uwb.Anchor{
+		{ID: "u0", Pos: geom.Pt(0, 0)},
+		{ID: "u1", Pos: geom.Pt(50, 0)},
+		{ID: "u2", Pos: geom.Pt(50, 40)},
+		{ID: "u3", Pos: geom.Pt(0, 40)},
+	}, nil, uwb.Channel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sys.Locate(geom.Pt(25, 20), rng); !ok {
+			b.Fatal("locate failed")
+		}
+	}
+}
+
+// BenchmarkPipelineTrain is experiment Fig. 1: the full Phase 1 flow,
+// collection to fitted service.
+func BenchmarkPipelineTrain(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := &core.Pipeline{
+			Collection:  f.coll,
+			LocMap:      f.lm,
+			Algorithm:   core.AlgoProbabilistic,
+			APPositions: f.scen.APPositions(),
+		}
+		if _, _, err := pl.Train(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanGIFRoundTrip measures the annotated-plan save format
+// including the embedded GIF.
+func BenchmarkPlanGIFRoundTrip(b *testing.B) {
+	f := fixture(b)
+	plan, err := compositor.Blueprint("experiment house", compositor.BlueprintSpec{
+		Outline: f.scen.Outline,
+		Walls:   f.scen.Walls,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := plan.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := floorplan.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchLocalize measures the concurrent working-phase fanout
+// at several pool sizes on 256 observations.
+func BenchmarkBatchLocalize(b *testing.B) {
+	f := fixture(b)
+	ml := localize.NewMaxLikelihood(f.db)
+	obs := observations(f, 256, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := localize.Batch(ml, obs, workers)
+				for j := range res {
+					if res[j].Err != nil {
+						b.Fatal(res[j].Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSectorLocalize measures the identifying-code baseline.
+func BenchmarkSectorLocalize(b *testing.B) {
+	f := fixture(b)
+	sec := localize.NewSector(f.db)
+	obs := observations(f, 64, 11)
+	if _, err := sec.Locate(obs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sec.Locate(obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeatmapRender measures the radio-map renderer on the
+// paper-house blueprint at 1-ft cells.
+func BenchmarkHeatmapRender(b *testing.B) {
+	f := fixture(b)
+	plan, err := compositor.Blueprint("house", compositor.BlueprintSpec{
+		Outline: f.scen.Outline, Walls: f.scen.Walls,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	apPos := f.scen.APs[0].Pos
+	model := rf.DefaultLogDistance()
+	hm := compositor.Heatmap{
+		Field: func(p geom.Point) float64 {
+			return float64(model.MeanRSSI(-30, apPos.Dist(p), 0))
+		},
+		Lo: -95, Hi: -40, CellFeet: 1, Area: f.scen.Outline,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compositor.RenderHeatmap(plan, hm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerLocate measures one /locate round trip through the
+// full HTTP stack (httptest, loopback only).
+func BenchmarkServerLocate(b *testing.B) {
+	f := fixture(b)
+	loc := localize.NewMaxLikelihood(f.db)
+	svc := &core.Service{DB: f.db, Locator: loc, Names: f.lm}
+	srv, err := server.New(svc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	obs := observations(f, 1, 12)[0]
+	payload, err := json.Marshal(map[string]any{"observation": obs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/locate", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkProbabilisticLargeMap measures the working phase on the
+// 117-point, 8-AP office wing — the scaling story beyond the paper's
+// 30-point house.
+func BenchmarkProbabilisticLargeMap(b *testing.B) {
+	scen := sim.OfficeWing()
+	env, err := scen.Environment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm, err := scen.TrainingPoints()
+	if err != nil {
+		b.Fatal(err)
+	}
+	coll := sim.NewScanner(env, 2).CaptureCollection(lm, 30)
+	db, _, err := trainingdb.Generate(coll, lm, trainingdb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ml := localize.NewMaxLikelihood(db)
+	sc := sim.NewScanner(env, 3)
+	obs := make([]localize.Observation, 32)
+	for i := range obs {
+		obs[i] = localize.ObservationFromRecords(
+			sc.Capture(scen.TestPoints[i%len(scen.TestPoints)], 10, 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.Locate(obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/eval"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/rf"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+// dataset bundles the Phase 1 artefacts for one scenario run.
+type dataset struct {
+	scen sim.Scenario
+	env  *rf.Environment
+	lm   *locmap.Map
+	coll *wiscan.Collection
+	db   *trainingdb.DB
+}
+
+// buildDataset trains the scenario: sweeps scans at every grid point.
+func buildDataset(scen sim.Scenario, sweeps int, seed int64) (*dataset, error) {
+	env, err := scen.Environment()
+	if err != nil {
+		return nil, err
+	}
+	lm, err := scen.TrainingPoints()
+	if err != nil {
+		return nil, err
+	}
+	coll := sim.NewScanner(env, seed).CaptureCollection(lm, sweeps)
+	db, _, err := trainingdb.Generate(coll, lm, trainingdb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &dataset{scen: scen, env: env, lm: lm, coll: coll, db: db}, nil
+}
+
+// evaluate runs the working phase: obsSweeps scans at each test point,
+// averaged and localized, scored against the paper's metrics.
+func evaluate(d *dataset, loc localize.Locator, obsSweeps int, seed int64) *eval.Report {
+	sc := sim.NewScanner(d.env, seed)
+	report := &eval.Report{}
+	for _, p := range d.scen.TestPoints {
+		obs := localize.ObservationFromRecords(sc.Capture(p, obsSweeps, 0))
+		trial := eval.Trial{True: p}
+		if want, ok := d.db.NearestEntry(p); ok {
+			trial.WantName = want.Name
+		}
+		est, err := loc.Locate(obs)
+		if err != nil {
+			trial.Err = err
+		} else {
+			trial.Est = est.Pos
+			trial.EstName = est.Name
+		}
+		report.Add(trial)
+	}
+	return report
+}
+
+// basis is the reverse-square basis of §5.2, shared by the geometric
+// experiments.
+var basis = regress.InversePowerBasis{Degree: 2, MinDist: 1}
+
+// annotatedHousePlan rasterises the paper house and copies the
+// scenario's annotations onto it.
+func annotatedHousePlan(d *dataset) (*floorplan.Plan, error) {
+	plan, err := compositor.Blueprint(d.scen.Name, compositor.BlueprintSpec{
+		Outline: d.scen.Outline,
+		Walls:   d.scen.Walls,
+		Title:   d.scen.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ap := range d.scen.APs {
+		px, err := plan.ToPixel(ap.Pos)
+		if err != nil {
+			return nil, err
+		}
+		plan.AddAP(ap.BSSID, px)
+	}
+	for _, name := range d.lm.Names() {
+		w, _ := d.lm.Lookup(name)
+		px, err := plan.ToPixel(w)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.AddLocation(name, px); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// printReport writes the standard metric block for one algorithm run.
+func printReport(w io.Writer, label string, r *eval.Report) {
+	fmt.Fprintf(w, "%-26s valid=%5.1f%%  mean=%5.1f ft  median=%5.1f ft  p90=%5.1f ft  within10=%5.1f%%\n",
+		label, 100*r.ValidRate(), r.MeanError(), r.MedianError(),
+		r.Percentile(90), 100*r.WithinRate(10))
+}
+
+// extraAPs extends the paper house with additional wall-midpoint and
+// interior APs for the AP-count sweep.
+func extraAPs() []rf.AP {
+	return []rf.AP{
+		{BSSID: "00:02:2d:00:00:0e", SSID: "house", Pos: geom.Pt(25, 0), TxPower: -30, Channel: 1},
+		{BSSID: "00:02:2d:00:00:0f", SSID: "house", Pos: geom.Pt(25, 40), TxPower: -30, Channel: 6},
+		{BSSID: "00:02:2d:00:00:10", SSID: "house", Pos: geom.Pt(0, 20), TxPower: -30, Channel: 11},
+		{BSSID: "00:02:2d:00:00:11", SSID: "house", Pos: geom.Pt(50, 20), TxPower: -30, Channel: 1},
+	}
+}

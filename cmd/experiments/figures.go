@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/core"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/stats"
+)
+
+// runFig1 reproduces Figure 1 by executing the six-step pipeline and
+// printing its trace.
+func runFig1(w io.Writer, _ string) error {
+	d, err := buildDataset(sim.PaperHouse(), 30, 1)
+	if err != nil {
+		return err
+	}
+	pl := &core.Pipeline{
+		Collection:  d.coll,
+		LocMap:      d.lm,
+		Algorithm:   core.AlgoProbabilistic,
+		APPositions: d.scen.APPositions(),
+	}
+	svc, trace, err := pl.Train()
+	if err != nil {
+		return err
+	}
+	for _, line := range trace {
+		fmt.Fprintln(w, line)
+	}
+	// Exercise Phase 2 once so the trace is honest.
+	sc := sim.NewScanner(d.env, 2)
+	res, err := svc.LocateRecords(sc.Capture(d.scen.TestPoints[0], 10, 0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "phase 2 sample: observed at %v → resolved to %q at %v\n",
+		d.scen.TestPoints[0], res.NearestName, res.Estimate.Pos)
+	return nil
+}
+
+// runFig2 reproduces Figure 2: a complete Floor Plan Processor session
+// (the paper shows its GUI; we show the resulting annotated plan and
+// render it).
+func runFig2(w io.Writer, outDir string) error {
+	d, err := buildDataset(sim.PaperHouse(), 5, 1)
+	if err != nil {
+		return err
+	}
+	plan, err := annotatedHousePlan(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "plan %q: scale %.4f ft/px, origin %v, %d APs, %d named locations, %d walls\n",
+		plan.Name, plan.FeetPerPixel, plan.Origin, len(plan.APs), len(plan.Locations), len(plan.Walls))
+	planPath := filepath.Join(outDir, "fig2-house.plan")
+	if err := plan.SaveFile(planPath); err != nil {
+		return err
+	}
+	canvas, err := compositor.Render(plan, compositor.RenderOptions{
+		DrawAPs: true, DrawLocations: true, DrawWalls: true,
+	})
+	if err != nil {
+		return err
+	}
+	imgPath := filepath.Join(outDir, "fig2-processor-session.gif")
+	if err := canvas.SaveGIF(imgPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s and %s\n", planPath, imgPath)
+	return nil
+}
+
+// runFig3 reproduces Figure 3: the floor plan displayed by the
+// Compositor with the 13 test locations and their estimates.
+func runFig3(w io.Writer, outDir string) error {
+	d, err := buildDataset(sim.PaperHouse(), 90, 1)
+	if err != nil {
+		return err
+	}
+	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	if err != nil {
+		return err
+	}
+	plan, err := annotatedHousePlan(d)
+	if err != nil {
+		return err
+	}
+	sc := sim.NewScanner(d.env, 3)
+	var opts compositor.RenderOptions
+	opts.DrawAPs = true
+	opts.DrawWalls = true
+	for _, p := range d.scen.TestPoints {
+		obs := sc.Capture(p, 30, 0)
+		est, err := ml.Locate(localize.ObservationFromRecords(obs))
+		if err != nil {
+			continue
+		}
+		opts.Vectors = append(opts.Vectors, compositor.ErrorVector{Actual: p, Estimated: est.Pos})
+	}
+	canvas, err := compositor.Render(plan, opts)
+	if err != nil {
+		return err
+	}
+	imgPath := filepath.Join(outDir, "fig3-compositor.gif")
+	if err := canvas.SaveGIF(imgPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "marked %d actual→estimated pairs; wrote %s\n", len(opts.Vectors), imgPath)
+	return nil
+}
+
+// runFig4 reproduces Figure 4: one AP's signal-strength-vs-distance
+// scatter and its least-squares inverse-square fit.
+func runFig4(w io.Writer, _ string) error {
+	d, err := buildDataset(sim.PaperHouse(), 90, 1)
+	if err != nil {
+		return err
+	}
+	bssid := d.db.BSSIDs[0]
+	apPos := d.scen.APPositions()[bssid]
+	dists, rssis := d.db.DistanceSamples(bssid, apPos)
+	model, err := regress.Fit(basis, dists, rssis)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "AP %s at %v: %d samples\n", bssid, apPos, len(dists))
+	fmt.Fprintf(w, "fitted model: %s\n", model)
+	fmt.Fprintf(w, "(paper's example fit had the same a + b/d + c/d² shape)\n")
+	// Print the binned scatter and the fitted curve like the figure.
+	type bin struct {
+		d    float64
+		run  stats.Running
+		pred float64
+	}
+	bins := map[int]*bin{}
+	for i, dist := range dists {
+		k := int(dist / 5)
+		b, ok := bins[k]
+		if !ok {
+			b = &bin{d: float64(k)*5 + 2.5}
+			bins[k] = b
+		}
+		b.run.Add(rssis[i])
+	}
+	var keys []int
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(w, "%-12s %-12s %-10s %-10s %s\n", "dist(ft)", "meanRSSI", "sd", "fit", "n")
+	for _, k := range keys {
+		b := bins[k]
+		fmt.Fprintf(w, "%-12.1f %-12.1f %-10.1f %-10.1f %d\n",
+			b.d, b.run.Mean(), b.run.StdDev(), model.Predict(b.d), b.run.N())
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// experiments regenerates every figure and result in the paper's
+// evaluation, plus the ablation studies listed in DESIGN.md §4.
+//
+// Usage:
+//
+//	experiments -out out/          # run everything
+//	experiments -exp r51 -exp r52  # just the headline results
+//	experiments -list              # show experiment ids
+//
+// Each experiment prints the rows/series the paper reports; figure
+// experiments additionally write .gif images under -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"indoorloc/internal/cliutil"
+)
+
+// experiment is one regenerable artefact.
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer, outDir string) error
+}
+
+// registry lists the experiments in presentation order.
+var registry = []experiment{
+	{"fig1", "Figure 1: the six-step two-phase process", runFig1},
+	{"fig2", "Figure 2: Floor Plan Processor session", runFig2},
+	{"fig3", "Figure 3: floor plan displayed by the Compositor", runFig3},
+	{"fig4", "Figure 4: signal strength vs. distance with inverse-square fit", runFig4},
+	{"r51", "Result 5.1: probabilistic approach, valid-estimation rate", runR51},
+	{"r52", "Result 5.2: geometric approach, average deviation", runR52},
+	{"a1", "Ablation A1: kNN neighbour-count sweep", runA1},
+	{"a2", "Ablation A2: training-grid spacing sweep", runA2},
+	{"a3", "Ablation A3: RSSI noise sweep", runA3},
+	{"a4", "Ablation A4: AP count sweep", runA4},
+	{"a5", "Ablation A5: tracking filters on a walk (future work 6.2)", runA5},
+	{"a6", "Ablation A6: UWB ToA vs RSSI ranging (future work 6.3)", runA6},
+	{"a7", "Ablation A7: environmental factors (future work 6.1)", runA7},
+	{"a8", "Ablation A8: samples-per-training-point sweep", runA8},
+	{"a9", "Ablation A9: regression basis for the distance model", runA9},
+	{"a10", "Ablation A10: sector (identifying-code) baseline", runA10},
+	{"a11", "Ablation A11: training-map staleness under TxPower drift", runA11},
+	{"a12", "Ablation A12: argmax vs posterior-mean position", runA12},
+	{"a13", "Ablation A13: AP placement (corners vs optimized)", runA13},
+	{"a14", "Ablation A14: drift detection via KS staleness test", runA14},
+	{"a15", "Ablation A15: hybrid probabilistic+geometric blend", runA15},
+	{"a16", "Ablation A16: room-level resolution via polygons", runA16},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		outDir = fs.String("out", "out", "directory for generated images")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		exps   cliutil.StringList
+	)
+	fs.Var(&exps, "exp", "experiment id to run (repeatable; default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range registry {
+			fmt.Fprintf(w, "%-5s %s\n", e.id, e.title)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	want := make(map[string]bool, len(exps))
+	for _, id := range exps {
+		want[id] = true
+	}
+	known := make(map[string]bool, len(registry))
+	for _, e := range registry {
+		known[e.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown experiment ids %v (use -list)", unknown)
+	}
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.id, e.title)
+		if err := e.run(w, *outDir); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "r51", "r52",
+		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("missing %s in -list output", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "nope", "-out", t.TempDir()}, &out)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFig1TraceShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1", "-out", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(s, "step "+string(rune('0'+i))) {
+			t.Errorf("trace missing step %d", i)
+		}
+	}
+	if !strings.Contains(s, "phase 2 sample") {
+		t.Error("no phase 2 demonstration")
+	}
+}
+
+func TestFigureOutputsWritten(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-exp", "fig3", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"fig2-house.plan", "fig2-processor-session.gif", "fig3-compositor.gif",
+	} {
+		info, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestHeadlineResultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed experiment sweep")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "r51", "-exp", "r52", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "valid rate mean") {
+		t.Error("r51 summary missing")
+	}
+	if !strings.Contains(s, "mean deviation mean") {
+		t.Error("r52 summary missing")
+	}
+	// The table lists all 13 test observations.
+	if got := strings.Count(s, "grid-"); got < 26 {
+		t.Errorf("only %d grid references in tables", got)
+	}
+}
+
+func TestFig4RegressionShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-out", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "1/d") || !strings.Contains(s, "R²") {
+		t.Errorf("fit line missing from %q", s)
+	}
+	if !strings.Contains(s, "dist(ft)") {
+		t.Error("scatter table missing")
+	}
+}

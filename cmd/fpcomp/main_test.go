@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"image"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/geom"
+)
+
+func blueprintPlan(t *testing.T) string {
+	t.Helper()
+	plan, err := compositor.Blueprint("house", compositor.BlueprintSpec{
+		Outline: geom.RectWH(0, 0, 50, 40),
+		Walls:   []geom.Segment{geom.Seg(geom.Pt(25, 0), geom.Pt(25, 25))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := plan.ToPixel(geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.AddAP("A", px)
+	if err := plan.AddLocation("kitchen", image.Pt(px.X+40, px.Y-40)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "house.plan")
+	if err := plan.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFpcompGIFAndPNG(t *testing.T) {
+	planPath := blueprintPlan(t)
+	for _, ext := range []string{".gif", ".png"} {
+		outPath := filepath.Join(t.TempDir(), "out"+ext)
+		var out bytes.Buffer
+		err := run([]string{
+			"-plan", planPath, "-out", outPath,
+			"-aps", "-locs", "-walls", "-labels",
+			"-mark", "P@20,20", "-vec", "15,15:18,22",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		info, err := os.Stat(outPath)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("%s: %v (size %d)", ext, err, info.Size())
+		}
+	}
+}
+
+func TestFpcompErrors(t *testing.T) {
+	planPath := blueprintPlan(t)
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-out", "x.bmp"}, &out); err == nil {
+		t.Error("bmp extension accepted")
+	}
+	if err := run([]string{"-plan", "/nope", "-out", "x.gif"}, &out); err == nil {
+		t.Error("missing plan accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-out", "x.gif", "-mark", "garbage"}, &out); err == nil {
+		t.Error("bad -mark accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-out", "x.gif", "-vec", "garbage"}, &out); err == nil {
+		t.Error("bad -vec accepted")
+	}
+}

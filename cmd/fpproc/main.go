@@ -1,0 +1,232 @@
+// fpproc is the Floor Plan Processor: it builds and annotates floor
+// plans from the command line, mirroring the six functions of the
+// paper's GUI tool — load a GIF floor plan, add access points, set the
+// scale, set the origin, add location names, and save.
+//
+// Usage examples:
+//
+//	# Start a plan from a scanned GIF, scale it (two clicked pixels
+//	# are 50 ft apart), set the origin pixel, and save.
+//	fpproc -new -name "experiment house" -image floor.gif \
+//	    -scale 20,340:420,340:50 -origin 20,340 -out house.plan
+//
+//	# Or rasterise a synthetic blueprint instead of scanning one.
+//	fpproc -new -name "experiment house" -blueprint 50x40 -out house.plan
+//
+//	# Annotate an existing plan with APs and named locations
+//	# (coordinates in feet in the plan frame).
+//	fpproc -plan house.plan -ap A@0,0 -ap B@50,0 -ap C@50,40 -ap D@0,40 \
+//	    -loc kitchen@5,35 -loc "room D22@45,10" -out house.plan
+//
+//	# Inspect a plan.
+//	fpproc -plan house.plan -info
+//
+// AP and location coordinates are given in feet (world frame) and are
+// converted to pixels through the plan's scale and origin, because a
+// command line has no mouse to click with.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"io"
+	"os"
+	"strings"
+
+	"indoorloc/internal/cliutil"
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fpproc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fpproc", flag.ContinueOnError)
+	var (
+		newPlan   = fs.Bool("new", false, "start a new plan")
+		name      = fs.String("name", "floor plan", "plan name (with -new)")
+		planPath  = fs.String("plan", "", "existing plan file to annotate")
+		imagePath = fs.String("image", "", "GIF floor plan image to load")
+		blueprint = fs.String("blueprint", "", "generate a WxH-feet blueprint instead of loading a GIF, e.g. 50x40")
+		scaleArg  = fs.String("scale", "", "set scale: \"x1,y1:x2,y2:feet\" (pixels and the real distance)")
+		originArg = fs.String("origin", "", "set origin pixel: \"x,y\"")
+		outPath   = fs.String("out", "", "where to save the plan")
+		info      = fs.Bool("info", false, "print a summary of the plan")
+		validate  = fs.Bool("validate", false, "check the plan's consistency and fail if broken")
+		clearWall = fs.Bool("clear-walls", false, "remove every wall")
+		aps       cliutil.StringList
+		locs      cliutil.StringList
+		walls     cliutil.StringList
+		rmAPs     cliutil.StringList
+		rmLocs    cliutil.StringList
+		renames   cliutil.StringList
+	)
+	fs.Var(&aps, "ap", "add an access point: \"name@x,y\" in feet (repeatable)")
+	fs.Var(&locs, "loc", "add a named location: \"name@x,y\" in feet (repeatable)")
+	fs.Var(&walls, "wall", "add a wall: \"x1,y1:x2,y2\" in feet (repeatable)")
+	fs.Var(&rmAPs, "rm-ap", "remove an access point by name (repeatable)")
+	fs.Var(&rmLocs, "rm-loc", "remove a named location (repeatable)")
+	fs.Var(&renames, "rename-loc", "rename a location: \"old=new\" (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var plan *floorplan.Plan
+	switch {
+	case *newPlan && *blueprint != "":
+		var w, h float64
+		if _, err := fmt.Sscanf(strings.ToLower(*blueprint), "%fx%f", &w, &h); err != nil {
+			return fmt.Errorf("-blueprint wants WxH in feet, got %q", *blueprint)
+		}
+		var err error
+		plan, err = compositor.Blueprint(*name, compositor.BlueprintSpec{
+			Outline: geom.RectWH(0, 0, w, h),
+			Title:   *name,
+		})
+		if err != nil {
+			return err
+		}
+	case *newPlan:
+		plan = floorplan.New(*name)
+	case *planPath != "":
+		var err error
+		plan, err = floorplan.LoadFile(*planPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -new or -plan FILE")
+	}
+
+	if *imagePath != "" {
+		if err := plan.LoadImageFile(*imagePath); err != nil {
+			return err
+		}
+	}
+	if *scaleArg != "" {
+		a, b, dist, err := cliutil.ParseScale(*scaleArg)
+		if err != nil {
+			return err
+		}
+		if err := plan.SetScale(toImagePt(a), toImagePt(b), units.Feet(dist)); err != nil {
+			return err
+		}
+	}
+	if *originArg != "" {
+		p, err := cliutil.ParsePoint(*originArg)
+		if err != nil {
+			return err
+		}
+		plan.SetOrigin(toImagePt(p))
+	}
+	for _, arg := range aps {
+		np, err := cliutil.ParseNamedPoint(arg)
+		if err != nil {
+			return fmt.Errorf("-ap %s", err)
+		}
+		px, err := plan.ToPixel(np.Pos)
+		if err != nil {
+			return fmt.Errorf("-ap %q: %w (set -scale first)", arg, err)
+		}
+		plan.AddAP(np.Name, px)
+	}
+	for _, arg := range locs {
+		np, err := cliutil.ParseNamedPoint(arg)
+		if err != nil {
+			return fmt.Errorf("-loc %s", err)
+		}
+		px, err := plan.ToPixel(np.Pos)
+		if err != nil {
+			return fmt.Errorf("-loc %q: %w (set -scale first)", arg, err)
+		}
+		if err := plan.AddLocation(np.Name, px); err != nil {
+			return err
+		}
+	}
+	for _, arg := range walls {
+		seg, err := cliutil.ParseSegment(arg)
+		if err != nil {
+			return fmt.Errorf("-wall %s", err)
+		}
+		plan.AddWall(seg)
+	}
+	for _, name := range rmAPs {
+		if !plan.RemoveAP(name) {
+			return fmt.Errorf("-rm-ap: no AP %q", name)
+		}
+	}
+	for _, name := range rmLocs {
+		if !plan.RemoveLocation(name) {
+			return fmt.Errorf("-rm-loc: no location %q", name)
+		}
+	}
+	for _, arg := range renames {
+		old, new, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("-rename-loc wants \"old=new\", got %q", arg)
+		}
+		if err := plan.RenameLocation(strings.TrimSpace(old), strings.TrimSpace(new)); err != nil {
+			return err
+		}
+	}
+	if *clearWall {
+		plan.ClearWalls()
+	}
+	if *validate {
+		if err := plan.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "plan is consistent")
+	}
+
+	if *info {
+		printInfo(out, plan)
+	}
+	if *outPath != "" {
+		if err := plan.SaveFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved %s\n", *outPath)
+	} else if !*info && !*validate {
+		return fmt.Errorf("nothing to do: pass -out FILE, -info or -validate")
+	}
+	return nil
+}
+
+func toImagePt(p geom.Point) image.Point {
+	return image.Pt(int(p.X), int(p.Y))
+}
+
+func printInfo(out io.Writer, plan *floorplan.Plan) {
+	fmt.Fprintf(out, "plan: %s\n", plan.Name)
+	if plan.HasImage() {
+		b := plan.Image().Bounds()
+		fmt.Fprintf(out, "image: %dx%d px\n", b.Dx(), b.Dy())
+	} else {
+		fmt.Fprintln(out, "image: none")
+	}
+	fmt.Fprintf(out, "scale: %.4f ft/px\norigin: %v\n", plan.FeetPerPixel, plan.Origin)
+	for _, ap := range plan.APs {
+		if w, err := plan.ToWorld(ap.Pixel); err == nil {
+			fmt.Fprintf(out, "ap: %s at %v\n", ap.Name, w)
+		} else {
+			fmt.Fprintf(out, "ap: %s at pixel %v\n", ap.Name, ap.Pixel)
+		}
+	}
+	for _, loc := range plan.Locations {
+		if w, err := plan.ToWorld(loc.Pixel); err == nil {
+			fmt.Fprintf(out, "loc: %s at %v\n", loc.Name, w)
+		} else {
+			fmt.Fprintf(out, "loc: %s at pixel %v\n", loc.Name, loc.Pixel)
+		}
+	}
+	fmt.Fprintf(out, "walls: %d\n", len(plan.Walls))
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/gif"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+)
+
+func writeGIF(t *testing.T, dir string) string {
+	t.Helper()
+	img := image.NewPaletted(image.Rect(0, 0, 100, 80), color.Palette{color.White, color.Black})
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "floor.gif")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFpprocNewFromGIF(t *testing.T) {
+	dir := t.TempDir()
+	gifPath := writeGIF(t, dir)
+	planPath := filepath.Join(dir, "house.plan")
+	var out bytes.Buffer
+	err := run([]string{
+		"-new", "-name", "test house", "-image", gifPath,
+		"-scale", "0,0:100,0:50", // 100 px = 50 ft → 0.5 ft/px
+		"-origin", "0,80",
+		"-out", planPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := floorplan.LoadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Name != "test house" || plan.FeetPerPixel != 0.5 || !plan.HasImage() {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestFpprocAnnotateExisting(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "house.plan")
+	var out bytes.Buffer
+	// Blueprint creation sets scale and origin automatically.
+	if err := run([]string{
+		"-new", "-name", "bp", "-blueprint", "50x40", "-out", planPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Annotate in a second invocation, world coordinates in feet.
+	out.Reset()
+	if err := run([]string{
+		"-plan", planPath,
+		"-ap", "A@0,0", "-ap", "B@50,0",
+		"-loc", "kitchen@5,35",
+		"-wall", "25,0:25,25",
+		"-out", planPath, "-info",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"ap: A", "loc: kitchen", "walls: 1", "saved"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("info output missing %q in %q", want, s)
+		}
+	}
+	plan, err := floorplan.LoadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := plan.APPositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos["B"].Dist(geom.Pt(50, 0)) > 0.2 {
+		t.Errorf("AP B at %v", pos["B"])
+	}
+}
+
+func TestFpprocErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-new"}, &out); err == nil {
+		t.Error("new without -out or -info accepted")
+	}
+	if err := run([]string{"-new", "-blueprint", "banana", "-out", "x"}, &out); err == nil {
+		t.Error("bad blueprint accepted")
+	}
+	if err := run([]string{"-plan", "/nonexistent", "-info"}, &out); err == nil {
+		t.Error("missing plan accepted")
+	}
+	// AP before scale on a bare plan: conversion must fail loudly.
+	if err := run([]string{"-new", "-ap", "A@1,1", "-out", filepath.Join(t.TempDir(), "p")}, &out); err == nil {
+		t.Error("AP without scale accepted")
+	}
+	if err := run([]string{"-new", "-scale", "0,0:0,0:5", "-out", "x"}, &out); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+}
+
+func TestFpprocEditorOps(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "house.plan")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-new", "-blueprint", "50x40",
+		"-ap", "A@0,0", "-ap", "B@50,0",
+		"-loc", "kitchen@5,35", "-loc", "hall@25,20",
+		"-wall", "25,0:25,25",
+		"-out", planPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{
+		"-plan", planPath,
+		"-rm-ap", "B",
+		"-rm-loc", "hall",
+		"-rename-loc", "kitchen=scullery",
+		"-clear-walls",
+		"-validate",
+		"-out", planPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan is consistent") {
+		t.Errorf("output %q", out.String())
+	}
+	plan, err := floorplan.LoadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.APs) != 1 || plan.APs[0].Name != "A" {
+		t.Errorf("APs = %v", plan.APs)
+	}
+	if got := plan.LocationNames(); len(got) != 1 || got[0] != "scullery" {
+		t.Errorf("locations = %v", got)
+	}
+	if len(plan.Walls) != 0 {
+		t.Errorf("walls = %v", plan.Walls)
+	}
+}
+
+func TestFpprocEditorErrors(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "p.plan")
+	var out bytes.Buffer
+	if err := run([]string{"-new", "-blueprint", "10x10", "-loc", "a@1,1", "-out", planPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-plan", planPath, "-rm-ap", "ghost", "-out", planPath}, &out); err == nil {
+		t.Error("rm-ap ghost accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-rm-loc", "ghost", "-out", planPath}, &out); err == nil {
+		t.Error("rm-loc ghost accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-rename-loc", "nonsense", "-out", planPath}, &out); err == nil {
+		t.Error("bad rename syntax accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-rename-loc", "ghost=x", "-out", planPath}, &out); err == nil {
+		t.Error("rename ghost accepted")
+	}
+}

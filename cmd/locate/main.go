@@ -1,0 +1,117 @@
+// locate is the working phase on the command line: load a training
+// database, average an observation wi-scan file into a signal vector,
+// and resolve it to a location with a chosen algorithm.
+//
+// Usage:
+//
+//	locate -db train.tdb -obs observation.wiscan
+//	locate -db train.tdb -obs observation.wiscan -algo geometric -plan house.plan
+//	locate -db train.tdb -obs observation.wiscan -algo knn -k 4 -top 5
+//
+// The geometric algorithms need AP positions, taken from an annotated
+// plan (-plan) or given inline (-ap BSSID@x,y, repeatable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"indoorloc/internal/cliutil"
+	"indoorloc/internal/core"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "locate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("locate", flag.ContinueOnError)
+	var (
+		dbPath   = fs.String("db", "", "training database (required)")
+		obsPath  = fs.String("obs", "", "observation wi-scan file (required)")
+		algo     = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
+		planPath = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
+		k        = fs.Int("k", 0, "neighbour count for knn/wknn")
+		top      = fs.Int("top", 1, "print the top N candidates")
+		aps      cliutil.StringList
+	)
+	fs.Var(&aps, "ap", "AP position: \"bssid@x,y\" in feet (repeatable; geometric algorithms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *obsPath == "" {
+		return fmt.Errorf("need -db FILE and -obs FILE")
+	}
+	db, err := trainingdb.LoadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.BuildConfig{K: *k}
+	if len(aps) > 0 {
+		cfg.APPositions = make(map[string]geom.Point, len(aps))
+		for _, arg := range aps {
+			np, err := cliutil.ParseNamedPoint(arg)
+			if err != nil {
+				return fmt.Errorf("-ap %s", err)
+			}
+			cfg.APPositions[np.Name] = np.Pos
+		}
+	} else if *planPath != "" {
+		plan, err := floorplan.LoadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		cfg.APPositions, err = plan.APPositions()
+		if err != nil {
+			return err
+		}
+	}
+	locator, err := core.BuildLocator(*algo, db, cfg)
+	if err != nil {
+		return err
+	}
+
+	fh, err := os.Open(*obsPath)
+	if err != nil {
+		return err
+	}
+	scanFile, err := wiscan.Read(fh, *obsPath)
+	fh.Close()
+	if err != nil {
+		return err
+	}
+	obs := localize.ObservationFromRecords(scanFile.Records)
+	fmt.Fprintf(out, "observation: %d APs over %d records (%.1f s)\n",
+		len(obs), len(scanFile.Records), float64(scanFile.Duration())/1000)
+
+	est, err := locator.Locate(obs)
+	if err != nil {
+		return err
+	}
+	if est.Name != "" {
+		fmt.Fprintf(out, "estimate: %v at %s (score %.3f)\n", est.Pos, est.Name, est.Score)
+	} else {
+		fmt.Fprintf(out, "estimate: %v (score %.3f)\n", est.Pos, est.Score)
+	}
+	if *top > 1 && len(est.Candidates) > 0 {
+		n := *top
+		if n > len(est.Candidates) {
+			n = len(est.Candidates)
+		}
+		for i := 0; i < n; i++ {
+			c := est.Candidates[i]
+			fmt.Fprintf(out, "  #%d %s %v (score %.3f)\n", i+1, c.Name, c.Pos, c.Score)
+		}
+	}
+	return nil
+}

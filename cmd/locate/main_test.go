@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+// buildArtifacts trains the paper house and writes train.tdb plus one
+// observation wi-scan, returning their paths and the truth position
+// name.
+func buildArtifacts(t *testing.T) (dbPath, obsPath string, apArgs []string) {
+	t.Helper()
+	dir := t.TempDir()
+	scen := sim.PaperHouse()
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.NewScanner(env, 13)
+	coll := sc.CaptureCollection(lm, 15)
+	db, _, err := trainingdb.Generate(coll, lm, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath = filepath.Join(dir, "train.tdb")
+	if err := trainingdb.SaveFile(dbPath, db); err != nil {
+		t.Fatal(err)
+	}
+	obsPath = filepath.Join(dir, "obs.wiscan")
+	fh, err := os.Create(obsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &wiscan.File{Location: "obs", Records: sc.Capture(scen.TestPoints[5], 10, 0)}
+	if err := wiscan.Write(fh, f); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	for _, ap := range scen.APs {
+		apArgs = append(apArgs, "-ap", fmt.Sprintf("%s@%g,%g", ap.BSSID, ap.Pos.X, ap.Pos.Y))
+	}
+	return dbPath, obsPath, apArgs
+}
+
+func TestLocateProbabilistic(t *testing.T) {
+	dbPath, obsPath, _ := buildArtifacts(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-obs", obsPath, "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "estimate:") || !strings.Contains(s, "#1") || !strings.Contains(s, "#3") {
+		t.Errorf("output %q", s)
+	}
+}
+
+func TestLocateGeometricWithInlineAPs(t *testing.T) {
+	dbPath, obsPath, apArgs := buildArtifacts(t)
+	args := append([]string{"-db", dbPath, "-obs", obsPath, "-algo", "geometric"}, apArgs...)
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "estimate:") {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	dbPath, obsPath, _ := buildArtifacts(t)
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-obs", obsPath, "-algo", "bogus"}, &out); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-obs", obsPath, "-algo", "geometric"}, &out); err == nil {
+		t.Error("geometric without AP positions accepted")
+	}
+	if err := run([]string{"-db", "/nope", "-obs", obsPath}, &out); err == nil {
+		t.Error("missing db accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-obs", "/nope"}, &out); err == nil {
+		t.Error("missing observation accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// locserved serves a trained location service over HTTP — the
+// "install a software location system in the host machine" endpoint
+// the paper's applications (call forwarding, conference material,
+// surveillance) would talk to.
+//
+// Usage:
+//
+//	locserved -db train.tdb -listen :8080
+//	locserved -db train.tdb -algo geometric -plan house.plan -listen 127.0.0.1:9000
+//
+// Endpoints: GET /healthz /algorithms /locations, POST /locate,
+// POST/DELETE /track/{client}. See internal/server for the schema.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/server"
+	"indoorloc/internal/trainingdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "locserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server and serves on the listener. When ready is
+// non-nil the bound address is sent on it once listening (tests use
+// this to avoid port races); pass nil in production.
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("locserved", flag.ContinueOnError)
+	var (
+		dbPath   = fs.String("db", "", "training database (required)")
+		algo     = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
+		planPath = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
+		listen   = fs.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return errors.New("need -db FILE")
+	}
+	db, err := trainingdb.LoadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.BuildConfig{}
+	var names *locmap.Map
+	if *planPath != "" {
+		plan, err := floorplan.LoadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		cfg.APPositions, err = plan.APPositions()
+		if err != nil {
+			return err
+		}
+		if names, err = plan.LocationMap(); err != nil {
+			return err
+		}
+	}
+	if names == nil {
+		// Resolve names against the training locations themselves.
+		names = locmap.New()
+		for _, name := range db.Names() {
+			if err := names.Add(name, db.Entries[name].Pos); err != nil {
+				return err
+			}
+		}
+	}
+	locator, err := core.BuildLocator(*algo, db, cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(&core.Service{DB: db, Locator: locator, Names: names}, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "locserved: %s algorithm over %d locations, listening on %s\n",
+		locator.Name(), db.Len(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return http.Serve(ln, srv)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+)
+
+func makeDB(t *testing.T) string {
+	t.Helper()
+	scen := sim.PaperHouse()
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := sim.NewScanner(env, 5).CaptureCollection(grid, 10)
+	db, _, err := trainingdb.Generate(coll, grid, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train.tdb")
+	if err := trainingdb.SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	dbPath := makeDB(t)
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errCh <- run([]string{"-db", dbPath, "-listen", "127.0.0.1:0"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body["locations"].(float64) != 30 {
+		t.Errorf("healthz body: %v", body)
+	}
+	// One live locate through the real TCP stack.
+	obsBody := []byte(`{"observation":{"00:02:2d:00:00:0a":-50,"00:02:2d:00:00:0b":-62,"00:02:2d:00:00:0c":-70,"00:02:2d:00:00:0d":-64}}`)
+	r2, err := http.Post("http://"+addr+"/locate", "application/json", bytes.NewReader(obsBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != 200 {
+		t.Fatalf("locate: %d", r2.StatusCode)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out, nil); err == nil {
+		t.Error("no -db accepted")
+	}
+	if err := run([]string{"-db", "/nope"}, &out, nil); err == nil {
+		t.Error("missing db accepted")
+	}
+	dbPath := makeDB(t)
+	if err := run([]string{"-db", dbPath, "-algo", "bogus"}, &out, nil); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-algo", "geometric"}, &out, nil); err == nil {
+		t.Error("geometric without plan accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-listen", "256.0.0.1:0"}, &out, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

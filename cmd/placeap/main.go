@@ -1,0 +1,159 @@
+// placeap proposes access-point positions for a floor plan: greedy
+// selection over a candidate grid, optimising either worst-case
+// coverage or fingerprint distinguishability, and compares the result
+// against the plan's existing AP layout when one is marked.
+//
+// Usage:
+//
+//	placeap -plan house.plan -k 4                          # coverage
+//	placeap -plan house.plan -k 4 -objective distinguish   # fingerprinting
+//	placeap -plan house.plan -k 4 -pitch 5 -render out.gif # draw the pick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/place"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "placeap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("placeap", flag.ContinueOnError)
+	var (
+		planPath  = fs.String("plan", "", "annotated plan (required; walls and named locations are used)")
+		k         = fs.Int("k", 4, "number of APs to place")
+		pitch     = fs.Float64("pitch", 5, "candidate grid pitch, feet")
+		objective = fs.String("objective", "coverage", "coverage | distinguish")
+		render    = fs.String("render", "", "write a .gif/.png with the proposed positions marked")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" {
+		return fmt.Errorf("need -plan FILE")
+	}
+	plan, err := floorplan.LoadFile(*planPath)
+	if err != nil {
+		return err
+	}
+	lm, err := plan.LocationMap()
+	if err != nil {
+		return err
+	}
+	// Sample points: the plan's named locations when present, else a
+	// 10-ft grid over the annotation bounding box.
+	var samples []geom.Point
+	for _, name := range lm.Names() {
+		p, _ := lm.Lookup(name)
+		samples = append(samples, p)
+	}
+	area := boundsOf(samples)
+	if len(samples) == 0 {
+		return fmt.Errorf("plan has no named locations to optimise for")
+	}
+
+	prob := &place.Problem{
+		Candidates: place.GridCandidates(area, *pitch),
+		Samples:    samples,
+		Walls:      plan.Walls,
+	}
+	switch strings.ToLower(*objective) {
+	case "coverage":
+		prob.Objective = place.Coverage
+	case "distinguish", "distinguishability":
+		prob.Objective = place.Distinguishability
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	res, err := place.Greedy(prob, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "objective: %s over %d samples, %d candidates\n",
+		prob.Objective, len(prob.Samples), len(prob.Candidates))
+	fmt.Fprintf(out, "proposed: %s\n", res.Describe())
+
+	// Score the plan's existing layout for comparison.
+	if len(plan.APs) > 0 {
+		existing, err := plan.APPositions()
+		if err == nil && len(existing) > 0 {
+			var positions []geom.Point
+			for _, p := range existing {
+				positions = append(positions, p)
+			}
+			score, err := place.Evaluate(prob, positions)
+			if err == nil {
+				fmt.Fprintf(out, "existing %d-AP layout scores %.1f (proposed: %.1f)\n",
+					len(positions), score, res.Score)
+			}
+		}
+	}
+
+	if *render != "" {
+		markers := make([]compositor.WorldMarker, len(res.Positions))
+		for i, pos := range res.Positions {
+			markers[i] = compositor.WorldMarker{
+				Pos:   pos,
+				Label: fmt.Sprintf("P%d", i+1),
+				Style: compositor.StyleSquare,
+				Ink:   compositor.Purple,
+			}
+		}
+		canvas, err := compositor.Render(plan, compositor.RenderOptions{
+			DrawAPs: true, DrawWalls: true, Labels: true, Markers: markers,
+		})
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(strings.ToLower(*render), ".gif"):
+			err = canvas.SaveGIF(*render)
+		case strings.HasSuffix(strings.ToLower(*render), ".png"):
+			err = canvas.SavePNG(*render)
+		default:
+			return fmt.Errorf("-render must end in .gif or .png")
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *render)
+	}
+	return nil
+}
+
+// boundsOf spans the sample points.
+func boundsOf(pts []geom.Point) geom.Rect {
+	if len(pts) == 0 {
+		return geom.Rect{}
+	}
+	r := geom.Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}

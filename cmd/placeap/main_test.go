@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/sim"
+)
+
+func housePlanPath(t *testing.T) string {
+	t.Helper()
+	scen := sim.PaperHouse()
+	plan, err := compositor.Blueprint(scen.Name, compositor.BlueprintSpec{
+		Outline: scen.Outline, Walls: scen.Walls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scen.APs {
+		px, err := plan.ToPixel(ap.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.AddAP(ap.BSSID, px)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range grid.Names() {
+		w, _ := grid.Lookup(name)
+		px, err := plan.ToPixel(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.AddLocation(name, px); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "house.plan")
+	if err := plan.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlaceapCoverage(t *testing.T) {
+	planPath := housePlanPath(t)
+	var out bytes.Buffer
+	if err := run([]string{"-plan", planPath, "-k", "3", "-pitch", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "proposed: 3 APs") {
+		t.Errorf("output %q", s)
+	}
+	if !strings.Contains(s, "existing 4-AP layout scores") {
+		t.Errorf("no comparison in %q", s)
+	}
+}
+
+func TestPlaceapDistinguishAndRender(t *testing.T) {
+	planPath := housePlanPath(t)
+	gifPath := filepath.Join(t.TempDir(), "placed.gif")
+	var out bytes.Buffer
+	err := run([]string{
+		"-plan", planPath, "-k", "2", "-pitch", "10",
+		"-objective", "distinguish", "-render", gifPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(gifPath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("render: %v", err)
+	}
+}
+
+func TestPlaceapErrors(t *testing.T) {
+	planPath := housePlanPath(t)
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no plan accepted")
+	}
+	if err := run([]string{"-plan", "/nope"}, &out); err == nil {
+		t.Error("missing plan accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-objective", "banana"}, &out); err == nil {
+		t.Error("bad objective accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-render", "x.bmp"}, &out); err == nil {
+		t.Error("bmp render accepted")
+	}
+	// A plan with no named locations cannot be optimised.
+	bare, err := compositor.Blueprint("bare", compositor.BlueprintSpec{
+		Outline: geom.RectWH(0, 0, 20, 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	barePath := filepath.Join(t.TempDir(), "bare.plan")
+	if err := bare.SaveFile(barePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-plan", barePath}, &out); err == nil {
+		t.Error("location-free plan accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// radiomap renders an access point's predicted coverage over a floor
+// plan as a heatmap — the radio-map view used to sanity-check AP
+// placement before surveying.
+//
+// The field can come from two sources:
+//
+//   - a propagation model over the plan's walls (default): the
+//     log-distance model with RADAR-style wall attenuation, or
+//   - a training database (-db): the fitted inverse-square curve for
+//     that AP, i.e. what the geometric approach believes.
+//
+// Usage:
+//
+//	radiomap -plan house.plan -ap 00:02:2d:00:00:0a -out coverage.gif
+//	radiomap -plan house.plan -ap 00:02:2d:00:00:0a -db train.tdb -out fitted.gif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/rf"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radiomap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radiomap", flag.ContinueOnError)
+	var (
+		planPath = fs.String("plan", "", "annotated plan with the AP marked (required)")
+		apName   = fs.String("ap", "", "AP marker name / BSSID to map (required)")
+		dbPath   = fs.String("db", "", "training database: use the fitted curve instead of the model")
+		outPath  = fs.String("out", "", "output image: .gif or .png (required)")
+		txPower  = fs.Float64("tx", -30, "model transmit level at the reference distance, dBm")
+		lo       = fs.Float64("lo", -95, "color ramp floor, dBm")
+		hi       = fs.Float64("hi", -40, "color ramp ceiling, dBm")
+		cell     = fs.Float64("cell", 1, "sampling cell size, feet")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" || *apName == "" || *outPath == "" {
+		return fmt.Errorf("need -plan FILE, -ap NAME and -out FILE")
+	}
+	plan, err := floorplan.LoadFile(*planPath)
+	if err != nil {
+		return err
+	}
+	positions, err := plan.APPositions()
+	if err != nil {
+		return err
+	}
+	apPos, ok := positions[*apName]
+	if !ok {
+		return fmt.Errorf("AP %q not on the plan (have %v)", *apName, keys(positions))
+	}
+
+	var field func(geom.Point) float64
+	if *dbPath != "" {
+		db, err := trainingdb.LoadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		dists, rssis := db.DistanceSamples(*apName, apPos)
+		if len(dists) == 0 {
+			return fmt.Errorf("training database has no samples for AP %q", *apName)
+		}
+		model, err := regress.Fit(regress.InversePowerBasis{Degree: 2, MinDist: 1}, dists, rssis)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fitted curve: %s\n", model)
+		field = func(p geom.Point) float64 { return model.Predict(apPos.Dist(p)) }
+	} else {
+		model := rf.DefaultLogDistance()
+		walls := plan.Walls
+		field = func(p geom.Point) float64 {
+			crossings := geom.CrossingCount(apPos, p, walls)
+			return float64(model.MeanRSSI(units.DBm(*txPower), apPos.Dist(p), crossings))
+		}
+	}
+
+	// Cover the bounding box of the plan's annotations.
+	area := coverageArea(plan, positions)
+	canvas, err := compositor.RenderHeatmap(plan, compositor.Heatmap{
+		Field: field, Lo: *lo, Hi: *hi, CellFeet: *cell, Area: area,
+	})
+	if err != nil {
+		return err
+	}
+	canvas.DrawHeatLegend(4, 4, *lo, *hi)
+	switch strings.ToLower(filepath.Ext(*outPath)) {
+	case ".gif":
+		err = canvas.SaveGIF(*outPath)
+	case ".png":
+		err = canvas.SavePNG(*outPath)
+	default:
+		return fmt.Errorf("output must end in .gif or .png, got %s", *outPath)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (area %.0f×%.0f ft)\n", *outPath, area.Width(), area.Height())
+	return nil
+}
+
+// coverageArea spans all AP and location annotations, padded.
+func coverageArea(plan *floorplan.Plan, aps map[string]geom.Point) geom.Rect {
+	first := true
+	var area geom.Rect
+	grow := func(p geom.Point) {
+		if first {
+			area = geom.Rect{Min: p, Max: p}
+			first = false
+			return
+		}
+		if p.X < area.Min.X {
+			area.Min.X = p.X
+		}
+		if p.Y < area.Min.Y {
+			area.Min.Y = p.Y
+		}
+		if p.X > area.Max.X {
+			area.Max.X = p.X
+		}
+		if p.Y > area.Max.Y {
+			area.Max.Y = p.Y
+		}
+	}
+	for _, p := range aps {
+		grow(p)
+	}
+	for _, m := range plan.Locations {
+		if w, err := plan.ToWorld(m.Pixel); err == nil {
+			grow(w)
+		}
+	}
+	if first {
+		return geom.RectWH(0, 0, 1, 1)
+	}
+	return area
+}
+
+func keys(m map[string]geom.Point) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

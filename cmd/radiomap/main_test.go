@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+)
+
+func fixture(t *testing.T) (planPath, dbPath, bssid string) {
+	t.Helper()
+	dir := t.TempDir()
+	scen := sim.PaperHouse()
+	plan, err := compositor.Blueprint(scen.Name, compositor.BlueprintSpec{
+		Outline: scen.Outline, Walls: scen.Walls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scen.APs {
+		px, err := plan.ToPixel(ap.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.AddAP(ap.BSSID, px)
+	}
+	planPath = filepath.Join(dir, "house.plan")
+	if err := plan.SaveFile(planPath); err != nil {
+		t.Fatal(err)
+	}
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := sim.NewScanner(env, 3).CaptureCollection(grid, 10)
+	db, _, err := trainingdb.Generate(coll, grid, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath = filepath.Join(dir, "train.tdb")
+	if err := trainingdb.SaveFile(dbPath, db); err != nil {
+		t.Fatal(err)
+	}
+	return planPath, dbPath, scen.APs[0].BSSID
+}
+
+func TestRadiomapModelField(t *testing.T) {
+	planPath, _, bssid := fixture(t)
+	outPath := filepath.Join(t.TempDir(), "cover.gif")
+	var out bytes.Buffer
+	if err := run([]string{"-plan", planPath, "-ap", bssid, "-out", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(outPath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("output: %v", err)
+	}
+}
+
+func TestRadiomapFittedField(t *testing.T) {
+	planPath, dbPath, bssid := fixture(t)
+	outPath := filepath.Join(t.TempDir(), "fitted.png")
+	var out bytes.Buffer
+	err := run([]string{"-plan", planPath, "-ap", bssid, "-db", dbPath, "-out", outPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fitted curve") {
+		t.Errorf("output %q", out.String())
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiomapErrors(t *testing.T) {
+	planPath, dbPath, bssid := fixture(t)
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-ap", "ghost", "-out", "x.gif"}, &out); err == nil {
+		t.Error("unknown AP accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-ap", bssid, "-out", "x.tiff"}, &out); err == nil {
+		t.Error("tiff accepted")
+	}
+	if err := run([]string{"-plan", planPath, "-ap", bssid, "-db", "/nope", "-out", "x.gif"}, &out); err == nil {
+		t.Error("missing db accepted")
+	}
+	if err := run([]string{"-plan", "/nope", "-ap", bssid, "-out", "x.gif"}, &out); err == nil {
+		t.Error("missing plan accepted")
+	}
+	_ = dbPath
+}

@@ -1,0 +1,162 @@
+// simhouse generates a complete synthetic dataset for the paper's
+// experiment house: an annotated floor plan, the training wi-scan
+// collection (directory and zip), the location map, the training
+// database, and one observation wi-scan per test point with a truth
+// file — everything the other tools consume, so the whole toolkit can
+// be exercised end to end without radio hardware.
+//
+// Usage:
+//
+//	simhouse -out dataset/ [-sweeps 90] [-seed 1] [-spacing 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"indoorloc/internal/compositor"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simhouse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simhouse", flag.ContinueOnError)
+	var (
+		outDir  = fs.String("out", "", "output directory (required)")
+		sweeps  = fs.Int("sweeps", 90, "scan sweeps per training point (paper: 90 ≈ 1.5 min)")
+		obsSwps = fs.Int("obs-sweeps", 30, "scan sweeps per test observation")
+		seed    = fs.Int64("seed", 1, "random seed")
+		spacing = fs.Float64("spacing", 10, "training grid spacing in feet")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("need -out DIR")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	scen := sim.PaperHouse()
+	scen.GridSpacing = *spacing
+	scen.Radio.Seed = *seed
+	env, err := scen.Environment()
+	if err != nil {
+		return err
+	}
+	lm, err := scen.TrainingPoints()
+	if err != nil {
+		return err
+	}
+
+	// Annotated plan with a rendered blueprint image, so fpcomp can
+	// composite over it directly.
+	plan, err := compositor.Blueprint(scen.Name, compositor.BlueprintSpec{
+		Outline: scen.Outline,
+		Walls:   scen.Walls,
+		Title:   scen.Name,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ap := range scen.APs {
+		px, err := plan.ToPixel(ap.Pos)
+		if err != nil {
+			return err
+		}
+		plan.AddAP(ap.BSSID, px)
+	}
+	for _, name := range lm.Names() {
+		w, _ := lm.Lookup(name)
+		px, err := plan.ToPixel(w)
+		if err != nil {
+			return err
+		}
+		if err := plan.AddLocation(name, px); err != nil {
+			return err
+		}
+	}
+	planPath := filepath.Join(*outDir, "house.plan")
+	if err := plan.SaveFile(planPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", planPath)
+
+	// Location map.
+	mapPath := filepath.Join(*outDir, "locations.map")
+	if err := locmap.WriteFile(mapPath, lm); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d locations)\n", mapPath, lm.Len())
+
+	// Training captures: directory and zip forms.
+	scanner := sim.NewScanner(env, *seed)
+	coll := scanner.CaptureCollection(lm, *sweeps)
+	scanDir := filepath.Join(*outDir, "scans")
+	if err := coll.WriteDir(scanDir); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s/ (%d files, %d records)\n", scanDir, len(coll.Files), coll.TotalRecords())
+	zipPath := filepath.Join(*outDir, "scans.zip")
+	if err := coll.WriteZip(zipPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", zipPath)
+
+	// Training database.
+	db, _, err := trainingdb.Generate(coll, lm, trainingdb.Options{})
+	if err != nil {
+		return err
+	}
+	tdbPath := filepath.Join(*outDir, "train.tdb")
+	if err := trainingdb.SaveFile(tdbPath, db); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d entries)\n", tdbPath, db.Len())
+
+	// Test observations + ground truth.
+	obsDir := filepath.Join(*outDir, "observations")
+	if err := os.MkdirAll(obsDir, 0o755); err != nil {
+		return err
+	}
+	truth := locmap.New()
+	for i, p := range scen.TestPoints {
+		name := fmt.Sprintf("test-%02d", i+1)
+		recs := scanner.Capture(p, *obsSwps, 0)
+		f := &wiscan.File{Location: name, Records: recs}
+		path := filepath.Join(obsDir, name+".wiscan")
+		fh, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := wiscan.Write(fh, f); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		if err := truth.Add(name, p); err != nil {
+			return err
+		}
+	}
+	truthPath := filepath.Join(*outDir, "truth.map")
+	if err := locmap.WriteFile(truthPath, truth); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s/ (%d observations) and %s\n", obsDir, len(scen.TestPoints), truthPath)
+	return nil
+}

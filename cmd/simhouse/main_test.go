@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimhouseGeneratesDataset(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-sweeps", "5", "-obs-sweeps", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"house.plan", "locations.map", "scans.zip", "train.tdb", "truth.map",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	scans, err := os.ReadDir(filepath.Join(dir, "scans"))
+	if err != nil || len(scans) != 30 {
+		t.Errorf("scans dir: %d files, err %v", len(scans), err)
+	}
+	obs, err := os.ReadDir(filepath.Join(dir, "observations"))
+	if err != nil || len(obs) != 13 {
+		t.Errorf("observations dir: %d files, err %v", len(obs), err)
+	}
+	if !strings.Contains(out.String(), "30 locations") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestSimhouseDeterministic(t *testing.T) {
+	read := func(dir string) string {
+		b, err := os.ReadFile(filepath.Join(dir, "scans", "grid-0-0.wiscan"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", d1, "-sweeps", "4", "-obs-sweeps", "2", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", d2, "-sweeps", "4", "-obs-sweeps", "2", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if read(d1) != read(d2) {
+		t.Error("same seed produced different capture files")
+	}
+}
+
+func TestSimhouseErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-spacing", "0"}, &out); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// tdbgen is the Training Database Generator: it joins a collection of
+// wi-scan files (a directory or a zip archive, one file per training
+// location) with a location map (a text file of names and coordinates)
+// and writes the compressed training database the working phase loads.
+//
+// Usage:
+//
+//	tdbgen -scans scans/ -map locations.map -out train.tdb
+//	tdbgen -scans scans.zip -map locations.map -out train.tdb -skip-unmapped
+//
+// The location map may also come from an annotated floor plan:
+//
+//	tdbgen -scans scans/ -plan house.plan -out train.tdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbgen", flag.ContinueOnError)
+	var (
+		scans    = fs.String("scans", "", "wi-scan collection: directory or .zip (required)")
+		mapPath  = fs.String("map", "", "location map file")
+		planPath = fs.String("plan", "", "annotated plan file to take the location map from")
+		outPath  = fs.String("out", "", "output training database (required)")
+		skip     = fs.Bool("skip-unmapped", false, "drop wi-scan locations missing from the map instead of failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scans == "" || *outPath == "" {
+		return fmt.Errorf("need -scans PATH and -out FILE")
+	}
+	var lm *locmap.Map
+	switch {
+	case *mapPath != "":
+		m, err := locmap.ReadFile(*mapPath)
+		if err != nil {
+			return err
+		}
+		lm = m
+	case *planPath != "":
+		plan, err := floorplan.LoadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		lm, err = plan.LocationMap()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -map FILE or -plan FILE")
+	}
+	coll, err := wiscan.ReadCollection(*scans)
+	if err != nil {
+		return err
+	}
+	db, skipped, err := trainingdb.Generate(coll, lm, trainingdb.Options{SkipUnmapped: *skip})
+	if err != nil {
+		return err
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(out, "skipped unmapped location %q\n", s)
+	}
+	if err := trainingdb.SaveFile(*outPath, db); err != nil {
+		return err
+	}
+	info, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d locations, %d APs, %d samples, %d bytes\n",
+		*outPath, db.Len(), len(db.BSSIDs), db.TotalSamples(), info.Size())
+	return nil
+}

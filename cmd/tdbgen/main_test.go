@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/trainingdb"
+)
+
+// writeScan drops a minimal wi-scan file for location name into dir.
+func writeScan(t *testing.T, dir, name string) {
+	t.Helper()
+	content := "1000\taa:bb:cc:00:00:01\tnet\t6\t-60\t-95\n" +
+		"2000\taa:bb:cc:00:00:01\tnet\t6\t-62\t-95\n"
+	if err := os.WriteFile(filepath.Join(dir, name+".wiscan"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeMap(t *testing.T, dir string, entries ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, "loc.map")
+	if err := os.WriteFile(path, []byte(strings.Join(entries, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTdbgenBasic(t *testing.T) {
+	dir := t.TempDir()
+	scans := filepath.Join(dir, "scans")
+	os.MkdirAll(scans, 0o755)
+	writeScan(t, scans, "kitchen")
+	writeScan(t, scans, "hall")
+	mapPath := writeMap(t, dir, "kitchen\t5\t35", "hall\t25\t20")
+	outPath := filepath.Join(dir, "train.tdb")
+
+	var out bytes.Buffer
+	if err := run([]string{"-scans", scans, "-map", mapPath, "-out", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 locations") {
+		t.Errorf("output %q", out.String())
+	}
+	db, err := trainingdb.LoadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || db.TotalSamples() != 4 {
+		t.Errorf("db: %d entries, %d samples", db.Len(), db.TotalSamples())
+	}
+}
+
+func TestTdbgenSkipUnmapped(t *testing.T) {
+	dir := t.TempDir()
+	scans := filepath.Join(dir, "scans")
+	os.MkdirAll(scans, 0o755)
+	writeScan(t, scans, "kitchen")
+	writeScan(t, scans, "porch") // unmapped
+	mapPath := writeMap(t, dir, "kitchen\t5\t35")
+	outPath := filepath.Join(dir, "train.tdb")
+
+	var out bytes.Buffer
+	// Strict: fails.
+	if err := run([]string{"-scans", scans, "-map", mapPath, "-out", outPath}, &out); err == nil {
+		t.Error("unmapped location accepted without -skip-unmapped")
+	}
+	// Skipping: succeeds and says so.
+	out.Reset()
+	if err := run([]string{"-scans", scans, "-map", mapPath, "-out", outPath, "-skip-unmapped"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `skipped unmapped location "porch"`) {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestTdbgenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-scans", "x", "-out", "y"}, &out); err == nil {
+		t.Error("missing map source accepted")
+	}
+	if err := run([]string{"-scans", "/nonexistent", "-map", "/nope", "-out", "y"}, &out); err == nil {
+		t.Error("bad paths accepted")
+	}
+}

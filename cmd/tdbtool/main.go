@@ -1,0 +1,168 @@
+// tdbtool inspects and maintains training databases.
+//
+// Usage:
+//
+//	tdbtool -db train.tdb -info                       # summary
+//	tdbtool -db train.tdb -entries                    # per-location stats
+//	tdbtool -db train.tdb -export train.json          # JSON interchange
+//	tdbtool -db train.tdb -export train.json -samples # include raw samples
+//	tdbtool -db train.tdb -import train.json          # JSON → .tdb
+//	tdbtool -db train.tdb -prune 5 -out pruned.tdb    # drop sparse APs
+//	tdbtool -db train.tdb -remove kitchen -out v2.tdb # drop a location
+//	tdbtool -db train.tdb -confusable 5               # closest fingerprint pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"indoorloc/internal/trainingdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbtool", flag.ContinueOnError)
+	var (
+		dbPath     = fs.String("db", "", "training database (required)")
+		info       = fs.Bool("info", false, "print a summary")
+		entries    = fs.Bool("entries", false, "print per-location statistics")
+		exportPath = fs.String("export", "", "write the database as JSON")
+		samples    = fs.Bool("samples", false, "include raw samples in -export")
+		importPath = fs.String("import", "", "read a JSON export and write it to -db")
+		prune      = fs.Int("prune", 0, "drop per-location APs with fewer samples than this")
+		remove     = fs.String("remove", "", "drop a training location by name")
+		confusable = fs.Int("confusable", 0, "print the N closest fingerprint pairs")
+		outPath    = fs.String("out", "", "where to write the modified database")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("need -db FILE")
+	}
+
+	// Import mode: JSON in, tdb out.
+	if *importPath != "" {
+		fh, err := os.Open(*importPath)
+		if err != nil {
+			return err
+		}
+		db, err := trainingdb.ImportJSON(fh)
+		fh.Close()
+		if err != nil {
+			return err
+		}
+		if err := trainingdb.SaveFile(*dbPath, db); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "imported %s → %s (%d locations)\n", *importPath, *dbPath, db.Len())
+		return nil
+	}
+
+	db, err := trainingdb.LoadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	modified := false
+
+	if *prune > 0 {
+		removed := db.PruneAPs(*prune)
+		fmt.Fprintf(out, "pruned %d sparse ⟨location, AP⟩ records\n", removed)
+		modified = true
+	}
+	if *remove != "" {
+		if !db.RemoveEntry(*remove) {
+			return fmt.Errorf("no location %q in the database", *remove)
+		}
+		fmt.Fprintf(out, "removed %q\n", *remove)
+		modified = true
+	}
+
+	if *info {
+		fmt.Fprintf(out, "locations: %d\nAPs: %d\nsamples: %d\n",
+			db.Len(), len(db.BSSIDs), db.TotalSamples())
+		for _, b := range db.BSSIDs {
+			n := 0
+			for _, e := range db.Entries {
+				if s, ok := e.PerAP[b]; ok {
+					n += s.N
+				}
+			}
+			fmt.Fprintf(out, "  %s: %d samples\n", b, n)
+		}
+	}
+	if *entries {
+		for _, name := range db.Names() {
+			e := db.Entries[name]
+			fmt.Fprintf(out, "%s at %v:\n", name, e.Pos)
+			bssids := make([]string, 0, len(e.PerAP))
+			for b := range e.PerAP {
+				bssids = append(bssids, b)
+			}
+			sort.Strings(bssids)
+			for _, b := range bssids {
+				s := e.PerAP[b]
+				fmt.Fprintf(out, "  %s: n=%d mean=%.1f sd=%.1f range=[%.0f, %.0f]\n",
+					b, s.N, s.Mean, s.StdDev, s.Min, s.Max)
+			}
+		}
+	}
+	if *confusable > 0 {
+		type pair struct {
+			key  string
+			dist float64
+		}
+		var pairs []pair
+		for k, v := range db.Distinguishability(-95) {
+			pairs = append(pairs, pair{k, v})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].dist != pairs[j].dist {
+				return pairs[i].dist < pairs[j].dist
+			}
+			return pairs[i].key < pairs[j].key
+		})
+		n := *confusable
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		fmt.Fprintf(out, "most confusable fingerprint pairs (signal-space dB distance):\n")
+		for _, p := range pairs[:n] {
+			fmt.Fprintf(out, "  %-28s %.1f dB\n", p.key, p.dist)
+		}
+	}
+	if *exportPath != "" {
+		fh, err := os.Create(*exportPath)
+		if err != nil {
+			return err
+		}
+		if err := trainingdb.ExportJSON(fh, db, *samples); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exported %s\n", *exportPath)
+	}
+	if modified {
+		dest := *outPath
+		if dest == "" {
+			return fmt.Errorf("database modified but no -out FILE given")
+		}
+		if err := trainingdb.SaveFile(dest, db); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", dest)
+	}
+	return nil
+}

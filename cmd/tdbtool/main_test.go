@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+)
+
+func makeDB(t *testing.T) string {
+	t.Helper()
+	scen := sim.PaperHouse()
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := sim.NewScanner(env, 5).CaptureCollection(grid, 8)
+	db, _, err := trainingdb.Generate(coll, grid, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train.tdb")
+	if err := trainingdb.SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInfoAndEntries(t *testing.T) {
+	dbPath := makeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "locations: 30") {
+		t.Errorf("info: %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-db", dbPath, "-entries"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "grid-0-0 at") || !strings.Contains(out.String(), "mean=") {
+		t.Errorf("entries: %q", out.String()[:200])
+	}
+}
+
+func TestConfusable(t *testing.T) {
+	dbPath := makeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-confusable", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "|") != 3 {
+		t.Errorf("confusable: %q", out.String())
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	dbPath := makeDB(t)
+	jsonPath := filepath.Join(t.TempDir(), "train.json")
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-export", jsonPath, "-samples"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	newDB := filepath.Join(t.TempDir(), "imported.tdb")
+	out.Reset()
+	if err := run([]string{"-db", newDB, "-import", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trainingdb.LoadFile(newDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 30 {
+		t.Errorf("imported %d locations", back.Len())
+	}
+}
+
+func TestPruneAndRemove(t *testing.T) {
+	dbPath := makeDB(t)
+	outDB := filepath.Join(t.TempDir(), "v2.tdb")
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-remove", "grid-0-0", "-out", outDB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trainingdb.LoadFile(outDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 29 {
+		t.Errorf("%d locations after removal", back.Len())
+	}
+	// Prune with an impossible threshold empties per-entry AP maps.
+	out.Reset()
+	if err := run([]string{"-db", dbPath, "-prune", "10000", "-out", outDB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pruned 120") { // 30 locations × 4 APs
+		t.Errorf("prune output: %q", out.String())
+	}
+}
+
+func TestModifiedWithoutOut(t *testing.T) {
+	dbPath := makeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dbPath, "-remove", "grid-0-0"}, &out); err == nil {
+		t.Error("modification without -out accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no -db accepted")
+	}
+	if err := run([]string{"-db", "/nope", "-info"}, &out); err == nil {
+		t.Error("missing db accepted")
+	}
+	dbPath := makeDB(t)
+	if err := run([]string{"-db", dbPath, "-remove", "ghost", "-out", "x"}, &out); err == nil {
+		t.Error("removing ghost accepted")
+	}
+	if err := run([]string{"-db", filepath.Join(t.TempDir(), "o.tdb"), "-import", "/nope"}, &out); err == nil {
+		t.Error("missing import accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// wiscantool inspects and reshapes wi-scan captures: per-file
+// statistics, collection merge/convert between directory and zip
+// forms, and splitting a continuous log into observation windows.
+//
+// Usage:
+//
+//	wiscantool -stats file.wiscan                # per-AP statistics
+//	wiscantool -stats scans/                     # whole collection
+//	wiscantool -convert scans/ -out scans.zip    # dir → zip (or back)
+//	wiscantool -merge a/ -merge b.zip -out all/  # union of collections
+//	wiscantool -split walk.wiscan -window 5000 -out windows/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"indoorloc/internal/cliutil"
+	"indoorloc/internal/stats"
+	"indoorloc/internal/wiscan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wiscantool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wiscantool", flag.ContinueOnError)
+	var (
+		statsPath = fs.String("stats", "", "print statistics for a wi-scan file or collection")
+		convert   = fs.String("convert", "", "collection to convert (directory or zip)")
+		splitPath = fs.String("split", "", "wi-scan file to split into windows")
+		window    = fs.Int64("window", 5000, "window size in milliseconds for -split")
+		stride    = fs.Int64("stride", 0, "stride in milliseconds for -split (0 = non-overlapping)")
+		outPath   = fs.String("out", "", "output path for -convert/-merge/-split")
+		merges    cliutil.StringList
+	)
+	fs.Var(&merges, "merge", "collection to merge (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *statsPath != "":
+		return printStats(out, *statsPath)
+	case *convert != "":
+		if *outPath == "" {
+			return fmt.Errorf("-convert needs -out")
+		}
+		coll, err := wiscan.ReadCollection(*convert)
+		if err != nil {
+			return err
+		}
+		return writeCollection(out, coll, *outPath)
+	case len(merges) > 0:
+		if *outPath == "" {
+			return fmt.Errorf("-merge needs -out")
+		}
+		merged := &wiscan.Collection{Files: make(map[string]*wiscan.File)}
+		for _, path := range merges {
+			c, err := wiscan.ReadCollection(path)
+			if err != nil {
+				return err
+			}
+			for name, f := range c.Files {
+				if _, dup := merged.Files[name]; dup {
+					return fmt.Errorf("location %q appears in more than one collection", name)
+				}
+				merged.Files[name] = f
+			}
+		}
+		return writeCollection(out, merged, *outPath)
+	case *splitPath != "":
+		if *outPath == "" {
+			return fmt.Errorf("-split needs -out DIR")
+		}
+		return splitFile(out, *splitPath, *outPath, *window, *stride)
+	default:
+		return fmt.Errorf("nothing to do: pass -stats, -convert, -merge or -split")
+	}
+}
+
+// printStats summarises a single file or a whole collection.
+func printStats(out io.Writer, path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() || strings.EqualFold(filepath.Ext(path), ".zip") {
+		coll, err := wiscan.ReadCollection(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "collection: %d locations, %d records\n",
+			len(coll.Files), coll.TotalRecords())
+		for _, name := range coll.Locations() {
+			fileStats(out, coll.Files[name])
+		}
+		return nil
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	f, err := wiscan.Read(fh, path)
+	if err != nil {
+		return err
+	}
+	fileStats(out, f)
+	return nil
+}
+
+func fileStats(out io.Writer, f *wiscan.File) {
+	fmt.Fprintf(out, "%s: %d records over %.1f s, %d sweeps\n",
+		f.Location, len(f.Records), float64(f.Duration())/1000, len(f.Scans()))
+	for _, bssid := range f.BSSIDs() {
+		var r stats.Running
+		r.AddAll(f.RSSIsFor(bssid))
+		fmt.Fprintf(out, "  %s: n=%d mean=%.1f sd=%.1f range=[%.0f, %.0f]\n",
+			bssid, r.N(), r.Mean(), r.StdDev(), r.Min(), r.Max())
+	}
+}
+
+// writeCollection writes dir or zip based on the output extension.
+func writeCollection(out io.Writer, coll *wiscan.Collection, dest string) error {
+	var err error
+	if strings.EqualFold(filepath.Ext(dest), ".zip") {
+		err = coll.WriteZip(dest)
+	} else {
+		err = coll.WriteDir(dest)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d locations, %d records)\n",
+		dest, len(coll.Files), coll.TotalRecords())
+	return nil
+}
+
+// splitFile cuts a continuous capture into one wi-scan file per
+// window.
+func splitFile(out io.Writer, src, destDir string, window, stride int64) error {
+	fh, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	f, err := wiscan.Read(fh, src)
+	fh.Close()
+	if err != nil {
+		return err
+	}
+	wins := wiscan.Windows(f.Records, window, stride)
+	if len(wins) == 0 {
+		return fmt.Errorf("no windows produced (window %d ms)", window)
+	}
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return err
+	}
+	for i, win := range wins {
+		name := fmt.Sprintf("%s-w%03d", f.Location, i)
+		wf := &wiscan.File{Location: name, Records: win}
+		path := filepath.Join(destDir, name+".wiscan")
+		dst, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := wiscan.Write(dst, wf); err != nil {
+			dst.Close()
+			return err
+		}
+		if err := dst.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "wrote %d windows to %s\n", len(wins), destDir)
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/wiscan"
+)
+
+func sampleFile(loc string, start int64, n int) *wiscan.File {
+	f := &wiscan.File{Location: loc}
+	for i := 0; i < n; i++ {
+		f.Records = append(f.Records, wiscan.Record{
+			TimeMillis: start + int64(i)*1000,
+			BSSID:      "aa:bb:cc:00:00:01",
+			SSID:       "net",
+			Channel:    6,
+			RSSI:       -60 - i%3,
+			Noise:      -95,
+		})
+	}
+	return f
+}
+
+func writeSampleDir(t *testing.T, locs ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	coll := &wiscan.Collection{Files: map[string]*wiscan.File{}}
+	for _, loc := range locs {
+		coll.Files[loc] = sampleFile(loc, 0, 5)
+	}
+	if err := coll.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStatsSingleFile(t *testing.T) {
+	dir := writeSampleDir(t, "kitchen")
+	var out bytes.Buffer
+	if err := run([]string{"-stats", filepath.Join(dir, "kitchen.wiscan")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "kitchen: 5 records") || !strings.Contains(s, "mean=") {
+		t.Errorf("stats: %q", s)
+	}
+}
+
+func TestStatsCollection(t *testing.T) {
+	dir := writeSampleDir(t, "kitchen", "hall")
+	var out bytes.Buffer
+	if err := run([]string{"-stats", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "collection: 2 locations") {
+		t.Errorf("stats: %q", out.String())
+	}
+}
+
+func TestConvertDirToZipAndBack(t *testing.T) {
+	dir := writeSampleDir(t, "kitchen", "hall")
+	zipPath := filepath.Join(t.TempDir(), "scans.zip")
+	var out bytes.Buffer
+	if err := run([]string{"-convert", dir, "-out", zipPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(t.TempDir(), "back")
+	out.Reset()
+	if err := run([]string{"-convert", zipPath, "-out", back}, &out); err != nil {
+		t.Fatal(err)
+	}
+	coll, err := wiscan.ReadCollection(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.Files) != 2 {
+		t.Errorf("%d files after round trip", len(coll.Files))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := writeSampleDir(t, "kitchen")
+	b := writeSampleDir(t, "hall")
+	dest := filepath.Join(t.TempDir(), "all")
+	var out bytes.Buffer
+	if err := run([]string{"-merge", a, "-merge", b, "-out", dest}, &out); err != nil {
+		t.Fatal(err)
+	}
+	coll, err := wiscan.ReadCollection(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.Files) != 2 {
+		t.Errorf("merged %d files", len(coll.Files))
+	}
+	// Collision rejected.
+	c := writeSampleDir(t, "kitchen")
+	if err := run([]string{"-merge", a, "-merge", c, "-out", dest}, &out); err == nil {
+		t.Error("colliding merge accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "walk.wiscan")
+	fh, err := os.Create(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wiscan.Write(fh, sampleFile("walk", 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	destDir := filepath.Join(dir, "windows")
+	var out bytes.Buffer
+	if err := run([]string{"-split", src, "-window", "4000", "-out", destDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(destDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 { // 12 s at 4 s windows
+		t.Errorf("%d windows", len(entries))
+	}
+	// Each window parses back.
+	coll, err := wiscan.ReadCollection(destDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.TotalRecords() != 12 {
+		t.Errorf("windows hold %d records", coll.TotalRecords())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-stats", "/nope"}, &out); err == nil {
+		t.Error("missing stats path accepted")
+	}
+	if err := run([]string{"-convert", "/nope", "-out", "x.zip"}, &out); err == nil {
+		t.Error("missing convert path accepted")
+	}
+	if err := run([]string{"-convert", t.TempDir()}, &out); err == nil {
+		t.Error("convert without -out accepted")
+	}
+	if err := run([]string{"-merge", t.TempDir()}, &out); err == nil {
+		t.Error("merge without -out accepted")
+	}
+	if err := run([]string{"-split", "/nope", "-out", "d"}, &out); err == nil {
+		t.Error("missing split source accepted")
+	}
+	if err := run([]string{"-split", "x"}, &out); err == nil {
+		t.Error("split without -out accepted")
+	}
+}

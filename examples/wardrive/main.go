@@ -1,0 +1,122 @@
+// Wardrive: the full file-based workflow, exactly as a user of the
+// shipped tools would run it — capture wi-scan files to disk, zip
+// them, generate a training database from the zip plus a location-map
+// text file, reload the database, and localize an observation file.
+// Everything in this example round-trips through real files in a
+// temporary directory; no in-memory shortcuts.
+//
+//	go run ./examples/wardrive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"indoorloc"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/wiscan"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "wardrive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("working in", dir)
+
+	// Drive the house: capture 90 sweeps at every grid point and leave
+	// one .wiscan file per named location, plus the zip form the
+	// Training Database Generator also accepts.
+	scen := sim.PaperHouse()
+	env, err := scen.Environment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scanner := sim.NewScanner(env, 21)
+	coll := scanner.CaptureCollection(grid, 90)
+	scanDir := filepath.Join(dir, "scans")
+	if err := coll.WriteDir(scanDir); err != nil {
+		log.Fatal(err)
+	}
+	zipPath := filepath.Join(dir, "scans.zip")
+	if err := coll.WriteZip(zipPath); err != nil {
+		log.Fatal(err)
+	}
+	mapPath := filepath.Join(dir, "locations.map")
+	if err := locmap.WriteFile(mapPath, grid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d wi-scan files (%d records) + %s\n",
+		len(coll.Files), coll.TotalRecords(), filepath.Base(zipPath))
+
+	// Generate the training database from the ZIP (the harder path),
+	// write it, and reload it — proving the compressed format
+	// round-trips.
+	zcoll, err := wiscan.ReadCollection(zipPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lm, err := locmap.ReadFile(mapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, _, err := trainingdb.Generate(zcoll, lm, trainingdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tdbPath := filepath.Join(dir, "train.tdb")
+	if err := trainingdb.SaveFile(tdbPath, db); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(tdbPath)
+	fmt.Printf("training database: %d entries, %d samples → %d bytes compressed\n",
+		db.Len(), db.TotalSamples(), info.Size())
+
+	reloaded, err := indoorloc.LoadDatabase(tdbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Working phase from a file too: capture an observation window,
+	// write it as a wi-scan, read it back, localize.
+	target := scen.TestPoints[3]
+	obsFile := &wiscan.File{Location: "unknown", Records: scanner.Capture(target, 20, 0)}
+	obsPath := filepath.Join(dir, "observation.wiscan")
+	fh, err := os.Create(obsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wiscan.Write(fh, obsFile); err != nil {
+		log.Fatal(err)
+	}
+	fh.Close()
+	back, err := os.Open(obsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := wiscan.Read(back, "observation")
+	back.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	locator, err := indoorloc.BuildLocator(indoorloc.AlgoProbabilistic, reloaded, indoorloc.BuildConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := locator.Locate(indoorloc.ObservationFromRecords(parsed.Records))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed at %v → estimated %q %v (error %.1f ft)\n",
+		target, est.Name, est.Pos, est.Pos.Dist(target))
+}

@@ -1,0 +1,3 @@
+module indoorloc
+
+go 1.22

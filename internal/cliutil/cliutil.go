@@ -1,0 +1,101 @@
+// Package cliutil holds the small parsing helpers shared by the
+// toolkit's command-line tools, which take coordinates and markers as
+// compact single-line arguments in the spirit of the paper's
+// DOS-invoked utilities.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"indoorloc/internal/geom"
+)
+
+// ParsePoint parses "x,y" into a point.
+func ParsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geom.Point{}, fmt.Errorf("want \"x,y\", got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("x in %q: %v", s, err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("y in %q: %v", s, err)
+	}
+	return geom.Pt(x, y), nil
+}
+
+// NamedPoint is a "name@x,y" argument.
+type NamedPoint struct {
+	Name string
+	Pos  geom.Point
+}
+
+// ParseNamedPoint parses "name@x,y". The name may be empty ("@x,y").
+func ParseNamedPoint(s string) (NamedPoint, error) {
+	at := strings.LastIndex(s, "@")
+	if at < 0 {
+		return NamedPoint{}, fmt.Errorf("want \"name@x,y\", got %q", s)
+	}
+	p, err := ParsePoint(s[at+1:])
+	if err != nil {
+		return NamedPoint{}, err
+	}
+	return NamedPoint{Name: strings.TrimSpace(s[:at]), Pos: p}, nil
+}
+
+// ParseSegment parses "x1,y1:x2,y2" into a segment.
+func ParseSegment(s string) (geom.Segment, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return geom.Segment{}, fmt.Errorf("want \"x1,y1:x2,y2\", got %q", s)
+	}
+	a, err := ParsePoint(parts[0])
+	if err != nil {
+		return geom.Segment{}, err
+	}
+	b, err := ParsePoint(parts[1])
+	if err != nil {
+		return geom.Segment{}, err
+	}
+	return geom.Seg(a, b), nil
+}
+
+// ParseScale parses the Floor Plan Processor's scale argument
+// "x1,y1:x2,y2:distFeet" — two clicked pixels and the real distance
+// between them.
+func ParseScale(s string) (a, b geom.Point, dist float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return geom.Point{}, geom.Point{}, 0, fmt.Errorf("want \"x1,y1:x2,y2:feet\", got %q", s)
+	}
+	a, err = ParsePoint(parts[0])
+	if err != nil {
+		return geom.Point{}, geom.Point{}, 0, err
+	}
+	b, err = ParsePoint(parts[1])
+	if err != nil {
+		return geom.Point{}, geom.Point{}, 0, err
+	}
+	dist, err = strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		return geom.Point{}, geom.Point{}, 0, fmt.Errorf("distance in %q: %v", s, err)
+	}
+	return a, b, dist, nil
+}
+
+// StringList is a repeatable flag.Value collecting strings.
+type StringList []string
+
+// String implements flag.Value.
+func (l *StringList) String() string { return strings.Join(*l, ";") }
+
+// Set implements flag.Value.
+func (l *StringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}

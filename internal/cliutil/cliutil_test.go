@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func TestParsePoint(t *testing.T) {
+	p, err := ParsePoint("3.5, -2")
+	if err != nil || p != geom.Pt(3.5, -2) {
+		t.Errorf("got %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "1", "1,2,3", "x,2", "1,y"} {
+		if _, err := ParsePoint(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseNamedPoint(t *testing.T) {
+	np, err := ParseNamedPoint("kitchen@5,35")
+	if err != nil || np.Name != "kitchen" || np.Pos != geom.Pt(5, 35) {
+		t.Errorf("got %+v, %v", np, err)
+	}
+	// Names may contain @ — the last one splits.
+	np, err = ParseNamedPoint("room@2@1,2")
+	if err != nil || np.Name != "room@2" {
+		t.Errorf("got %+v, %v", np, err)
+	}
+	np, err = ParseNamedPoint("@1,2")
+	if err != nil || np.Name != "" {
+		t.Errorf("anonymous: %+v, %v", np, err)
+	}
+	for _, bad := range []string{"nopoint", "name@1", "name@x,y"} {
+		if _, err := ParseNamedPoint(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseSegment(t *testing.T) {
+	s, err := ParseSegment("0,0:25,40")
+	if err != nil || s != geom.Seg(geom.Pt(0, 0), geom.Pt(25, 40)) {
+		t.Errorf("got %v, %v", s, err)
+	}
+	for _, bad := range []string{"", "1,2", "1,2:3", "1,2:3,4:5,6", "a,b:1,2"} {
+		if _, err := ParseSegment(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	a, b, d, err := ParseScale("0,0:100,0:50")
+	if err != nil || a != geom.Pt(0, 0) || b != geom.Pt(100, 0) || d != 50 {
+		t.Errorf("got %v %v %v, %v", a, b, d, err)
+	}
+	for _, bad := range []string{"", "1,2:3,4", "1,2:3,4:ft", "x,2:3,4:5"} {
+		if _, _, _, err := ParseScale(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestStringList(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var l StringList
+	fs.Var(&l, "ap", "repeatable")
+	if err := fs.Parse([]string{"-ap", "a@1,2", "-ap", "b@3,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 || l[0] != "a@1,2" || l[1] != "b@3,4" {
+		t.Errorf("list = %v", l)
+	}
+	if l.String() != "a@1,2;b@3,4" {
+		t.Errorf("String = %q", l.String())
+	}
+}

@@ -1,0 +1,262 @@
+package compositor
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/gif"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+)
+
+// MarkerStyle selects the symbol drawn for a world point.
+type MarkerStyle int
+
+// Marker symbols.
+const (
+	StyleDot MarkerStyle = iota // filled disc
+	StyleCross
+	StylePlus
+	StyleCircle // open circle
+	StyleSquare
+)
+
+// WorldMarker is one coordinate to mark, in the plan's world frame —
+// the Compositor's command-line "user-given coordinate values".
+type WorldMarker struct {
+	Pos   geom.Point
+	Label string
+	Style MarkerStyle
+	Ink   Ink
+}
+
+// ErrorVector pairs an actual test location with the estimate a
+// localizer derived for it; the renderer connects the two with a line,
+// the paper's suggested way to "display all the testing locations and
+// their corresponding estimated locations".
+type ErrorVector struct {
+	Actual, Estimated geom.Point
+}
+
+// RenderOptions controls Render.
+type RenderOptions struct {
+	// Markers are drawn in order.
+	Markers []WorldMarker
+	// Vectors draw actual→estimated pairs: actual as a green dot,
+	// estimate as a red cross, connected by a gray line.
+	Vectors []ErrorVector
+	// DrawAPs draws the plan's access points as blue squares with
+	// labels.
+	DrawAPs bool
+	// DrawLocations draws the plan's named locations as black pluses
+	// with labels.
+	DrawLocations bool
+	// DrawWalls strokes the plan's wall segments.
+	DrawWalls bool
+	// Labels enables marker labels.
+	Labels bool
+}
+
+// Render draws the plan and annotations into a fresh canvas. The plan
+// must have an image and a scale.
+func Render(p *floorplan.Plan, opts RenderOptions) (*Canvas, error) {
+	if !p.HasImage() {
+		return nil, floorplan.ErrNoImage
+	}
+	if p.FeetPerPixel == 0 {
+		return nil, floorplan.ErrNoScale
+	}
+	c := FromImage(p.Image())
+	toPx := func(w geom.Point) (image.Point, error) { return p.ToPixel(w) }
+
+	if opts.DrawWalls {
+		for _, wall := range p.Walls {
+			a, err := toPx(wall.A)
+			if err != nil {
+				return nil, err
+			}
+			b, err := toPx(wall.B)
+			if err != nil {
+				return nil, err
+			}
+			c.Line(a.X, a.Y, b.X, b.Y, Black)
+		}
+	}
+	if opts.DrawAPs {
+		for _, ap := range p.APs {
+			px := ap.Pixel
+			c.FillRect(image.Rect(px.X-3, px.Y-3, px.X+3, px.Y+3), Blue)
+			if opts.Labels {
+				c.Text(px.X+5, px.Y-3, ap.Name, Blue)
+			}
+		}
+	}
+	if opts.DrawLocations {
+		for _, loc := range p.Locations {
+			px := loc.Pixel
+			c.Plus(px.X, px.Y, 3, Black)
+			if opts.Labels {
+				c.Text(px.X+5, px.Y+2, loc.Name, Gray)
+			}
+		}
+	}
+	for _, v := range opts.Vectors {
+		a, err := toPx(v.Actual)
+		if err != nil {
+			return nil, err
+		}
+		b, err := toPx(v.Estimated)
+		if err != nil {
+			return nil, err
+		}
+		c.Line(a.X, a.Y, b.X, b.Y, Gray)
+		c.FillCircle(a.X, a.Y, 3, Green)
+		c.Cross(b.X, b.Y, 4, Red)
+	}
+	for _, m := range opts.Markers {
+		px, err := toPx(m.Pos)
+		if err != nil {
+			return nil, err
+		}
+		drawMarker(c, px, m.Style, m.Ink)
+		if opts.Labels && m.Label != "" {
+			c.Text(px.X+6, px.Y-3, m.Label, m.Ink)
+		}
+	}
+	return c, nil
+}
+
+func drawMarker(c *Canvas, px image.Point, style MarkerStyle, ink Ink) {
+	switch style {
+	case StyleCross:
+		c.Cross(px.X, px.Y, 4, ink)
+	case StylePlus:
+		c.Plus(px.X, px.Y, 4, ink)
+	case StyleCircle:
+		c.Circle(px.X, px.Y, 4, ink)
+	case StyleSquare:
+		c.FillRect(image.Rect(px.X-3, px.Y-3, px.X+3, px.Y+3), ink)
+	default:
+		c.FillCircle(px.X, px.Y, 3, ink)
+	}
+}
+
+// BlueprintSpec describes a synthetic floor plan to rasterise — the
+// stand-in for scanning architectural drawings.
+type BlueprintSpec struct {
+	// Outline is the outer wall rectangle in feet.
+	Outline geom.Rect
+	// Walls are interior walls in feet.
+	Walls []geom.Segment
+	// PixelsPerFoot sets the raster resolution; zero means 8.
+	PixelsPerFoot float64
+	// MarginPx is the white border around the outline; zero means 20.
+	MarginPx int
+	// Title is drawn in the top margin when non-empty.
+	Title string
+}
+
+// Blueprint rasterises the spec and returns a ready-to-annotate Plan:
+// image attached, scale set, origin at the outline's lower-left
+// corner, walls copied in. The GIF it carries round-trips through the
+// Floor Plan Processor's save format.
+func Blueprint(name string, spec BlueprintSpec) (*floorplan.Plan, error) {
+	ppf := spec.PixelsPerFoot
+	if ppf <= 0 {
+		ppf = 8
+	}
+	margin := spec.MarginPx
+	if margin <= 0 {
+		margin = 20
+	}
+	if spec.Outline.Width() <= 0 || spec.Outline.Height() <= 0 {
+		return nil, errors.New("compositor: blueprint outline must have positive area")
+	}
+	wPx := int(math.Ceil(spec.Outline.Width()*ppf)) + 2*margin
+	hPx := int(math.Ceil(spec.Outline.Height()*ppf)) + 2*margin
+	c := NewCanvas(wPx, hPx)
+
+	p := floorplan.New(name)
+	// Origin pixel: lower-left corner of the outline (image Y grows
+	// downward, world Y grows upward).
+	origin := image.Pt(margin, hPx-margin)
+	p.SetImage(c.Img)
+	p.SetOrigin(origin)
+	if err := p.SetScale(image.Pt(0, 0), image.Pt(int(math.Round(ppf*100)), 0), 100); err != nil {
+		return nil, err
+	}
+
+	// World coordinates are taken relative to the outline's lower-left
+	// corner, so the plan's origin is that corner.
+	rel := func(w geom.Point) geom.Point { return w.Sub(spec.Outline.Min) }
+	toPx := func(w geom.Point) image.Point {
+		px, _ := p.ToPixel(rel(w)) // scale is set above; cannot fail
+		return px
+	}
+	// Outer walls.
+	corners := spec.Outline.Corners()
+	for i := range corners {
+		a := toPx(corners[i])
+		b := toPx(corners[(i+1)%4])
+		c.Line(a.X, a.Y, b.X, b.Y, Black)
+	}
+	// Interior walls.
+	for _, wall := range spec.Walls {
+		a := toPx(wall.A)
+		b := toPx(wall.B)
+		c.Line(a.X, a.Y, b.X, b.Y, Black)
+		p.AddWall(geom.Seg(rel(wall.A), rel(wall.B)))
+	}
+	if spec.Title != "" {
+		c.Text(margin, (margin-GlyphHeight)/2, spec.Title, Black)
+	}
+	return p, nil
+}
+
+// EncodeGIF writes the canvas as a GIF (the Compositor's output
+// format).
+func (c *Canvas) EncodeGIF(w io.Writer) error {
+	if err := gif.Encode(w, c.Img, &gif.Options{NumColors: len(palette)}); err != nil {
+		return fmt.Errorf("compositor: encoding GIF: %w", err)
+	}
+	return nil
+}
+
+// EncodePNG writes the canvas as a PNG.
+func (c *Canvas) EncodePNG(w io.Writer) error {
+	if err := png.Encode(w, c.Img); err != nil {
+		return fmt.Errorf("compositor: encoding PNG: %w", err)
+	}
+	return nil
+}
+
+// SaveGIF writes the canvas to a .gif file.
+func (c *Canvas) SaveGIF(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("compositor: %w", err)
+	}
+	if err := c.EncodeGIF(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// SavePNG writes the canvas to a .png file.
+func (c *Canvas) SavePNG(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("compositor: %w", err)
+	}
+	if err := c.EncodePNG(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

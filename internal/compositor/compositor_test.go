@@ -1,0 +1,234 @@
+package compositor
+
+import (
+	"bytes"
+	"image"
+	"testing"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+)
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(20, 20)
+	if c.Count(White) != 400 {
+		t.Fatalf("fresh canvas not white: %d", c.Count(White))
+	}
+	c.Set(5, 5, Black)
+	if c.Count(Black) != 1 {
+		t.Error("Set failed")
+	}
+	// Out of bounds is ignored, not a panic.
+	c.Set(-1, 0, Black)
+	c.Set(0, 99, Black)
+	if c.Count(Black) != 1 {
+		t.Error("out-of-bounds write landed")
+	}
+}
+
+func TestLine(t *testing.T) {
+	c := NewCanvas(20, 20)
+	c.Line(0, 0, 19, 0, Red)
+	if c.Count(Red) != 20 {
+		t.Errorf("horizontal line painted %d px", c.Count(Red))
+	}
+	c = NewCanvas(20, 20)
+	c.Line(0, 0, 0, 19, Red)
+	if c.Count(Red) != 20 {
+		t.Errorf("vertical line painted %d px", c.Count(Red))
+	}
+	c = NewCanvas(20, 20)
+	c.Line(0, 0, 19, 19, Red)
+	if c.Count(Red) != 20 {
+		t.Errorf("diagonal line painted %d px", c.Count(Red))
+	}
+	// Reversed endpoints draw the same pixels.
+	c2 := NewCanvas(20, 20)
+	c2.Line(19, 19, 0, 0, Red)
+	if !bytes.Equal(c.Img.Pix, c2.Img.Pix) {
+		t.Error("line not symmetric")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	c := NewCanvas(30, 30)
+	c.Circle(15, 15, 5, Blue)
+	if n := c.Count(Blue); n < 20 || n > 40 {
+		t.Errorf("circle painted %d px", n)
+	}
+	c = NewCanvas(30, 30)
+	c.FillCircle(15, 15, 5, Blue)
+	// Area ≈ πr² ≈ 78.
+	if n := c.Count(Blue); n < 70 || n > 90 {
+		t.Errorf("disc painted %d px", n)
+	}
+	c = NewCanvas(30, 30)
+	c.FillRect(image.Rect(5, 5, 9, 9), Green)
+	if n := c.Count(Green); n != 25 {
+		t.Errorf("filled rect painted %d px, want 25", n)
+	}
+	c = NewCanvas(30, 30)
+	c.Cross(15, 15, 3, Red)
+	if n := c.Count(Red); n != 13 { // two 7-px diagonals sharing centre
+		t.Errorf("cross painted %d px, want 13", n)
+	}
+	c = NewCanvas(30, 30)
+	c.Plus(15, 15, 3, Red)
+	if n := c.Count(Red); n != 13 {
+		t.Errorf("plus painted %d px, want 13", n)
+	}
+}
+
+func TestText(t *testing.T) {
+	c := NewCanvas(100, 20)
+	c.Text(0, 0, "AP-1", Black)
+	if c.Count(Black) == 0 {
+		t.Fatal("text drew nothing")
+	}
+	// Lowercase renders as uppercase: identical pixels.
+	c2 := NewCanvas(100, 20)
+	c2.Text(0, 0, "ap-1", Black)
+	if !bytes.Equal(c.Img.Pix, c2.Img.Pix) {
+		t.Error("case sensitivity in font")
+	}
+	// Unknown runes fall back to '?', not a panic.
+	c3 := NewCanvas(100, 20)
+	c3.Text(0, 0, "héllo", Black)
+	if c3.Count(Black) == 0 {
+		t.Error("fallback glyph missing")
+	}
+	if TextWidth("") != 0 {
+		t.Error("empty width not 0")
+	}
+	if TextWidth("AB") != 11 {
+		t.Errorf("TextWidth(AB) = %d", TextWidth("AB"))
+	}
+}
+
+func paperHousePlan(t *testing.T) *floorplan.Plan {
+	t.Helper()
+	plan, err := Blueprint("experiment house", BlueprintSpec{
+		Outline: geom.RectWH(0, 0, 50, 40),
+		Walls: []geom.Segment{
+			geom.Seg(geom.Pt(25, 0), geom.Pt(25, 25)),
+		},
+		Title: "HOUSE 50X40",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestBlueprint(t *testing.T) {
+	plan := paperHousePlan(t)
+	if !plan.HasImage() {
+		t.Fatal("no image")
+	}
+	if plan.FeetPerPixel == 0 {
+		t.Fatal("no scale")
+	}
+	// 50 ft at 8 px/ft + 2×20 margin = 440 px wide.
+	if got := plan.Image().Bounds().Dx(); got != 440 {
+		t.Errorf("width = %d px", got)
+	}
+	if got := plan.Image().Bounds().Dy(); got != 360 {
+		t.Errorf("height = %d px", got)
+	}
+	// Origin maps to world (0,0) and the far corner to (50,40).
+	w, err := plan.ToWorld(plan.Origin)
+	if err != nil || w != geom.Pt(0, 0) {
+		t.Errorf("origin world = %v, %v", w, err)
+	}
+	px, _ := plan.ToPixel(geom.Pt(50, 40))
+	if px != image.Pt(420, 20) {
+		t.Errorf("far corner pixel = %v", px)
+	}
+	// Walls carried into the plan in world coordinates.
+	if len(plan.Walls) != 1 || plan.Walls[0].A != geom.Pt(25, 0) {
+		t.Errorf("walls = %v", plan.Walls)
+	}
+	// Degenerate outline rejected.
+	if _, err := Blueprint("bad", BlueprintSpec{}); err == nil {
+		t.Error("zero outline accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	plan := paperHousePlan(t)
+	plan.AddAP("A", mustPixel(t, plan, geom.Pt(0, 0)))
+	plan.AddLocation("kitchen", mustPixel(t, plan, geom.Pt(5, 35)))
+	c, err := Render(plan, RenderOptions{
+		DrawAPs:       true,
+		DrawLocations: true,
+		DrawWalls:     true,
+		Labels:        true,
+		Markers: []WorldMarker{
+			{Pos: geom.Pt(20, 20), Label: "P", Style: StyleDot, Ink: Purple},
+			{Pos: geom.Pt(30, 10), Style: StyleCircle, Ink: Teal},
+			{Pos: geom.Pt(10, 10), Style: StyleSquare, Ink: Orange},
+			{Pos: geom.Pt(40, 30), Style: StylePlus, Ink: Green},
+		},
+		Vectors: []ErrorVector{
+			{Actual: geom.Pt(15, 15), Estimated: geom.Pt(18, 22)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ink family must have landed.
+	for _, ink := range []Ink{Blue, Purple, Teal, Orange, Green, Red, Gray, Black} {
+		if c.Count(ink) == 0 {
+			t.Errorf("ink %d missing from render", ink)
+		}
+	}
+}
+
+func mustPixel(t *testing.T, plan *floorplan.Plan, w geom.Point) image.Point {
+	t.Helper()
+	px, err := plan.ToPixel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return px
+}
+
+func TestRenderErrors(t *testing.T) {
+	bare := floorplan.New("bare")
+	if _, err := Render(bare, RenderOptions{}); err != floorplan.ErrNoImage {
+		t.Errorf("no image: %v", err)
+	}
+	plan := paperHousePlan(t)
+	plan.FeetPerPixel = 0
+	if _, err := Render(plan, RenderOptions{}); err != floorplan.ErrNoScale {
+		t.Errorf("no scale: %v", err)
+	}
+}
+
+func TestEncodeGIFRoundTrip(t *testing.T) {
+	plan := paperHousePlan(t)
+	c, err := Render(plan, RenderOptions{DrawWalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.EncodeGIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The rendered GIF loads back through the floor-plan loader —
+	// the full Processor↔Compositor loop.
+	p2 := floorplan.New("reload")
+	if err := p2.LoadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Image().Bounds() != c.Img.Bounds() {
+		t.Error("GIF round trip changed bounds")
+	}
+	var pngBuf bytes.Buffer
+	if err := c.EncodePNG(&pngBuf); err != nil {
+		t.Fatal(err)
+	}
+	if pngBuf.Len() == 0 {
+		t.Error("empty PNG")
+	}
+}

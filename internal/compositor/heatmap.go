@@ -1,0 +1,145 @@
+package compositor
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+)
+
+// Heatmap renders a scalar field over the floor as a color ramp —
+// typically one AP's predicted signal strength, the "radio map" view
+// localization papers use to sanity-check coverage.
+//
+// The field is sampled on a grid in world space and painted into the
+// plan's pixel frame; cold (weak) values render blue through green and
+// yellow to red (strong). Values outside [Lo, Hi] clamp to the ramp
+// ends.
+type Heatmap struct {
+	// Field returns the value at a world point.
+	Field func(p geom.Point) float64
+	// Lo and Hi bound the color ramp.
+	Lo, Hi float64
+	// CellFeet is the sampling pitch; zero means 1 ft.
+	CellFeet float64
+	// Area is the world rectangle to cover.
+	Area geom.Rect
+}
+
+// rampLevels is the number of distinct heat colors.
+const rampLevels = 64
+
+// heatPalette extends the standard drawing palette with the ramp, so
+// the canvas primitives (whose Ink indices address the first entries)
+// keep working on heatmap canvases.
+var heatPalette = func() color.Palette {
+	p := append(color.Palette(nil), palette...)
+	for i := 0; i < rampLevels; i++ {
+		p = append(p, rampColor(float64(i)/(rampLevels-1)))
+	}
+	return p
+}()
+
+// rampColor maps t ∈ [0, 1] to blue→cyan→green→yellow→red.
+func rampColor(t float64) color.RGBA {
+	switch {
+	case t < 0.25:
+		u := t / 0.25
+		return color.RGBA{0, uint8(255 * u), 255, 255}
+	case t < 0.5:
+		u := (t - 0.25) / 0.25
+		return color.RGBA{0, 255, uint8(255 * (1 - u)), 255}
+	case t < 0.75:
+		u := (t - 0.5) / 0.25
+		return color.RGBA{uint8(255 * u), 255, 0, 255}
+	default:
+		u := (t - 0.75) / 0.25
+		return color.RGBA{255, uint8(255 * (1 - u)), 0, 255}
+	}
+}
+
+// rampIndex returns the palette index for a normalised heat value.
+func rampIndex(t float64) uint8 {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return uint8(len(palette) + int(t*(rampLevels-1)+0.5))
+}
+
+// RenderHeatmap paints the field over a canvas sized to the plan's
+// image, then overlays walls and APs in black for orientation.
+func RenderHeatmap(p *floorplan.Plan, hm Heatmap) (*Canvas, error) {
+	if !p.HasImage() {
+		return nil, floorplan.ErrNoImage
+	}
+	if p.FeetPerPixel == 0 {
+		return nil, floorplan.ErrNoScale
+	}
+	if hm.Field == nil {
+		return nil, errors.New("compositor: heatmap needs a field")
+	}
+	if hm.Hi <= hm.Lo {
+		return nil, fmt.Errorf("compositor: heatmap range [%v, %v] invalid", hm.Lo, hm.Hi)
+	}
+	cell := hm.CellFeet
+	if cell <= 0 {
+		cell = 1
+	}
+	bounds := p.Image().Bounds()
+	img := image.NewPaletted(image.Rect(0, 0, bounds.Dx(), bounds.Dy()), heatPalette)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(White)
+	}
+	c := &Canvas{Img: img}
+
+	// Sample the field per heat cell and flood the covering pixels.
+	nx := int(math.Ceil(hm.Area.Width() / cell))
+	ny := int(math.Ceil(hm.Area.Height() / cell))
+	for gy := 0; gy < ny; gy++ {
+		for gx := 0; gx < nx; gx++ {
+			cellMin := hm.Area.Min.Add(geom.Pt(float64(gx)*cell, float64(gy)*cell))
+			centre := cellMin.Add(geom.Pt(cell/2, cell/2))
+			v := hm.Field(centre)
+			idx := rampIndex((v - hm.Lo) / (hm.Hi - hm.Lo))
+			// World cell corners → pixel rows/cols (image Y grows down).
+			pxMin, err := p.ToPixel(cellMin.Add(geom.Pt(0, cell)))
+			if err != nil {
+				return nil, err
+			}
+			pxMax, err := p.ToPixel(cellMin.Add(geom.Pt(cell, 0)))
+			if err != nil {
+				return nil, err
+			}
+			for y := pxMin.Y; y <= pxMax.Y; y++ {
+				for x := pxMin.X; x <= pxMax.X; x++ {
+					if image.Pt(x, y).In(img.Bounds()) {
+						img.SetColorIndex(x, y, idx)
+					}
+				}
+			}
+		}
+	}
+	// Overlay walls and AP markers.
+	for _, wall := range p.Walls {
+		a, err := p.ToPixel(wall.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.ToPixel(wall.B)
+		if err != nil {
+			return nil, err
+		}
+		c.Line(a.X, a.Y, b.X, b.Y, Black)
+	}
+	for _, ap := range p.APs {
+		c.FillRect(image.Rect(ap.Pixel.X-3, ap.Pixel.Y-3, ap.Pixel.X+3, ap.Pixel.Y+3), Black)
+	}
+	return c, nil
+}

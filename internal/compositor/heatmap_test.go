@@ -1,0 +1,121 @@
+package compositor
+
+import (
+	"bytes"
+	"testing"
+
+	"indoorloc/internal/floorplan"
+	"indoorloc/internal/geom"
+)
+
+func TestRampColorEndpoints(t *testing.T) {
+	cold := rampColor(0)
+	if cold.B != 255 || cold.R != 0 {
+		t.Errorf("cold = %+v, want blue", cold)
+	}
+	hot := rampColor(1)
+	if hot.R != 255 || hot.B != 0 || hot.G != 0 {
+		t.Errorf("hot = %+v, want red", hot)
+	}
+	mid := rampColor(0.5)
+	if mid.G != 255 {
+		t.Errorf("mid = %+v, want green-dominant", mid)
+	}
+}
+
+func TestRampIndexClamps(t *testing.T) {
+	lo := rampIndex(-5)
+	hi := rampIndex(5)
+	if lo != uint8(len(palette)) {
+		t.Errorf("low clamp = %d", lo)
+	}
+	if hi != uint8(len(palette)+rampLevels-1) {
+		t.Errorf("high clamp = %d", hi)
+	}
+	if rampIndex(0.5) <= lo || rampIndex(0.5) >= hi {
+		t.Error("mid not between ends")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	plan := paperHousePlan(t)
+	px, _ := plan.ToPixel(geom.Pt(0, 0))
+	plan.AddAP("A", px)
+	area := geom.RectWH(0, 0, 50, 40)
+	// A field decaying with distance from the corner AP.
+	field := func(p geom.Point) float64 { return -40 - p.Norm() }
+	c, err := RenderHeatmap(plan, Heatmap{
+		Field: field, Lo: -95, Hi: -40, CellFeet: 2, Area: area,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near the AP must be hotter (higher palette ramp index) than far.
+	near, _ := plan.ToPixel(geom.Pt(5, 5))
+	far, _ := plan.ToPixel(geom.Pt(45, 35))
+	ni := c.Img.ColorIndexAt(near.X, near.Y)
+	fi := c.Img.ColorIndexAt(far.X, far.Y)
+	if ni <= fi {
+		t.Errorf("near idx %d not hotter than far idx %d", ni, fi)
+	}
+	if int(ni) < len(palette) || int(fi) < len(palette) {
+		t.Error("heat pixels not on the ramp")
+	}
+	// Wall overlay landed.
+	if c.Count(Black) == 0 {
+		t.Error("no overlay")
+	}
+	// Encodes as GIF (paletted, ≤256 colors).
+	var buf bytes.Buffer
+	if err := c.EncodeGIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderHeatmapErrors(t *testing.T) {
+	bare := floorplan.New("bare")
+	hm := Heatmap{Field: func(geom.Point) float64 { return 0 }, Lo: 0, Hi: 1, Area: geom.RectWH(0, 0, 1, 1)}
+	if _, err := RenderHeatmap(bare, hm); err != floorplan.ErrNoImage {
+		t.Errorf("no image: %v", err)
+	}
+	plan := paperHousePlan(t)
+	bad := hm
+	bad.Field = nil
+	if _, err := RenderHeatmap(plan, bad); err == nil {
+		t.Error("nil field accepted")
+	}
+	bad = hm
+	bad.Lo, bad.Hi = 1, 1
+	if _, err := RenderHeatmap(plan, bad); err == nil {
+		t.Error("degenerate range accepted")
+	}
+}
+
+func TestDrawHeatLegend(t *testing.T) {
+	plan := paperHousePlan(t)
+	area := geom.RectWH(0, 0, 50, 40)
+	c, err := RenderHeatmap(plan, Heatmap{
+		Field: func(p geom.Point) float64 { return -60 },
+		Lo:    -95, Hi: -40, CellFeet: 4, Area: area,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackBefore := c.Count(Black)
+	c.DrawHeatLegend(10, 10, -95, -40)
+	if c.Count(Black) <= blackBefore {
+		t.Error("legend drew no frame/labels")
+	}
+	// The ramp top (hot) and bottom (cold) pixels differ.
+	top := c.Img.ColorIndexAt(12, 10)
+	bottom := c.Img.ColorIndexAt(12, 10+95)
+	if top == bottom {
+		t.Error("legend ramp is flat")
+	}
+	if int(top) < len(palette) || int(bottom) < len(palette) {
+		t.Errorf("legend not on the heat ramp: %d, %d", top, bottom)
+	}
+	// Clipped drawing (partially off-canvas) must not panic.
+	c.DrawHeatLegend(-5, -5, -95, -40)
+	c.DrawHeatLegend(c.Bounds().Dx()-3, c.Bounds().Dy()-3, -95, -40)
+}

@@ -1,0 +1,35 @@
+package compositor
+
+import (
+	"fmt"
+	"image"
+)
+
+// DrawHeatLegend paints a vertical color-bar legend for a heatmap's
+// [lo, hi] range into the canvas at pixel position (x, y), with the
+// hot end on top and dB labels at the top, middle and bottom. The
+// canvas must use the heat palette (i.e. come from RenderHeatmap);
+// on a standard canvas the ramp indices would alias to drawing inks.
+func (c *Canvas) DrawHeatLegend(x, y int, lo, hi float64) {
+	const (
+		barW = 12
+		barH = 96
+	)
+	// Frame.
+	c.Rect(image.Rect(x-1, y-1, x+barW+1, y+barH+1), Black)
+	// Ramp: top row is hottest.
+	for row := 0; row < barH; row++ {
+		t := 1 - float64(row)/float64(barH-1)
+		idx := rampIndex(t)
+		for col := 0; col < barW; col++ {
+			if image.Pt(x+col, y+row).In(c.Img.Bounds()) {
+				c.Img.SetColorIndex(x+col, y+row, idx)
+			}
+		}
+	}
+	// Labels.
+	c.Text(x+barW+4, y, fmt.Sprintf("%.0f", hi), Black)
+	c.Text(x+barW+4, y+barH/2-GlyphHeight/2, fmt.Sprintf("%.0f", (lo+hi)/2), Black)
+	c.Text(x+barW+4, y+barH-GlyphHeight, fmt.Sprintf("%.0f", lo), Black)
+	c.Text(x-1, y+barH+4, "DBM", Black)
+}

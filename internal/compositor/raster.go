@@ -1,0 +1,198 @@
+// Package compositor renders floor plans and localization results to
+// images — the toolkit's Floor Plan Compositor. It creates images from
+// a floor plan and marks them "with locations out of user-given
+// coordinate values": training points, observed test locations, the
+// estimates a localizer derived for them, and the error vectors
+// between the two. It also generates synthetic blueprint GIFs so the
+// whole pipeline runs without scanned architectural drawings.
+//
+// Everything is pure Go over the stdlib image packages; output is GIF
+// (the paper's format) or PNG.
+package compositor
+
+import (
+	"image"
+	"image/color"
+)
+
+// Ink indexes the fixed drawing palette.
+type Ink uint8
+
+// Palette entries. White is the background.
+const (
+	White Ink = iota
+	Black
+	Gray
+	LightGray
+	Red
+	Green
+	Blue
+	Orange
+	Purple
+	Teal
+)
+
+// palette is the fixed color table used by every canvas.
+var palette = color.Palette{
+	color.RGBA{255, 255, 255, 255}, // White
+	color.RGBA{0, 0, 0, 255},       // Black
+	color.RGBA{120, 120, 120, 255}, // Gray
+	color.RGBA{200, 200, 200, 255}, // LightGray
+	color.RGBA{200, 30, 30, 255},   // Red
+	color.RGBA{20, 140, 60, 255},   // Green
+	color.RGBA{40, 70, 200, 255},   // Blue
+	color.RGBA{230, 140, 20, 255},  // Orange
+	color.RGBA{130, 40, 160, 255},  // Purple
+	color.RGBA{0, 150, 150, 255},   // Teal
+}
+
+// Canvas is a paletted raster with drawing primitives.
+type Canvas struct {
+	Img *image.Paletted
+}
+
+// NewCanvas allocates a white canvas of the given pixel size.
+func NewCanvas(w, h int) *Canvas {
+	img := image.NewPaletted(image.Rect(0, 0, w, h), palette)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(White)
+	}
+	return &Canvas{Img: img}
+}
+
+// FromImage wraps an existing paletted image, re-quantising it onto
+// the drawing palette so inks render predictably on top.
+func FromImage(src *image.Paletted) *Canvas {
+	b := src.Bounds()
+	c := NewCanvas(b.Dx(), b.Dy())
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			c.Img.Set(x-b.Min.X, y-b.Min.Y, src.At(x, y))
+		}
+	}
+	return c
+}
+
+// Bounds returns the canvas size.
+func (c *Canvas) Bounds() image.Rectangle { return c.Img.Bounds() }
+
+// Set paints one pixel; out-of-bounds writes are ignored.
+func (c *Canvas) Set(x, y int, ink Ink) {
+	if image.Pt(x, y).In(c.Img.Bounds()) {
+		c.Img.SetColorIndex(x, y, uint8(ink))
+	}
+}
+
+// Line draws a 1-px segment with Bresenham's algorithm.
+func (c *Canvas) Line(x0, y0, x1, y1 int, ink Ink) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		c.Set(x0, y0, ink)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// Rect strokes an axis-aligned rectangle.
+func (c *Canvas) Rect(r image.Rectangle, ink Ink) {
+	c.Line(r.Min.X, r.Min.Y, r.Max.X, r.Min.Y, ink)
+	c.Line(r.Max.X, r.Min.Y, r.Max.X, r.Max.Y, ink)
+	c.Line(r.Max.X, r.Max.Y, r.Min.X, r.Max.Y, ink)
+	c.Line(r.Min.X, r.Max.Y, r.Min.X, r.Min.Y, ink)
+}
+
+// FillRect fills an axis-aligned rectangle (inclusive bounds).
+func (c *Canvas) FillRect(r image.Rectangle, ink Ink) {
+	for y := r.Min.Y; y <= r.Max.Y; y++ {
+		for x := r.Min.X; x <= r.Max.X; x++ {
+			c.Set(x, y, ink)
+		}
+	}
+}
+
+// Circle strokes a circle with the midpoint algorithm.
+func (c *Canvas) Circle(cx, cy, r int, ink Ink) {
+	if r < 0 {
+		return
+	}
+	x, y := r, 0
+	err := 1 - r
+	for x >= y {
+		c.Set(cx+x, cy+y, ink)
+		c.Set(cx+y, cy+x, ink)
+		c.Set(cx-y, cy+x, ink)
+		c.Set(cx-x, cy+y, ink)
+		c.Set(cx-x, cy-y, ink)
+		c.Set(cx-y, cy-x, ink)
+		c.Set(cx+y, cy-x, ink)
+		c.Set(cx+x, cy-y, ink)
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+// FillCircle fills a disc.
+func (c *Canvas) FillCircle(cx, cy, r int, ink Ink) {
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			if x*x+y*y <= r*r {
+				c.Set(cx+x, cy+y, ink)
+			}
+		}
+	}
+}
+
+// Cross draws an ×-shaped marker with the given arm length.
+func (c *Canvas) Cross(cx, cy, arm int, ink Ink) {
+	c.Line(cx-arm, cy-arm, cx+arm, cy+arm, ink)
+	c.Line(cx-arm, cy+arm, cx+arm, cy-arm, ink)
+}
+
+// Plus draws a +-shaped marker with the given arm length.
+func (c *Canvas) Plus(cx, cy, arm int, ink Ink) {
+	c.Line(cx-arm, cy, cx+arm, cy, ink)
+	c.Line(cx, cy-arm, cx, cy+arm, ink)
+}
+
+// Count returns how many pixels carry the ink — handy for tests.
+func (c *Canvas) Count(ink Ink) int {
+	n := 0
+	for _, p := range c.Img.Pix {
+		if p == uint8(ink) {
+			n++
+		}
+	}
+	return n
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"indoorloc/internal/stats"
+)
+
+// AsciiCDF renders an empirical CDF as a fixed-size text chart, the
+// way localization papers plot error distributions. Columns span
+// [0, xMax]; rows span [0, 1]. It returns "" for a nil CDF.
+func AsciiCDF(cdf *stats.ECDF, xMax float64, width, height int) string {
+	if cdf == nil || width < 10 || height < 4 || xMax <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	step := xMax / float64(width)
+	// Rows top (P=1) to bottom (P=0).
+	for row := height; row >= 1; row-- {
+		upper := float64(row) / float64(height)
+		lower := float64(row-1) / float64(height)
+		if row == height {
+			fmt.Fprintf(&b, "%4.2f |", 1.0)
+		} else if row == height/2 {
+			fmt.Fprintf(&b, "%4.2f |", upper)
+		} else {
+			b.WriteString("     |")
+		}
+		for col := 1; col <= width; col++ {
+			p := cdf.At(float64(col) * step)
+			switch {
+			case p >= upper:
+				b.WriteByte('#')
+			case p > lower:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// X axis.
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	axis := fmt.Sprintf("      0%sft", strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", xMax))-3))
+	axis += fmt.Sprintf("%.0f", xMax)
+	b.WriteString(axis)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CDFChart renders the report's error CDF with sensible defaults: the
+// x axis runs to the observed maximum (rounded up to 5 ft).
+func (r *Report) CDFChart() string {
+	cdf := r.ErrorCDF()
+	if cdf == nil {
+		return ""
+	}
+	max := r.MaxError()
+	xMax := 5.0
+	for xMax < max {
+		xMax += 5
+	}
+	return AsciiCDF(cdf, xMax, 60, 10)
+}

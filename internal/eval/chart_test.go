@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+func TestAsciiCDFShape(t *testing.T) {
+	cdf, err := stats.NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := AsciiCDF(cdf, 10, 40, 8)
+	if chart == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	if len(lines) != 10 { // 8 rows + axis + labels
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Monotone: lower rows have lower probability thresholds, so the
+	// filled width can only grow from the top row down.
+	prev := -1
+	for _, line := range lines[:8] {
+		body := line[6:]
+		filled := strings.Count(body, "#") + strings.Count(body, "+")
+		if prev >= 0 && filled < prev {
+			t.Fatalf("CDF not monotone: %d then %d", prev, filled)
+		}
+		prev = filled
+	}
+	// The top row carries the 1.00 label, bottom area the axis.
+	if !strings.HasPrefix(lines[0], "1.00") {
+		t.Errorf("top label: %q", lines[0])
+	}
+	if !strings.Contains(lines[9], "10") {
+		t.Errorf("x label: %q", lines[9])
+	}
+}
+
+func TestAsciiCDFDegenerate(t *testing.T) {
+	if AsciiCDF(nil, 10, 40, 8) != "" {
+		t.Error("nil CDF produced output")
+	}
+	cdf, _ := stats.NewECDF([]float64{1})
+	if AsciiCDF(cdf, 0, 40, 8) != "" {
+		t.Error("zero xMax produced output")
+	}
+	if AsciiCDF(cdf, 10, 2, 8) != "" {
+		t.Error("tiny width produced output")
+	}
+	if AsciiCDF(cdf, 10, 40, 1) != "" {
+		t.Error("tiny height produced output")
+	}
+}
+
+func TestReportCDFChart(t *testing.T) {
+	r := &Report{}
+	if r.CDFChart() != "" {
+		t.Error("empty report produced a chart")
+	}
+	r.Add(Trial{True: geom.Pt(0, 0), Est: geom.Pt(3, 4)})
+	r.Add(Trial{True: geom.Pt(0, 0), Est: geom.Pt(0, 12)})
+	chart := r.CDFChart()
+	if chart == "" {
+		t.Fatal("no chart")
+	}
+	// Axis must reach past the 12 ft max error (rounded to 15).
+	if !strings.Contains(chart, "15") {
+		t.Errorf("axis: %q", chart)
+	}
+}

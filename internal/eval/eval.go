@@ -1,0 +1,193 @@
+// Package eval scores localization runs. It implements the paper's
+// two headline metrics —
+//
+//   - the probabilistic approach's valid-estimation rate ("60% [of]
+//     observations end up with a valid estimation"): an estimate is
+//     valid when the returned training point is the training point
+//     nearest the true position, and
+//   - the geometric approach's average deviation ("the average
+//     deviation ... of the 13 observation[s]"): the mean Euclidean
+//     distance between estimate and truth —
+//
+// plus the error CDF, percentiles and confusion counts used by the
+// ablation experiments.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+// Trial is one observation's outcome.
+type Trial struct {
+	// True is the ground-truth position.
+	True geom.Point
+	// Est is the estimated position.
+	Est geom.Point
+	// EstName is the training-location name the localizer returned
+	// (symbolic methods only).
+	EstName string
+	// WantName is the training location nearest the true position —
+	// the "right answer" for the paper's validity metric.
+	WantName string
+	// Err is set when the localizer failed on this observation.
+	Err error
+}
+
+// Deviation returns the Euclidean error in feet, or 0 for failed
+// trials (use Failed to separate them).
+func (t Trial) Deviation() float64 {
+	if t.Err != nil {
+		return 0
+	}
+	return t.True.Dist(t.Est)
+}
+
+// Valid reports the paper's §5.1 criterion: the symbolic estimate
+// names the training point nearest the truth.
+func (t Trial) Valid() bool {
+	return t.Err == nil && t.EstName != "" && t.EstName == t.WantName
+}
+
+// Report aggregates trials into the paper's metrics.
+type Report struct {
+	Trials []Trial
+}
+
+// Add appends one trial.
+func (r *Report) Add(t Trial) { r.Trials = append(r.Trials, t) }
+
+// N returns the number of trials.
+func (r *Report) N() int { return len(r.Trials) }
+
+// Failures returns how many trials errored.
+func (r *Report) Failures() int {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// deviations collects errors from successful trials.
+func (r *Report) deviations() []float64 {
+	out := make([]float64, 0, len(r.Trials))
+	for _, t := range r.Trials {
+		if t.Err == nil {
+			out = append(out, t.Deviation())
+		}
+	}
+	return out
+}
+
+// MeanError returns the paper's §5.2 metric: mean deviation in feet
+// over successful trials, or 0 when none succeeded.
+func (r *Report) MeanError() float64 { return stats.Mean(r.deviations()) }
+
+// MedianError returns the median deviation over successful trials.
+func (r *Report) MedianError() float64 { return stats.Median(r.deviations()) }
+
+// Percentile returns the p-th percentile deviation.
+func (r *Report) Percentile(p float64) float64 {
+	return stats.Percentile(r.deviations(), p)
+}
+
+// MaxError returns the worst deviation over successful trials.
+func (r *Report) MaxError() float64 {
+	worst := 0.0
+	for _, t := range r.Trials {
+		if t.Err == nil && t.Deviation() > worst {
+			worst = t.Deviation()
+		}
+	}
+	return worst
+}
+
+// ValidRate returns the paper's §5.1 metric: the fraction of all
+// trials (failures count against it) whose symbolic estimate named the
+// nearest training point.
+func (r *Report) ValidRate() float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range r.Trials {
+		if t.Valid() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}
+
+// WithinRate returns the fraction of all trials with deviation at most
+// radius feet — the tolerance-based validity variant.
+func (r *Report) WithinRate(radius float64) float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range r.Trials {
+		if t.Err == nil && t.Deviation() <= radius {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}
+
+// ErrorCDF returns the empirical CDF of deviations over successful
+// trials, or nil when none succeeded.
+func (r *Report) ErrorCDF() *stats.ECDF {
+	ds := r.deviations()
+	if len(ds) == 0 {
+		return nil
+	}
+	e, err := stats.NewECDF(ds)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// Confusion counts symbolic outcomes: how often each true training
+// point was estimated as each name. Keys are "want→got".
+func (r *Report) Confusion() map[string]int {
+	out := make(map[string]int)
+	for _, t := range r.Trials {
+		if t.Err != nil || t.EstName == "" {
+			continue
+		}
+		out[t.WantName+"→"+t.EstName]++
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"n=%d failures=%d valid=%.0f%% mean=%.1fft median=%.1fft p90=%.1fft max=%.1fft",
+		r.N(), r.Failures(), 100*r.ValidRate(),
+		r.MeanError(), r.MedianError(), r.Percentile(90), r.MaxError())
+}
+
+// Table renders the per-trial breakdown, sorted by deviation
+// descending, for experiment logs.
+func (r *Report) Table() string {
+	rows := append([]Trial(nil), r.Trials...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Deviation() > rows[j].Deviation() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-22s %-10s %-14s %s\n", "true", "estimate", "error(ft)", "want", "got")
+	for _, t := range rows {
+		if t.Err != nil {
+			fmt.Fprintf(&b, "%-22v %-22s %-10s %-14s %s\n", t.True, "-", "FAIL", t.WantName, t.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-22v %-22v %-10.1f %-14s %s\n", t.True, t.Est, t.Deviation(), t.WantName, t.EstName)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func sampleReport() *Report {
+	r := &Report{}
+	r.Add(Trial{True: geom.Pt(0, 0), Est: geom.Pt(3, 4), EstName: "a", WantName: "a"})  // 5 ft, valid
+	r.Add(Trial{True: geom.Pt(0, 0), Est: geom.Pt(0, 10), EstName: "b", WantName: "a"}) // 10 ft, invalid
+	r.Add(Trial{True: geom.Pt(0, 0), Est: geom.Pt(0, 0), EstName: "a", WantName: "a"})  // 0 ft, valid
+	r.Add(Trial{True: geom.Pt(0, 0), WantName: "a", Err: errors.New("no signal")})      // failed
+	return r
+}
+
+func TestTrialBasics(t *testing.T) {
+	ok := Trial{True: geom.Pt(0, 0), Est: geom.Pt(3, 4), EstName: "x", WantName: "x"}
+	if ok.Deviation() != 5 {
+		t.Errorf("Deviation = %v", ok.Deviation())
+	}
+	if !ok.Valid() {
+		t.Error("valid trial reported invalid")
+	}
+	bad := Trial{EstName: "x", WantName: "y"}
+	if bad.Valid() {
+		t.Error("wrong name reported valid")
+	}
+	coord := Trial{EstName: "", WantName: "y"}
+	if coord.Valid() {
+		t.Error("coordinate-only estimate cannot be valid")
+	}
+	failed := Trial{Err: errors.New("x"), EstName: "y", WantName: "y"}
+	if failed.Valid() || failed.Deviation() != 0 {
+		t.Error("failed trial mis-scored")
+	}
+}
+
+func TestReportMetrics(t *testing.T) {
+	r := sampleReport()
+	if r.N() != 4 || r.Failures() != 1 {
+		t.Errorf("N=%d failures=%d", r.N(), r.Failures())
+	}
+	if got := r.MeanError(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MeanError = %v", got)
+	}
+	if got := r.MedianError(); got != 5 {
+		t.Errorf("MedianError = %v", got)
+	}
+	if got := r.MaxError(); got != 10 {
+		t.Errorf("MaxError = %v", got)
+	}
+	// 2 valid out of 4 total (failure counts against).
+	if got := r.ValidRate(); got != 0.5 {
+		t.Errorf("ValidRate = %v", got)
+	}
+	if got := r.WithinRate(5); got != 0.5 {
+		t.Errorf("WithinRate(5) = %v", got)
+	}
+	if got := r.WithinRate(100); got != 0.75 {
+		t.Errorf("WithinRate(100) = %v", got)
+	}
+	if got := r.Percentile(0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := r.Percentile(100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := &Report{}
+	if r.ValidRate() != 0 || r.MeanError() != 0 || r.WithinRate(1) != 0 {
+		t.Error("empty report not zero")
+	}
+	if r.ErrorCDF() != nil {
+		t.Error("empty CDF not nil")
+	}
+	allFailed := &Report{}
+	allFailed.Add(Trial{Err: errors.New("x")})
+	if allFailed.ErrorCDF() != nil {
+		t.Error("all-failed CDF not nil")
+	}
+}
+
+func TestErrorCDF(t *testing.T) {
+	r := sampleReport()
+	cdf := r.ErrorCDF()
+	if cdf == nil {
+		t.Fatal("nil CDF")
+	}
+	if got := cdf.At(5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("CDF(5) = %v", got)
+	}
+	if got := cdf.At(10); got != 1 {
+		t.Errorf("CDF(10) = %v", got)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	r := sampleReport()
+	c := r.Confusion()
+	if c["a→a"] != 2 || c["a→b"] != 1 {
+		t.Errorf("Confusion = %v", c)
+	}
+	if len(c) != 2 {
+		t.Errorf("unexpected keys: %v", c)
+	}
+}
+
+func TestStringAndTable(t *testing.T) {
+	r := sampleReport()
+	s := r.String()
+	for _, want := range []string{"n=4", "failures=1", "valid=50%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	table := r.Table()
+	if !strings.Contains(table, "FAIL") {
+		t.Error("Table missing failure row")
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 5 { // header + 4 trials
+		t.Errorf("Table has %d lines", len(lines))
+	}
+	// Sorted by deviation descending: the 10 ft row leads (failures
+	// score 0 and sink).
+	if !strings.Contains(lines[1], "10.0") {
+		t.Errorf("first data row = %q", lines[1])
+	}
+}

@@ -1,0 +1,149 @@
+package filter
+
+import (
+	"math"
+	"sort"
+
+	"indoorloc/internal/geom"
+)
+
+// GridBayes is a discrete Bayes filter over the training grid: the
+// belief is a probability per training point, propagated with a
+// distance-decay motion model and updated with the per-training-point
+// likelihoods that probabilistic localizers expose via their
+// candidates. This is the "Bayesian-filter" the paper's future work
+// names, applied to its own symbolic output space.
+type GridBayes struct {
+	// Points are the training positions, fixed at construction.
+	points []geom.Point
+	names  []string
+	belief []float64
+	// MoveSigma scales the motion model: the probability of hopping
+	// from point i to point j in one step decays as a Gaussian in the
+	// distance between them. Zero means 12 ft.
+	MoveSigma float64
+
+	started bool
+}
+
+// NewGridBayes builds a filter over named training positions. The map
+// iteration order is normalised by sorting names, keeping the belief
+// vector layout deterministic.
+func NewGridBayes(points map[string]geom.Point) *GridBayes {
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	g := &GridBayes{names: names}
+	for _, n := range names {
+		g.points = append(g.points, points[n])
+	}
+	g.belief = make([]float64, len(g.points))
+	return g
+}
+
+// UpdateLikelihood fuses one observation's per-training-point
+// likelihoods (keyed by name; linear scale, need not be normalised)
+// and returns the maximum-a-posteriori name and position, plus the
+// posterior expectation of position. Unknown names are ignored;
+// missing names contribute a small floor likelihood so the belief
+// never collapses to zero.
+func (g *GridBayes) UpdateLikelihood(lik map[string]float64) (name string, mode geom.Point, mean geom.Point) {
+	n := len(g.points)
+	if n == 0 {
+		return "", geom.Point{}, geom.Point{}
+	}
+	if !g.started {
+		for i := range g.belief {
+			g.belief[i] = 1 / float64(n)
+		}
+		g.started = true
+	} else {
+		g.predict()
+	}
+	const floorLik = 1e-12
+	sum := 0.0
+	for i, nm := range g.names {
+		l, ok := lik[nm]
+		if !ok || l <= 0 {
+			l = floorLik
+		}
+		g.belief[i] *= l
+		sum += g.belief[i]
+	}
+	if sum <= 0 {
+		for i := range g.belief {
+			g.belief[i] = 1 / float64(n)
+		}
+		sum = 1
+	} else {
+		for i := range g.belief {
+			g.belief[i] /= sum
+		}
+	}
+	best := 0
+	var ex, ey float64
+	for i, b := range g.belief {
+		if b > g.belief[best] {
+			best = i
+		}
+		ex += b * g.points[i].X
+		ey += b * g.points[i].Y
+	}
+	return g.names[best], g.points[best], geom.Pt(ex, ey)
+}
+
+// predict spreads belief with the Gaussian motion kernel.
+func (g *GridBayes) predict() {
+	sigma := g.MoveSigma
+	if sigma <= 0 {
+		sigma = 12
+	}
+	n := len(g.points)
+	next := make([]float64, n)
+	weights := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if g.belief[j] == 0 {
+			continue
+		}
+		// Kernel weights from j to every i, normalised per source so
+		// each point's mass is conserved (no edge leakage).
+		var wsum float64
+		for i := 0; i < n; i++ {
+			d := g.points[i].Dist(g.points[j])
+			w := math.Exp(-d * d / (2 * sigma * sigma))
+			weights[i] = w
+			wsum += w
+		}
+		if wsum == 0 {
+			next[j] += g.belief[j]
+			continue
+		}
+		for i := 0; i < n; i++ {
+			next[i] += g.belief[j] * weights[i] / wsum
+		}
+	}
+	g.belief = next
+}
+
+// Belief returns the current posterior keyed by name (a copy).
+func (g *GridBayes) Belief() map[string]float64 {
+	out := make(map[string]float64, len(g.names))
+	for i, n := range g.names {
+		out[n] = g.belief[i]
+	}
+	return out
+}
+
+// Reset implements the filter contract: the next update starts from a
+// uniform belief.
+func (g *GridBayes) Reset() {
+	g.started = false
+	for i := range g.belief {
+		g.belief[i] = 0
+	}
+}
+
+// Name identifies the filter.
+func (g *GridBayes) Name() string { return "grid-bayes" }

@@ -1,0 +1,77 @@
+// Package filter implements the client-tracking filters the paper
+// names as future work (§6.2): combining "the historical location
+// value and the current signal strength value to derive the current
+// location", including the Bayesian filtering it calls "more powerful
+// statistic tool[s]".
+//
+// All filters consume a stream of raw position estimates (the output
+// of any localize.Locator applied per observation window) and emit
+// smoothed positions:
+//
+//   - EWMA — exponentially weighted moving average, the simplest
+//     history blend.
+//   - Kalman — 2-D constant-velocity Kalman filter.
+//   - Particle — sequential Monte Carlo with a random-walk motion
+//     model.
+//   - GridBayes — a discrete Bayes filter over the training grid,
+//     consuming the per-training-point posterior that probabilistic
+//     localizers expose through their candidates.
+package filter
+
+import "indoorloc/internal/geom"
+
+// PositionFilter smooths a stream of position estimates.
+type PositionFilter interface {
+	// Update consumes one raw estimate and returns the filtered
+	// position.
+	Update(meas geom.Point) geom.Point
+	// Reset clears history, starting a new track.
+	Reset()
+	// Name identifies the filter for reports.
+	Name() string
+}
+
+// Raw is the identity filter — the no-tracking baseline every ablation
+// compares against.
+type Raw struct{}
+
+// Update implements PositionFilter.
+func (Raw) Update(meas geom.Point) geom.Point { return meas }
+
+// Reset implements PositionFilter.
+func (Raw) Reset() {}
+
+// Name implements PositionFilter.
+func (Raw) Name() string { return "raw" }
+
+// EWMA blends each measurement into a running average:
+// out = α·meas + (1-α)·prev. Smaller α trusts history more.
+type EWMA struct {
+	// Alpha is the blend factor in (0, 1]; zero value behaves as 1
+	// (no smoothing) until SetAlpha or a literal sets it.
+	Alpha float64
+
+	prev    geom.Point
+	started bool
+}
+
+// Update implements PositionFilter.
+func (f *EWMA) Update(meas geom.Point) geom.Point {
+	a := f.Alpha
+	if a <= 0 || a > 1 {
+		a = 1
+	}
+	if !f.started {
+		f.prev = meas
+		f.started = true
+		return meas
+	}
+	f.prev = meas.Scale(a).Add(f.prev.Scale(1 - a))
+	return f.prev
+}
+
+// Reset implements PositionFilter.
+func (f *EWMA) Reset() { f.started = false; f.prev = geom.Point{} }
+
+// Name implements PositionFilter.
+func (f *EWMA) Name() string { return "ewma" }

@@ -1,0 +1,294 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+// walkPath generates a straight walk with Gaussian measurement noise.
+func walkPath(n int, noise float64, seed int64) (truth, meas []geom.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := geom.Pt(5+float64(i)*0.8, 20) // 0.8 ft per step along y=20
+		truth = append(truth, p)
+		meas = append(meas, geom.Pt(
+			p.X+rng.NormFloat64()*noise,
+			p.Y+rng.NormFloat64()*noise,
+		))
+	}
+	return truth, meas
+}
+
+func rmse(truth, est []geom.Point) float64 {
+	s := 0.0
+	for i := range truth {
+		d := truth[i].Dist(est[i])
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(truth)))
+}
+
+func runFilter(f PositionFilter, meas []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(meas))
+	for i, m := range meas {
+		out[i] = f.Update(m)
+	}
+	return out
+}
+
+func TestRawIdentity(t *testing.T) {
+	var f Raw
+	if f.Name() != "raw" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	p := geom.Pt(3, 4)
+	if f.Update(p) != p {
+		t.Error("raw filter changed the measurement")
+	}
+	f.Reset() // must not panic
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	truth, meas := walkPath(60, 5, 1)
+	f := &EWMA{Alpha: 0.3}
+	if f.Name() != "ewma" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	est := runFilter(f, meas)
+	if rmse(truth, est) >= rmse(truth, meas) {
+		t.Errorf("EWMA did not reduce RMSE: %.2f vs %.2f",
+			rmse(truth, est), rmse(truth, meas))
+	}
+	// First output is the first measurement.
+	if est[0] != meas[0] {
+		t.Error("first output should pass through")
+	}
+}
+
+func TestEWMAAlphaOneIsIdentity(t *testing.T) {
+	_, meas := walkPath(10, 3, 2)
+	f := &EWMA{Alpha: 1}
+	est := runFilter(f, meas)
+	for i := range meas {
+		if est[i] != meas[i] {
+			t.Fatalf("alpha=1 changed measurement %d", i)
+		}
+	}
+	// Zero alpha defaults to identity too (documented zero-value rule).
+	f2 := &EWMA{}
+	est2 := runFilter(f2, meas)
+	for i := range meas {
+		if est2[i] != meas[i] {
+			t.Fatalf("alpha=0 changed measurement %d", i)
+		}
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	f := &EWMA{Alpha: 0.2}
+	f.Update(geom.Pt(100, 100))
+	f.Reset()
+	p := geom.Pt(0, 0)
+	if got := f.Update(p); got != p {
+		t.Errorf("after reset first update = %v", got)
+	}
+}
+
+func TestKalmanSmoothing(t *testing.T) {
+	truth, meas := walkPath(100, 5, 3)
+	f := &Kalman{Dt: 1, ProcessNoise: 0.5, MeasurementNoise: 5}
+	if f.Name() != "kalman" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	est := runFilter(f, meas)
+	if rmse(truth, est) >= rmse(truth, meas)*0.8 {
+		t.Errorf("Kalman gain too small: %.2f vs raw %.2f",
+			rmse(truth, est), rmse(truth, meas))
+	}
+}
+
+func TestKalmanTracksVelocity(t *testing.T) {
+	// Noise-free constant-velocity walk: the filter must learn the
+	// velocity and track with vanishing error.
+	f := &Kalman{Dt: 1, ProcessNoise: 0.1, MeasurementNoise: 1}
+	var last geom.Point
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(float64(i)*2, float64(i)*-1)
+		last = f.Update(p)
+	}
+	want := geom.Pt(199*2, -199)
+	if last.Dist(want) > 1 {
+		t.Errorf("converged to %v, want %v", last, want)
+	}
+	v := f.Velocity()
+	if math.Abs(v.X-2) > 0.2 || math.Abs(v.Y-(-1)) > 0.2 {
+		t.Errorf("velocity = %v, want (2,-1)", v)
+	}
+}
+
+func TestKalmanDefaultsAndReset(t *testing.T) {
+	f := &Kalman{} // all defaults
+	p := geom.Pt(10, 10)
+	if got := f.Update(p); got != p {
+		t.Error("first update should pass through")
+	}
+	f.Update(geom.Pt(11, 10))
+	f.Reset()
+	if got := f.Update(geom.Pt(0, 0)); got != geom.Pt(0, 0) {
+		t.Errorf("after reset = %v", got)
+	}
+}
+
+func TestParticleSmoothing(t *testing.T) {
+	truth, meas := walkPath(80, 5, 4)
+	f := &Particle{
+		N: 800, MotionSigma: 1.5, MeasurementSigma: 5,
+		Rng: rand.New(rand.NewSource(8)),
+	}
+	if f.Name() != "particle" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	est := runFilter(f, meas)
+	if rmse(truth, est) >= rmse(truth, meas) {
+		t.Errorf("particle filter did not reduce RMSE: %.2f vs %.2f",
+			rmse(truth, est), rmse(truth, meas))
+	}
+}
+
+func TestParticleDeterministicDefaultSeed(t *testing.T) {
+	_, meas := walkPath(20, 3, 5)
+	a := runFilter(&Particle{}, meas)
+	b := runFilter(&Particle{}, meas)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("default-seeded particle filter not reproducible")
+		}
+	}
+}
+
+func TestParticleBounds(t *testing.T) {
+	bounds := geom.RectWH(0, 0, 50, 40)
+	f := &Particle{
+		N: 300, Bounds: bounds, MeasurementSigma: 4,
+		Rng: rand.New(rand.NewSource(3)),
+	}
+	// Measurements outside the floor: estimates stay inside.
+	for i := 0; i < 20; i++ {
+		got := f.Update(geom.Pt(-30, 100))
+		if !bounds.Contains(got) {
+			t.Fatalf("estimate %v escaped bounds", got)
+		}
+	}
+}
+
+func TestParticleReset(t *testing.T) {
+	f := &Particle{Rng: rand.New(rand.NewSource(2))}
+	f.Update(geom.Pt(100, 100))
+	f.Reset()
+	got := f.Update(geom.Pt(0, 0))
+	if got.Norm() > 2 {
+		t.Errorf("after reset estimate %v not near new measurement", got)
+	}
+}
+
+func gridPoints() map[string]geom.Point {
+	pts := make(map[string]geom.Point)
+	for gx := 0; gx <= 5; gx++ {
+		for gy := 0; gy <= 4; gy++ {
+			pts[pointName(gx, gy)] = geom.Pt(float64(gx*10), float64(gy*10))
+		}
+	}
+	return pts
+}
+
+func pointName(gx, gy int) string {
+	return string(rune('a'+gx)) + string(rune('0'+gy))
+}
+
+func TestGridBayesConvergence(t *testing.T) {
+	g := NewGridBayes(gridPoints())
+	if g.Name() != "grid-bayes" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// Repeated strong evidence for c2 (= (20, 20)) must dominate.
+	lik := map[string]float64{pointName(2, 2): 1.0, pointName(3, 2): 0.2}
+	var name string
+	var mode geom.Point
+	for i := 0; i < 5; i++ {
+		name, mode, _ = g.UpdateLikelihood(lik)
+	}
+	if name != pointName(2, 2) || mode != geom.Pt(20, 20) {
+		t.Errorf("converged to %q %v", name, mode)
+	}
+	b := g.Belief()
+	if b[pointName(2, 2)] < 0.5 {
+		t.Errorf("belief at true point = %v", b[pointName(2, 2)])
+	}
+	// Posterior sums to 1.
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("belief sums to %v", sum)
+	}
+}
+
+func TestGridBayesSmoothsJumps(t *testing.T) {
+	g := NewGridBayes(gridPoints())
+	g.MoveSigma = 8
+	// Establish position at a0 = (0,0).
+	at := func(n string) map[string]float64 { return map[string]float64{n: 1.0} }
+	for i := 0; i < 4; i++ {
+		g.UpdateLikelihood(at(pointName(0, 0)))
+	}
+	// One contradictory flash of evidence across the house, weaker than
+	// certainty: ambiguous likelihood split 60/40 toward the far point.
+	lik := map[string]float64{
+		pointName(5, 4): 0.6,
+		pointName(0, 0): 0.4,
+	}
+	name, _, mean := g.UpdateLikelihood(lik)
+	// History should hold the belief near a0: the motion model says a
+	// 64-ft hop in one step is implausible.
+	if name != pointName(0, 0) {
+		t.Errorf("one ambiguous flash moved the MAP to %q", name)
+	}
+	if mean.Dist(geom.Pt(0, 0)) > mean.Dist(geom.Pt(50, 40)) {
+		t.Error("posterior mean jumped across the house")
+	}
+}
+
+func TestGridBayesUnknownAndMissingNames(t *testing.T) {
+	g := NewGridBayes(gridPoints())
+	// Unknown names ignored; missing names floored, not zeroed.
+	name, _, _ := g.UpdateLikelihood(map[string]float64{"nonexistent": 5})
+	if name == "" {
+		t.Error("no MAP returned")
+	}
+	b := g.Belief()
+	for n, v := range b {
+		if v < 0 {
+			t.Errorf("negative belief at %s", n)
+		}
+	}
+}
+
+func TestGridBayesEmptyAndReset(t *testing.T) {
+	empty := NewGridBayes(nil)
+	if name, _, _ := empty.UpdateLikelihood(map[string]float64{"x": 1}); name != "" {
+		t.Error("empty filter returned a name")
+	}
+	g := NewGridBayes(gridPoints())
+	g.UpdateLikelihood(map[string]float64{pointName(1, 1): 1})
+	g.Reset()
+	// After reset the belief restarts uniform: a single weak update
+	// should make that point the MAP again without history.
+	name, _, _ := g.UpdateLikelihood(map[string]float64{pointName(4, 3): 0.01})
+	if name != pointName(4, 3) {
+		t.Errorf("after reset MAP = %q", name)
+	}
+}

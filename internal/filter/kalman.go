@@ -1,0 +1,91 @@
+package filter
+
+import "indoorloc/internal/geom"
+
+// Kalman is a 2-D constant-velocity Kalman filter. The state is
+// [x, y, vx, vy]; measurements are positions. Because the x and y
+// dynamics are independent and identical, the filter runs two
+// decoupled 2-state (position, velocity) filters, which keeps the
+// algebra exact and allocation-free.
+type Kalman struct {
+	// Dt is the time step between updates in seconds (the paper's
+	// observation windows). Zero value means 1.
+	Dt float64
+	// ProcessNoise is the acceleration noise density (feet/s²);
+	// zero value means 1.
+	ProcessNoise float64
+	// MeasurementNoise is the standard deviation of position
+	// measurements in feet; zero value means 5 (a typical RSSI
+	// localization error).
+	MeasurementNoise float64
+
+	x, y    axis1D
+	started bool
+}
+
+// axis1D is a position+velocity Kalman filter along one axis.
+type axis1D struct {
+	pos, vel      float64
+	p11, p12, p22 float64 // covariance (symmetric)
+}
+
+// Update implements PositionFilter.
+func (k *Kalman) Update(meas geom.Point) geom.Point {
+	dt := k.Dt
+	if dt <= 0 {
+		dt = 1
+	}
+	q := k.ProcessNoise
+	if q <= 0 {
+		q = 1
+	}
+	r := k.MeasurementNoise
+	if r <= 0 {
+		r = 5
+	}
+	if !k.started {
+		k.x = axis1D{pos: meas.X, p11: r * r, p22: 100}
+		k.y = axis1D{pos: meas.Y, p11: r * r, p22: 100}
+		k.started = true
+		return meas
+	}
+	k.x.step(meas.X, dt, q, r)
+	k.y.step(meas.Y, dt, q, r)
+	return geom.Pt(k.x.pos, k.y.pos)
+}
+
+// step runs one predict+update cycle along one axis.
+func (a *axis1D) step(z, dt, q, r float64) {
+	// Predict: x' = F x with F = [1 dt; 0 1].
+	a.pos += a.vel * dt
+	// P' = F P Fᵀ + Q, Q from white acceleration noise.
+	dt2 := dt * dt
+	dt3 := dt2 * dt
+	dt4 := dt2 * dt2
+	p11 := a.p11 + 2*dt*a.p12 + dt2*a.p22 + q*dt4/4
+	p12 := a.p12 + dt*a.p22 + q*dt3/2
+	p22 := a.p22 + q*dt2
+	// Update with measurement z of position (H = [1 0]).
+	s := p11 + r*r
+	k1 := p11 / s
+	k2 := p12 / s
+	innov := z - a.pos
+	a.pos += k1 * innov
+	a.vel += k2 * innov
+	a.p11 = (1 - k1) * p11
+	a.p12 = (1 - k1) * p12
+	a.p22 = p22 - k2*p12
+}
+
+// Velocity returns the current velocity estimate in feet per second.
+func (k *Kalman) Velocity() geom.Point { return geom.Pt(k.x.vel, k.y.vel) }
+
+// Reset implements PositionFilter.
+func (k *Kalman) Reset() {
+	k.x = axis1D{}
+	k.y = axis1D{}
+	k.started = false
+}
+
+// Name implements PositionFilter.
+func (k *Kalman) Name() string { return "kalman" }

@@ -1,0 +1,156 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+// Particle is a sequential Monte Carlo (particle) filter with a
+// random-walk motion model: particles diffuse by MotionSigma each
+// step, are reweighted by a Gaussian measurement likelihood around the
+// raw estimate, and systematically resampled when the effective sample
+// size collapses. The filtered position is the weighted particle mean.
+type Particle struct {
+	// N is the particle count; zero value means 500.
+	N int
+	// MotionSigma is the per-step diffusion in feet; zero means 3.
+	MotionSigma float64
+	// MeasurementSigma is the measurement noise in feet; zero means 6.
+	MeasurementSigma float64
+	// Bounds, when non-zero, clamps particles into the floor area.
+	Bounds geom.Rect
+	// Rng supplies randomness; nil means a fixed-seed source, keeping
+	// runs reproducible by default.
+	Rng *rand.Rand
+
+	xs, ys, ws []float64
+	started    bool
+}
+
+func (f *Particle) rng() *rand.Rand {
+	if f.Rng == nil {
+		f.Rng = rand.New(rand.NewSource(1))
+	}
+	return f.Rng
+}
+
+func (f *Particle) n() int {
+	if f.N <= 0 {
+		return 500
+	}
+	return f.N
+}
+
+// Update implements PositionFilter.
+func (f *Particle) Update(meas geom.Point) geom.Point {
+	n := f.n()
+	motion := f.MotionSigma
+	if motion <= 0 {
+		motion = 3
+	}
+	msigma := f.MeasurementSigma
+	if msigma <= 0 {
+		msigma = 6
+	}
+	rng := f.rng()
+	if !f.started {
+		// Initialise the cloud around the first measurement.
+		f.xs = make([]float64, n)
+		f.ys = make([]float64, n)
+		f.ws = make([]float64, n)
+		for i := 0; i < n; i++ {
+			f.xs[i] = meas.X + rng.NormFloat64()*msigma
+			f.ys[i] = meas.Y + rng.NormFloat64()*msigma
+			f.ws[i] = 1 / float64(n)
+		}
+		f.clampAll()
+		f.started = true
+		return f.mean()
+	}
+	// Motion: random-walk diffusion.
+	for i := 0; i < n; i++ {
+		f.xs[i] += rng.NormFloat64() * motion
+		f.ys[i] += rng.NormFloat64() * motion
+	}
+	f.clampAll()
+	// Measurement update.
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		dx := f.xs[i] - meas.X
+		dy := f.ys[i] - meas.Y
+		w := f.ws[i] * stats.GaussianPDF(math.Hypot(dx, dy), 0, msigma)
+		f.ws[i] = w
+		sum += w
+	}
+	if sum <= 0 {
+		// Degenerate: all particles impossibly far. Reseed at the
+		// measurement rather than dividing by zero.
+		f.started = false
+		return f.Update(meas)
+	}
+	ess := 0.0
+	for i := 0; i < n; i++ {
+		f.ws[i] /= sum
+		ess += f.ws[i] * f.ws[i]
+	}
+	if 1/ess < float64(n)/2 {
+		f.resample()
+	}
+	return f.mean()
+}
+
+// mean returns the weighted particle centroid.
+func (f *Particle) mean() geom.Point {
+	var x, y float64
+	for i := range f.xs {
+		x += f.ws[i] * f.xs[i]
+		y += f.ws[i] * f.ys[i]
+	}
+	return geom.Pt(x, y)
+}
+
+// resample performs systematic (low-variance) resampling.
+func (f *Particle) resample() {
+	n := len(f.xs)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	step := 1 / float64(n)
+	u := f.rng().Float64() * step
+	cum := f.ws[0]
+	j := 0
+	for i := 0; i < n; i++ {
+		for u > cum && j < n-1 {
+			j++
+			cum += f.ws[j]
+		}
+		xs[i] = f.xs[j]
+		ys[i] = f.ys[j]
+		u += step
+	}
+	f.xs, f.ys = xs, ys
+	for i := range f.ws {
+		f.ws[i] = step
+	}
+}
+
+func (f *Particle) clampAll() {
+	if f.Bounds.Width() == 0 && f.Bounds.Height() == 0 {
+		return
+	}
+	for i := range f.xs {
+		p := f.Bounds.Clamp(geom.Pt(f.xs[i], f.ys[i]))
+		f.xs[i], f.ys[i] = p.X, p.Y
+	}
+}
+
+// Reset implements PositionFilter.
+func (f *Particle) Reset() {
+	f.xs, f.ys, f.ws = nil, nil, nil
+	f.started = false
+}
+
+// Name implements PositionFilter.
+func (f *Particle) Name() string { return "particle" }

@@ -1,0 +1,130 @@
+package filter
+
+import "indoorloc/internal/geom"
+
+// SmoothPath runs a Rauch–Tung–Striebel smoother over a complete
+// measurement sequence: a forward constant-velocity Kalman pass
+// followed by a backward pass that conditions every state on the whole
+// track. Unlike the online filters, the smoother sees the future, so
+// it is the right tool for after-the-fact analysis — replaying a
+// surveillance log, cleaning a survey walk, or grading a tracking
+// experiment's ceiling.
+//
+// Parameters match Kalman: dt between measurements, process noise q
+// (feet/s² white acceleration) and measurement noise r (feet, std
+// dev). Non-positive values take the Kalman defaults. The returned
+// slice has one smoothed position per measurement.
+func SmoothPath(meas []geom.Point, dt, q, r float64) []geom.Point {
+	n := len(meas)
+	if n == 0 {
+		return nil
+	}
+	if dt <= 0 {
+		dt = 1
+	}
+	if q <= 0 {
+		q = 1
+	}
+	if r <= 0 {
+		r = 5
+	}
+	xs := smoothAxis1D(collect(meas, func(p geom.Point) float64 { return p.X }), dt, q, r)
+	ys := smoothAxis1D(collect(meas, func(p geom.Point) float64 { return p.Y }), dt, q, r)
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(xs[i], ys[i])
+	}
+	return out
+}
+
+func collect(pts []geom.Point, f func(geom.Point) float64) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// axisState is one filtered step's state and covariance along an axis.
+type axisState struct {
+	pos, vel      float64
+	p11, p12, p22 float64
+}
+
+// smoothAxis1D runs forward filtering then RTS backward smoothing for
+// one axis.
+func smoothAxis1D(z []float64, dt, q, r float64) []float64 {
+	n := len(z)
+	// Forward pass, storing predicted and filtered states.
+	filtered := make([]axisState, n)
+	predicted := make([]axisState, n) // prior at step i (before update)
+	var s axisState
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			predicted[0] = axisState{pos: z[0], p11: r * r, p22: 100}
+		} else {
+			// Predict.
+			dt2 := dt * dt
+			dt3 := dt2 * dt
+			dt4 := dt2 * dt2
+			predicted[i] = axisState{
+				pos: s.pos + s.vel*dt,
+				vel: s.vel,
+				p11: s.p11 + 2*dt*s.p12 + dt2*s.p22 + q*dt4/4,
+				p12: s.p12 + dt*s.p22 + q*dt3/2,
+				p22: s.p22 + q*dt2,
+			}
+		}
+		// Update.
+		pr := predicted[i]
+		denom := pr.p11 + r*r
+		k1 := pr.p11 / denom
+		k2 := pr.p12 / denom
+		innov := z[i] - pr.pos
+		s = axisState{
+			pos: pr.pos + k1*innov,
+			vel: pr.vel + k2*innov,
+			p11: (1 - k1) * pr.p11,
+			p12: (1 - k1) * pr.p12,
+			p22: pr.p22 - k2*pr.p12,
+		}
+		filtered[i] = s
+	}
+	// Backward RTS pass.
+	smoothed := make([]axisState, n)
+	smoothed[n-1] = filtered[n-1]
+	for i := n - 2; i >= 0; i-- {
+		f := filtered[i]
+		pr := predicted[i+1]
+		// Smoother gain G = P_f Fᵀ P_pred⁻¹ for the 2-state model.
+		// F = [1 dt; 0 1]; P_f Fᵀ rows:
+		a11 := f.p11 + dt*f.p12
+		a12 := f.p12
+		a21 := f.p12 + dt*f.p22
+		a22 := f.p22
+		det := pr.p11*pr.p22 - pr.p12*pr.p12
+		if det == 0 {
+			smoothed[i] = f
+			continue
+		}
+		// inv(P_pred)
+		i11 := pr.p22 / det
+		i12 := -pr.p12 / det
+		i22 := pr.p11 / det
+		g11 := a11*i11 + a12*i12
+		g12 := a11*i12 + a12*i22
+		g21 := a21*i11 + a22*i12
+		g22 := a21*i12 + a22*i22
+		dp := smoothed[i+1].pos - pr.pos
+		dv := smoothed[i+1].vel - pr.vel
+		smoothed[i] = axisState{
+			pos: f.pos + g11*dp + g12*dv,
+			vel: f.vel + g21*dp + g22*dv,
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = smoothed[i].pos
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func TestSmoothPathDegenerate(t *testing.T) {
+	if SmoothPath(nil, 1, 1, 5) != nil {
+		t.Error("nil input produced output")
+	}
+	one := SmoothPath([]geom.Point{geom.Pt(3, 4)}, 1, 1, 5)
+	if len(one) != 1 || one[0].Dist(geom.Pt(3, 4)) > 1 {
+		t.Errorf("single point: %v", one)
+	}
+}
+
+func TestSmoothPathBeatsOnlineKalman(t *testing.T) {
+	truth, meas := walkPath(120, 5, 11)
+	online := runFilter(&Kalman{Dt: 1, ProcessNoise: 0.5, MeasurementNoise: 5}, meas)
+	smoothed := SmoothPath(meas, 1, 0.5, 5)
+	if len(smoothed) != len(truth) {
+		t.Fatalf("%d smoothed points", len(smoothed))
+	}
+	onlineErr := rmse(truth, online)
+	smoothErr := rmse(truth, smoothed)
+	rawErr := rmse(truth, meas)
+	if smoothErr >= onlineErr {
+		t.Errorf("smoother (%.2f) not better than online Kalman (%.2f)", smoothErr, onlineErr)
+	}
+	if smoothErr >= rawErr {
+		t.Errorf("smoother (%.2f) not better than raw (%.2f)", smoothErr, rawErr)
+	}
+}
+
+func TestSmoothPathNoiseFreeIsNearExact(t *testing.T) {
+	// A clean constant-velocity track should pass through nearly
+	// unchanged.
+	var meas []geom.Point
+	for i := 0; i < 50; i++ {
+		meas = append(meas, geom.Pt(float64(i)*2, float64(i)))
+	}
+	smoothed := SmoothPath(meas, 1, 0.5, 3)
+	worst := 0.0
+	for i := range meas {
+		if d := smoothed[i].Dist(meas[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("clean track distorted by %.2f ft", worst)
+	}
+}
+
+func TestSmoothPathEndpointsAnchored(t *testing.T) {
+	truth, meas := walkPath(60, 4, 13)
+	smoothed := SmoothPath(meas, 1, 0.5, 4)
+	// The last smoothed state equals the last filtered state; both ends
+	// should still be in the neighbourhood of the truth.
+	if d := smoothed[len(smoothed)-1].Dist(truth[len(truth)-1]); d > 12 {
+		t.Errorf("end drifted %.1f ft", d)
+	}
+	if d := smoothed[0].Dist(truth[0]); d > 12 {
+		t.Errorf("start drifted %.1f ft", d)
+	}
+}
+
+func TestSmoothPathDefaults(t *testing.T) {
+	_, meas := walkPath(20, 3, 14)
+	// Zero parameters take defaults without NaNs.
+	smoothed := SmoothPath(meas, 0, 0, 0)
+	for i, p := range smoothed {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("NaN at %d", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"image"
+)
+
+// RemoveAP deletes the first AP marker with the given name, returning
+// false when none matches.
+func (p *Plan) RemoveAP(name string) bool {
+	for i, m := range p.APs {
+		if m.Name == name {
+			p.APs = append(p.APs[:i], p.APs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveLocation deletes the first named location matching name,
+// returning false when none matches.
+func (p *Plan) RemoveLocation(name string) bool {
+	for i, m := range p.Locations {
+		if m.Name == name {
+			p.Locations = append(p.Locations[:i], p.Locations[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RenameLocation changes a location's name, preserving its pixel. It
+// fails when the old name is absent, the new name is empty, or the new
+// name already exists (location names key training data, so collisions
+// would corrupt downstream joins).
+func (p *Plan) RenameLocation(oldName, newName string) error {
+	if newName == "" {
+		return errors.New("floorplan: new location name is empty")
+	}
+	if oldName == newName {
+		return nil
+	}
+	for _, m := range p.Locations {
+		if m.Name == newName {
+			return fmt.Errorf("floorplan: location %q already exists", newName)
+		}
+	}
+	for i, m := range p.Locations {
+		if m.Name == oldName {
+			p.Locations[i].Name = newName
+			return nil
+		}
+	}
+	return fmt.Errorf("floorplan: no location %q", oldName)
+}
+
+// ClearWalls removes every wall segment.
+func (p *Plan) ClearWalls() { p.Walls = nil }
+
+// Validate checks the plan's internal consistency: a usable scale when
+// any annotations exist, unique location names, and in-bounds pixels
+// when an image is attached. It returns nil for an un-annotated plan.
+func (p *Plan) Validate() error {
+	if (len(p.APs) > 0 || len(p.Locations) > 0) && p.FeetPerPixel == 0 {
+		return ErrNoScale
+	}
+	seen := make(map[string]bool, len(p.Locations))
+	for _, m := range p.Locations {
+		if m.Name == "" {
+			return errors.New("floorplan: unnamed location marker")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("floorplan: duplicate location %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if p.img != nil {
+		// The closed rectangle is allowed: operators click the far edge
+		// of the image for corners and origins, which image.Rectangle's
+		// half-open convention would otherwise reject.
+		b := p.img.Bounds()
+		inside := func(px image.Point) bool {
+			return px.X >= b.Min.X && px.X <= b.Max.X &&
+				px.Y >= b.Min.Y && px.Y <= b.Max.Y
+		}
+		for _, m := range p.APs {
+			if !inside(m.Pixel) {
+				return fmt.Errorf("floorplan: AP %q pixel %v outside image %v", m.Name, m.Pixel, b)
+			}
+		}
+		for _, m := range p.Locations {
+			if !inside(m.Pixel) {
+				return fmt.Errorf("floorplan: location %q pixel %v outside image %v", m.Name, m.Pixel, b)
+			}
+		}
+	}
+	return nil
+}

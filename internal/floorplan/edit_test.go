@@ -1,0 +1,108 @@
+package floorplan
+
+import (
+	"image"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func TestRemoveAP(t *testing.T) {
+	p := annotatedPlan(t)
+	if p.RemoveAP("ghost") {
+		t.Error("removed nonexistent AP")
+	}
+	if !p.RemoveAP("A") {
+		t.Fatal("failed to remove A")
+	}
+	if len(p.APs) != 1 || p.APs[0].Name != "AP-2" {
+		t.Errorf("APs = %v", p.APs)
+	}
+}
+
+func TestRemoveLocation(t *testing.T) {
+	p := annotatedPlan(t)
+	if p.RemoveLocation("attic") {
+		t.Error("removed nonexistent location")
+	}
+	if !p.RemoveLocation("kitchen") {
+		t.Fatal("failed to remove kitchen")
+	}
+	if len(p.Locations) != 0 {
+		t.Errorf("Locations = %v", p.Locations)
+	}
+}
+
+func TestRenameLocation(t *testing.T) {
+	p := annotatedPlan(t)
+	p.AddLocation("pantry", image.Pt(2, 2))
+	if err := p.RenameLocation("kitchen", ""); err == nil {
+		t.Error("empty new name accepted")
+	}
+	if err := p.RenameLocation("kitchen", "pantry"); err == nil {
+		t.Error("collision accepted")
+	}
+	if err := p.RenameLocation("ghost", "x"); err == nil {
+		t.Error("renaming ghost accepted")
+	}
+	if err := p.RenameLocation("kitchen", "kitchen"); err != nil {
+		t.Errorf("no-op rename failed: %v", err)
+	}
+	if err := p.RenameLocation("kitchen", "scullery"); err != nil {
+		t.Fatal(err)
+	}
+	names := p.LocationNames()
+	if len(names) != 2 || names[0] != "pantry" || names[1] != "scullery" {
+		t.Errorf("names = %v", names)
+	}
+	// Pixel preserved.
+	for _, m := range p.Locations {
+		if m.Name == "scullery" && m.Pixel != image.Pt(1, 1) {
+			t.Errorf("pixel moved: %v", m.Pixel)
+		}
+	}
+}
+
+func TestClearWalls(t *testing.T) {
+	p := annotatedPlan(t)
+	p.AddWall(geom.Seg(geom.Pt(0, 0), geom.Pt(10, 10)))
+	p.ClearWalls()
+	if len(p.Walls) != 0 {
+		t.Error("walls survived")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Bare plan: fine.
+	if err := New("bare").Validate(); err != nil {
+		t.Errorf("bare plan: %v", err)
+	}
+	// Annotations without scale: rejected.
+	noScale := New("x")
+	noScale.AddAP("A", image.Pt(1, 1))
+	if err := noScale.Validate(); err != ErrNoScale {
+		t.Errorf("no scale: %v", err)
+	}
+	// Healthy plan passes.
+	p := annotatedPlan(t)
+	if err := p.Validate(); err != nil {
+		t.Errorf("healthy plan: %v", err)
+	}
+	// Duplicate location names.
+	p.Locations = append(p.Locations, p.Locations[0])
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate locations accepted")
+	}
+	// Out-of-image pixel.
+	p2 := annotatedPlan(t)
+	p2.AddAP("far", image.Pt(999, 999))
+	if err := p2.Validate(); err == nil {
+		t.Error("out-of-image AP accepted")
+	}
+	// Unnamed location marker (forced directly).
+	p3 := annotatedPlan(t)
+	p3.Locations[0].Name = ""
+	if err := p3.Validate(); err == nil {
+		t.Error("unnamed location accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package floorplan models the annotated floor plan at the heart of
+// the toolkit's Floor Plan Processor. A Plan wraps a scanned GIF image
+// of the physical space and carries the six annotations the paper's
+// GUI collects:
+//
+//  1. the floor-plan image itself (GIF),
+//  2. access-point positions (clicked pixels),
+//  3. the image scale (two clicked pixels plus the real distance
+//     between them),
+//  4. the point of origin (a clicked pixel),
+//  5. named locations, and
+//  6. a save format carrying all of the above.
+//
+// Pixel coordinates are what the operator clicks; the scale and origin
+// convert them to the plan's real-world frame (feet, +X right and
+// +Y up, so the world frame is right-handed even though image rows
+// grow downward). Walls are an extension beyond the paper's GUI —
+// they let the same file drive the RF simulator.
+package floorplan
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image"
+	"image/gif"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/units"
+)
+
+// Marker is a named, clicked pixel.
+type Marker struct {
+	Name  string      `json:"name"`
+	Pixel image.Point `json:"pixel"`
+}
+
+// Plan is an annotated floor plan.
+type Plan struct {
+	// Name labels the plan ("experiment house").
+	Name string
+	// FeetPerPixel is the image scale; zero means not yet set.
+	FeetPerPixel float64
+	// Origin is the pixel representing world (0, 0).
+	Origin image.Point
+	// APs are the access-point markers.
+	APs []Marker
+	// Locations are the named application-level locations.
+	Locations []Marker
+	// Walls are wall segments in world coordinates (extension).
+	Walls []geom.Segment
+	// Rooms are named polygonal regions in world coordinates
+	// (extension); see AddRoom/RoomAt.
+	Rooms []Room
+
+	img       *image.Paletted
+	gifFrames *gif.GIF
+}
+
+// New returns an empty plan with the given name.
+func New(name string) *Plan { return &Plan{Name: name} }
+
+// Errors reported by Plan operations.
+var (
+	ErrNoImage     = errors.New("floorplan: no image loaded")
+	ErrNoScale     = errors.New("floorplan: scale not set")
+	ErrZeroScale   = errors.New("floorplan: the two scale points coincide")
+	ErrBadDistance = errors.New("floorplan: real distance must be positive and finite")
+)
+
+// LoadImage attaches a GIF image from r — the Processor's "load the
+// floor plan GIF image" function. Currently only GIF format is
+// accepted, matching the paper's tool.
+func (p *Plan) LoadImage(r io.Reader) error {
+	g, err := gif.DecodeAll(r)
+	if err != nil {
+		return fmt.Errorf("floorplan: decoding GIF: %w", err)
+	}
+	if len(g.Image) == 0 {
+		return errors.New("floorplan: GIF has no frames")
+	}
+	p.gifFrames = g
+	p.img = g.Image[0]
+	return nil
+}
+
+// LoadImageFile attaches a GIF from disk.
+func (p *Plan) LoadImageFile(path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("floorplan: %w", err)
+	}
+	defer fh.Close()
+	return p.LoadImage(fh)
+}
+
+// SetImage attaches an in-memory paletted image directly (used by the
+// blueprint generator, bypassing GIF encode/decode).
+func (p *Plan) SetImage(img *image.Paletted) {
+	p.img = img
+	p.gifFrames = &gif.GIF{Image: []*image.Paletted{img}, Delay: []int{0}}
+}
+
+// Image returns the plan's image, or nil when none is loaded.
+func (p *Plan) Image() *image.Paletted { return p.img }
+
+// HasImage reports whether an image is attached.
+func (p *Plan) HasImage() bool { return p.img != nil }
+
+// SetScale implements the Processor's "set the scale" function: the
+// operator clicks two pixels and states the real distance between
+// them.
+func (p *Plan) SetScale(a, b image.Point, realDist units.Feet) error {
+	if realDist <= 0 || math.IsInf(float64(realDist), 0) || math.IsNaN(float64(realDist)) {
+		return ErrBadDistance
+	}
+	dx := float64(b.X - a.X)
+	dy := float64(b.Y - a.Y)
+	px := math.Hypot(dx, dy)
+	if px == 0 {
+		return ErrZeroScale
+	}
+	p.FeetPerPixel = float64(realDist) / px
+	return nil
+}
+
+// SetOrigin implements the Processor's "set the point of origin".
+func (p *Plan) SetOrigin(px image.Point) { p.Origin = px }
+
+// AddAP implements "add access points": name may be empty, in which
+// case a sequential name is assigned.
+func (p *Plan) AddAP(name string, px image.Point) {
+	if name == "" {
+		name = fmt.Sprintf("AP-%d", len(p.APs)+1)
+	}
+	p.APs = append(p.APs, Marker{Name: name, Pixel: px})
+}
+
+// AddLocation implements "add location names".
+func (p *Plan) AddLocation(name string, px image.Point) error {
+	if name == "" {
+		return errors.New("floorplan: location needs a name")
+	}
+	p.Locations = append(p.Locations, Marker{Name: name, Pixel: px})
+	return nil
+}
+
+// AddWall records a wall segment in world coordinates (extension).
+func (p *Plan) AddWall(s geom.Segment) { p.Walls = append(p.Walls, s) }
+
+// ToWorld converts a clicked pixel to plan-frame feet. The world frame
+// is right-handed: image rows grow downward, so Y is negated.
+func (p *Plan) ToWorld(px image.Point) (geom.Point, error) {
+	if p.FeetPerPixel == 0 {
+		return geom.Point{}, ErrNoScale
+	}
+	return geom.Pt(
+		float64(px.X-p.Origin.X)*p.FeetPerPixel,
+		float64(p.Origin.Y-px.Y)*p.FeetPerPixel,
+	), nil
+}
+
+// ToPixel converts a world point to the nearest pixel.
+func (p *Plan) ToPixel(w geom.Point) (image.Point, error) {
+	if p.FeetPerPixel == 0 {
+		return image.Point{}, ErrNoScale
+	}
+	return image.Pt(
+		p.Origin.X+int(math.Round(w.X/p.FeetPerPixel)),
+		p.Origin.Y-int(math.Round(w.Y/p.FeetPerPixel)),
+	), nil
+}
+
+// APPositions returns the APs' world coordinates keyed by name.
+func (p *Plan) APPositions() (map[string]geom.Point, error) {
+	out := make(map[string]geom.Point, len(p.APs))
+	for _, m := range p.APs {
+		w, err := p.ToWorld(m.Pixel)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = w
+	}
+	return out, nil
+}
+
+// LocationMap converts the named locations into a locmap.Map in world
+// coordinates — the bridge from the Processor's annotations to the
+// Training Database Generator's input.
+func (p *Plan) LocationMap() (*locmap.Map, error) {
+	m := locmap.New()
+	for _, mk := range p.Locations {
+		w, err := p.ToWorld(mk.Pixel)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Add(mk.Name, w); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// LocationNames returns the location names, sorted.
+func (p *Plan) LocationNames() []string {
+	out := make([]string, 0, len(p.Locations))
+	for _, m := range p.Locations {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// planFile is the JSON save format. The GIF travels base64-embedded so
+// a plan file is self-contained.
+type planFile struct {
+	Version      int            `json:"version"`
+	Name         string         `json:"name"`
+	FeetPerPixel float64        `json:"feet_per_pixel"`
+	Origin       image.Point    `json:"origin"`
+	APs          []Marker       `json:"aps,omitempty"`
+	Locations    []Marker       `json:"locations,omitempty"`
+	Walls        []geom.Segment `json:"walls,omitempty"`
+	Rooms        []Room         `json:"rooms,omitempty"`
+	GIF          []byte         `json:"gif,omitempty"`
+}
+
+// Save implements the Processor's "save the floor plan": everything —
+// image included — in one stream.
+func (p *Plan) Save(w io.Writer) error {
+	pf := planFile{
+		Version:      1,
+		Name:         p.Name,
+		FeetPerPixel: p.FeetPerPixel,
+		Origin:       p.Origin,
+		APs:          p.APs,
+		Locations:    p.Locations,
+		Walls:        p.Walls,
+		Rooms:        p.Rooms,
+	}
+	if p.gifFrames != nil {
+		var buf bytes.Buffer
+		if err := gif.EncodeAll(&buf, p.gifFrames); err != nil {
+			return fmt.Errorf("floorplan: encoding GIF: %w", err)
+		}
+		pf.GIF = buf.Bytes()
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&pf); err != nil {
+		return fmt.Errorf("floorplan: encoding plan: %w", err)
+	}
+	return nil
+}
+
+// Load restores a plan written by Save.
+func Load(r io.Reader) (*Plan, error) {
+	var pf planFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&pf); err != nil {
+		return nil, fmt.Errorf("floorplan: decoding plan: %w", err)
+	}
+	if pf.Version != 1 {
+		return nil, fmt.Errorf("floorplan: unsupported plan version %d", pf.Version)
+	}
+	p := &Plan{
+		Name:         pf.Name,
+		FeetPerPixel: pf.FeetPerPixel,
+		Origin:       pf.Origin,
+		APs:          pf.APs,
+		Locations:    pf.Locations,
+		Walls:        pf.Walls,
+		Rooms:        pf.Rooms,
+	}
+	if len(pf.GIF) > 0 {
+		if err := p.LoadImage(bytes.NewReader(pf.GIF)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// SaveFile writes the plan to disk.
+func (p *Plan) SaveFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("floorplan: %w", err)
+	}
+	if err := p.Save(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// LoadFile reads a plan from disk.
+func LoadFile(path string) (*Plan, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: %w", err)
+	}
+	defer fh.Close()
+	return Load(fh)
+}

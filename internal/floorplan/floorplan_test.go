@@ -1,0 +1,233 @@
+package floorplan
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/gif"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+// tinyGIF returns an encoded 10×8 GIF.
+func tinyGIF(t *testing.T) []byte {
+	t.Helper()
+	img := image.NewPaletted(image.Rect(0, 0, 10, 8), color.Palette{
+		color.White, color.Black,
+	})
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func annotatedPlan(t *testing.T) *Plan {
+	t.Helper()
+	p := New("experiment house")
+	if err := p.LoadImage(bytes.NewReader(tinyGIF(t))); err != nil {
+		t.Fatal(err)
+	}
+	// 10 px between the clicked points = 50 ft → 5 ft/px.
+	if err := p.SetScale(image.Pt(0, 0), image.Pt(10, 0), 50); err != nil {
+		t.Fatal(err)
+	}
+	p.SetOrigin(image.Pt(0, 8)) // bottom-left pixel
+	p.AddAP("A", image.Pt(0, 8))
+	p.AddAP("", image.Pt(10, 8))
+	if err := p.AddLocation("kitchen", image.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadImage(t *testing.T) {
+	p := New("x")
+	if p.HasImage() {
+		t.Error("fresh plan has image")
+	}
+	if err := p.LoadImage(bytes.NewReader(tinyGIF(t))); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasImage() || p.Image().Bounds().Dx() != 10 {
+		t.Error("image not attached")
+	}
+	// Only GIF is accepted.
+	if err := New("y").LoadImage(strings.NewReader("not a gif")); err == nil {
+		t.Error("non-GIF accepted")
+	}
+}
+
+func TestSetScaleValidation(t *testing.T) {
+	p := New("x")
+	if err := p.SetScale(image.Pt(3, 3), image.Pt(3, 3), 10); err != ErrZeroScale {
+		t.Errorf("coincident points: %v", err)
+	}
+	if err := p.SetScale(image.Pt(0, 0), image.Pt(1, 0), 0); err != ErrBadDistance {
+		t.Errorf("zero distance: %v", err)
+	}
+	if err := p.SetScale(image.Pt(0, 0), image.Pt(1, 0), -2); err != ErrBadDistance {
+		t.Errorf("negative distance: %v", err)
+	}
+	if err := p.SetScale(image.Pt(0, 0), image.Pt(3, 4), 10); err != nil {
+		t.Fatal(err)
+	}
+	if p.FeetPerPixel != 2 {
+		t.Errorf("FeetPerPixel = %v", p.FeetPerPixel)
+	}
+}
+
+func TestWorldPixelRoundTrip(t *testing.T) {
+	p := annotatedPlan(t)
+	// Origin pixel maps to world (0,0).
+	w, err := p.ToWorld(image.Pt(0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != geom.Pt(0, 0) {
+		t.Errorf("origin maps to %v", w)
+	}
+	// One pixel right and one up (y-1 in image space) = (5, 5) ft.
+	w, _ = p.ToWorld(image.Pt(1, 7))
+	if w != geom.Pt(5, 5) {
+		t.Errorf("pixel (1,7) = %v, want (5,5)", w)
+	}
+	// Round trip.
+	px, err := p.ToPixel(geom.Pt(25, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px != image.Pt(5, 4) {
+		t.Errorf("ToPixel = %v", px)
+	}
+	back, _ := p.ToWorld(px)
+	if back != geom.Pt(25, 20) {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestConversionRequiresScale(t *testing.T) {
+	p := New("x")
+	if _, err := p.ToWorld(image.Pt(0, 0)); err != ErrNoScale {
+		t.Errorf("ToWorld: %v", err)
+	}
+	if _, err := p.ToPixel(geom.Pt(0, 0)); err != ErrNoScale {
+		t.Errorf("ToPixel: %v", err)
+	}
+	if _, err := p.APPositions(); err != nil && err != ErrNoScale {
+		t.Errorf("APPositions: %v", err)
+	}
+}
+
+func TestAPsAndLocations(t *testing.T) {
+	p := annotatedPlan(t)
+	if p.APs[1].Name != "AP-2" {
+		t.Errorf("auto name = %q", p.APs[1].Name)
+	}
+	pos, err := p.APPositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos["A"] != geom.Pt(0, 0) {
+		t.Errorf("AP A at %v", pos["A"])
+	}
+	if pos["AP-2"] != geom.Pt(50, 0) {
+		t.Errorf("AP-2 at %v", pos["AP-2"])
+	}
+	if err := p.AddLocation("", image.Pt(0, 0)); err == nil {
+		t.Error("unnamed location accepted")
+	}
+	if got := p.LocationNames(); len(got) != 1 || got[0] != "kitchen" {
+		t.Errorf("LocationNames = %v", got)
+	}
+}
+
+func TestLocationMap(t *testing.T) {
+	p := annotatedPlan(t)
+	m, err := p.LocationMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kitchen clicked at pixel (1,1): world (5, 35).
+	w, ok := m.Lookup("kitchen")
+	if !ok || w != geom.Pt(5, 35) {
+		t.Errorf("kitchen = %v %v", w, ok)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := annotatedPlan(t)
+	p.AddWall(geom.Seg(geom.Pt(25, 0), geom.Pt(25, 40)))
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name || back.FeetPerPixel != p.FeetPerPixel || back.Origin != p.Origin {
+		t.Error("scalar fields lost")
+	}
+	if len(back.APs) != 2 || back.APs[0].Name != "A" {
+		t.Errorf("APs = %v", back.APs)
+	}
+	if len(back.Locations) != 1 || back.Locations[0].Name != "kitchen" {
+		t.Errorf("Locations = %v", back.Locations)
+	}
+	if len(back.Walls) != 1 || back.Walls[0] != geom.Seg(geom.Pt(25, 0), geom.Pt(25, 40)) {
+		t.Errorf("Walls = %v", back.Walls)
+	}
+	if !back.HasImage() || back.Image().Bounds() != p.Image().Bounds() {
+		t.Error("image lost in round trip")
+	}
+}
+
+func TestSaveLoadWithoutImage(t *testing.T) {
+	p := New("bare")
+	p.SetOrigin(image.Pt(5, 5))
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasImage() {
+		t.Error("phantom image appeared")
+	}
+	if back.Origin != image.Pt(5, 5) {
+		t.Errorf("Origin = %v", back.Origin)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	p := annotatedPlan(t)
+	path := filepath.Join(t.TempDir(), "house.plan")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name {
+		t.Error("file round trip lost name")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.plan")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

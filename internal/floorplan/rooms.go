@@ -1,0 +1,68 @@
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+
+	"indoorloc/internal/geom"
+)
+
+// Room is a named region of the floor in world coordinates. Rooms give
+// the working phase a second abstraction level beyond nearest training
+// point: an estimate is "in room D22" when the room's polygon contains
+// it — the shape of answer the paper's motivating applications
+// (call forwarding, conference material) actually consume.
+type Room struct {
+	Name string       `json:"name"`
+	Poly geom.Polygon `json:"poly"`
+}
+
+// AddRoom registers a named room region. Names must be unique and
+// polygons valid.
+func (p *Plan) AddRoom(name string, poly geom.Polygon) error {
+	if name == "" {
+		return errors.New("floorplan: room needs a name")
+	}
+	if err := poly.Validate(); err != nil {
+		return fmt.Errorf("floorplan: room %q: %w", name, err)
+	}
+	for _, r := range p.Rooms {
+		if r.Name == name {
+			return fmt.Errorf("floorplan: room %q already exists", name)
+		}
+	}
+	p.Rooms = append(p.Rooms, Room{Name: name, Poly: append(geom.Polygon(nil), poly...)})
+	return nil
+}
+
+// RemoveRoom deletes a room by name, returning false when absent.
+func (p *Plan) RemoveRoom(name string) bool {
+	for i, r := range p.Rooms {
+		if r.Name == name {
+			p.Rooms = append(p.Rooms[:i], p.Rooms[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RoomAt returns the name of the room containing the world point.
+// When rooms overlap the first registered match wins; ok is false when
+// no room contains the point.
+func (p *Plan) RoomAt(w geom.Point) (string, bool) {
+	for _, r := range p.Rooms {
+		if r.Poly.Contains(w) {
+			return r.Name, true
+		}
+	}
+	return "", false
+}
+
+// RoomNames returns the room names in registration order.
+func (p *Plan) RoomNames() []string {
+	out := make([]string, len(p.Rooms))
+	for i, r := range p.Rooms {
+		out[i] = r.Name
+	}
+	return out
+}

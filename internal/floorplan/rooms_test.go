@@ -1,0 +1,96 @@
+package floorplan
+
+import (
+	"bytes"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func kitchenPoly() geom.Polygon {
+	return geom.Polygon{geom.Pt(0, 25), geom.Pt(25, 25), geom.Pt(25, 40), geom.Pt(0, 40)}
+}
+
+func TestAddRoomValidation(t *testing.T) {
+	p := New("house")
+	if err := p.AddRoom("", kitchenPoly()); err == nil {
+		t.Error("unnamed room accepted")
+	}
+	if err := p.AddRoom("line", geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+	if err := p.AddRoom("kitchen", kitchenPoly()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRoom("kitchen", kitchenPoly()); err == nil {
+		t.Error("duplicate room accepted")
+	}
+	// The stored polygon is a copy: mutating the input is harmless.
+	poly := kitchenPoly()
+	p2 := New("x")
+	p2.AddRoom("r", poly)
+	poly[0] = geom.Pt(99, 99)
+	if p2.Rooms[0].Poly[0] != geom.Pt(0, 25) {
+		t.Error("room polygon aliases caller slice")
+	}
+}
+
+func TestRoomAt(t *testing.T) {
+	p := New("house")
+	p.AddRoom("kitchen", kitchenPoly())
+	p.AddRoom("hall", geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 25), geom.Pt(0, 25),
+	})
+	if name, ok := p.RoomAt(geom.Pt(5, 35)); !ok || name != "kitchen" {
+		t.Errorf("RoomAt kitchen = %q %v", name, ok)
+	}
+	if name, ok := p.RoomAt(geom.Pt(40, 10)); !ok || name != "hall" {
+		t.Errorf("RoomAt hall = %q %v", name, ok)
+	}
+	if _, ok := p.RoomAt(geom.Pt(45, 39)); ok {
+		t.Error("point outside all rooms matched")
+	}
+	// Boundary points match the first registered room.
+	if name, _ := p.RoomAt(geom.Pt(10, 25)); name != "kitchen" {
+		t.Errorf("shared boundary = %q", name)
+	}
+}
+
+func TestRemoveRoomAndNames(t *testing.T) {
+	p := New("house")
+	p.AddRoom("a", kitchenPoly())
+	p.AddRoom("b", geom.Polygon{geom.Pt(30, 0), geom.Pt(50, 0), geom.Pt(50, 20)})
+	if got := p.RoomNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("RoomNames = %v", got)
+	}
+	if p.RemoveRoom("ghost") {
+		t.Error("removed nonexistent room")
+	}
+	if !p.RemoveRoom("a") {
+		t.Fatal("failed to remove a")
+	}
+	if got := p.RoomNames(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("RoomNames = %v", got)
+	}
+}
+
+func TestRoomsSurviveSaveLoad(t *testing.T) {
+	p := annotatedPlan(t)
+	if err := p.AddRoom("kitchen", kitchenPoly()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rooms) != 1 || back.Rooms[0].Name != "kitchen" {
+		t.Fatalf("rooms after round trip: %v", back.Rooms)
+	}
+	if name, ok := back.RoomAt(geom.Pt(5, 30)); !ok || name != "kitchen" {
+		t.Errorf("loaded RoomAt = %q %v", name, ok)
+	}
+}

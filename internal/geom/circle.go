@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a circle in the plan frame: the locus of points at
+// distance R from the centre C. In the geometric localization approach
+// each access point contributes one circle, centred at the AP with the
+// radius recovered from its signal strength.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// String formats the circle as "circle((x, y), r)".
+func (c Circle) String() string { return fmt.Sprintf("circle(%v, %.2f)", c.C, c.R) }
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool { return c.C.DistSq(p) <= c.R*c.R+1e-12 }
+
+// Intersect returns the intersection points of two circles.
+//
+// The returned slice has:
+//   - two points when the circles properly intersect,
+//   - one point when they are tangent (internally or externally),
+//   - zero points when they are separate, nested, or concentric.
+//
+// Degenerate radii (zero or negative) yield no intersections unless
+// both circles collapse onto the same point.
+func (c Circle) Intersect(o Circle) []Point {
+	d := c.C.Dist(o.C)
+	if d == 0 {
+		if c.R == 0 && o.R == 0 {
+			return []Point{c.C}
+		}
+		return nil // concentric: none or infinitely many; report none
+	}
+	if c.R < 0 || o.R < 0 {
+		return nil
+	}
+	// Standard two-circle intersection: a is the distance from c.C to
+	// the foot of the chord along the centre line; h is half the chord.
+	a := (d*d + c.R*c.R - o.R*o.R) / (2 * d)
+	h2 := c.R*c.R - a*a
+	const tol = 1e-9
+	if h2 < -tol*math.Max(1, c.R*c.R) {
+		return nil
+	}
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	dir := o.C.Sub(c.C).Scale(1 / d)
+	foot := c.C.Add(dir.Scale(a))
+	if h == 0 {
+		return []Point{foot}
+	}
+	off := dir.Perp().Scale(h)
+	return []Point{foot.Add(off), foot.Sub(off)}
+}
+
+// ClosestApproach returns, for two non-intersecting circles, the point
+// midway between them along the line of centres — the natural "best
+// guess" when noisy radii leave the circles separate or nested. For
+// intersecting circles it returns the midpoint of the chord.
+//
+// The geometric approach needs this fallback constantly: RSSI noise
+// routinely inflates or deflates radii so that a circle pair misses.
+func ClosestApproach(c, o Circle) (Point, bool) {
+	d := c.C.Dist(o.C)
+	if d == 0 {
+		return c.C, c.R == 0 && o.R == 0
+	}
+	if pts := c.Intersect(o); len(pts) > 0 {
+		return Centroid(pts), true
+	}
+	dir := o.C.Sub(c.C).Scale(1 / d)
+	if d >= c.R+o.R {
+		// Separate: midpoint of the gap between the two near rims.
+		p1 := c.C.Add(dir.Scale(c.R))
+		p2 := o.C.Sub(dir.Scale(o.R))
+		return p1.Lerp(p2, 0.5), false
+	}
+	// Nested: midpoint between the rims on the side of the inner circle.
+	if c.R > o.R {
+		p1 := c.C.Add(dir.Scale(c.R))
+		p2 := o.C.Add(dir.Scale(o.R))
+		return p1.Lerp(p2, 0.5), false
+	}
+	p1 := c.C.Sub(dir.Scale(c.R))
+	p2 := o.C.Sub(dir.Scale(o.R))
+	return p1.Lerp(p2, 0.5), false
+}
+
+// PairwiseIntersections walks the circles in ring order —
+// (0,1), (1,2), ..., (n-1,0) — mirroring the paper's pairs
+// (A,B), (B,C), (C,D), (D,A), and returns one representative point per
+// pair. For a properly intersecting pair the representative is the
+// intersection point closer to hint (use the centroid of the AP
+// positions when no better prior exists); otherwise the pair's closest
+// approach is used, so a point is always produced.
+func PairwiseIntersections(circles []Circle, hint Point) []Point {
+	n := len(circles)
+	if n < 2 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := circles[i], circles[(i+1)%n]
+		if n == 2 && i == 1 {
+			break // with two circles there is only one pair
+		}
+		inter := a.Intersect(b)
+		switch len(inter) {
+		case 0:
+			p, _ := ClosestApproach(a, b)
+			pts = append(pts, p)
+		case 1:
+			pts = append(pts, inter[0])
+		default:
+			if inter[0].DistSq(hint) <= inter[1].DistSq(hint) {
+				pts = append(pts, inter[0])
+			} else {
+				pts = append(pts, inter[1])
+			}
+		}
+	}
+	return pts
+}
+
+// Trilaterate solves for the point whose distances to the circle
+// centres best match the circle radii, by linear least squares.
+// Subtracting the first circle's equation from each of the others
+// linearises the system; the result is the classical multilateration
+// baseline the paper contrasts with its median-of-intersections rule.
+// It returns false when fewer than three circles are given or the
+// centres are collinear (the normal matrix is singular).
+func Trilaterate(circles []Circle) (Point, bool) {
+	n := len(circles)
+	if n < 3 {
+		return Point{}, false
+	}
+	// Row i (i>=1): 2(xi-x0)x + 2(yi-y0)y = ri'^2 with
+	// ri'^2 = r0^2 - ri^2 + xi^2 - x0^2 + yi^2 - y0^2.
+	c0 := circles[0]
+	var a11, a12, a22, b1, b2 float64 // normal equations accumulators
+	for _, c := range circles[1:] {
+		ax := 2 * (c.C.X - c0.C.X)
+		ay := 2 * (c.C.Y - c0.C.Y)
+		rhs := c0.R*c0.R - c.R*c.R +
+			c.C.X*c.C.X - c0.C.X*c0.C.X +
+			c.C.Y*c.C.Y - c0.C.Y*c0.C.Y
+		a11 += ax * ax
+		a12 += ax * ay
+		a22 += ay * ay
+		b1 += ax * rhs
+		b2 += ay * rhs
+	}
+	det := a11*a22 - a12*a12
+	scale := math.Max(a11, a22)
+	if scale == 0 || math.Abs(det) < 1e-9*scale*scale {
+		return Point{}, false
+	}
+	x := (b1*a22 - b2*a12) / det
+	y := (b2*a11 - b1*a12) / det
+	return Point{x, y}, true
+}

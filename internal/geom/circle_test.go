@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircleIntersectTwoPoints(t *testing.T) {
+	a := Circle{Pt(0, 0), 5}
+	b := Circle{Pt(6, 0), 5}
+	pts := a.Intersect(b)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Dist(a.C)-a.R) > 1e-9 || math.Abs(p.Dist(b.C)-b.R) > 1e-9 {
+			t.Errorf("point %v not on both circles", p)
+		}
+	}
+	// Known solution: x=3, y=±4.
+	want1, want2 := Pt(3, 4), Pt(3, -4)
+	if !(pts[0].Equal(want1, 1e-9) && pts[1].Equal(want2, 1e-9)) &&
+		!(pts[0].Equal(want2, 1e-9) && pts[1].Equal(want1, 1e-9)) {
+		t.Errorf("points %v, want (3,±4)", pts)
+	}
+}
+
+func TestCircleIntersectTangent(t *testing.T) {
+	// External tangency at (5, 0).
+	a := Circle{Pt(0, 0), 5}
+	b := Circle{Pt(8, 0), 3}
+	pts := a.Intersect(b)
+	if len(pts) != 1 || !pts[0].Equal(Pt(5, 0), 1e-9) {
+		t.Errorf("external tangency: %v", pts)
+	}
+	// Internal tangency at (2, 0).
+	b = Circle{Pt(1, 0), 1}
+	a = Circle{Pt(0, 0), 2}
+	pts = a.Intersect(b)
+	if len(pts) != 1 || !pts[0].Equal(Pt(2, 0), 1e-9) {
+		t.Errorf("internal tangency: %v", pts)
+	}
+}
+
+func TestCircleIntersectNone(t *testing.T) {
+	if pts := (Circle{Pt(0, 0), 1}).Intersect(Circle{Pt(10, 0), 1}); pts != nil {
+		t.Errorf("separate circles: %v", pts)
+	}
+	if pts := (Circle{Pt(0, 0), 10}).Intersect(Circle{Pt(1, 0), 1}); pts != nil {
+		t.Errorf("nested circles: %v", pts)
+	}
+	if pts := (Circle{Pt(0, 0), 2}).Intersect(Circle{Pt(0, 0), 3}); pts != nil {
+		t.Errorf("concentric circles: %v", pts)
+	}
+	if pts := (Circle{Pt(0, 0), -1}).Intersect(Circle{Pt(1, 0), 1}); pts != nil {
+		t.Errorf("negative radius: %v", pts)
+	}
+}
+
+func TestCircleIntersectDegenerate(t *testing.T) {
+	pts := (Circle{Pt(3, 3), 0}).Intersect(Circle{Pt(3, 3), 0})
+	if len(pts) != 1 || pts[0] != Pt(3, 3) {
+		t.Errorf("coincident zero circles: %v", pts)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Pt(0, 0), 5}
+	if !c.Contains(Pt(3, 4)) {
+		t.Error("boundary point not contained")
+	}
+	if !c.Contains(Pt(0, 0)) {
+		t.Error("centre not contained")
+	}
+	if c.Contains(Pt(5, 5)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestIntersectionPointsOnBothCirclesProperty(t *testing.T) {
+	f := func(x1, y1, r1, x2, y2, r2 float64) bool {
+		norm := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(v), lim)
+		}
+		a := Circle{Pt(norm(x1, 50), norm(y1, 50)), norm(r1, 40) + 0.1}
+		b := Circle{Pt(norm(x2, 50), norm(y2, 50)), norm(r2, 40) + 0.1}
+		for _, p := range a.Intersect(b) {
+			scale := math.Max(1, math.Max(a.R, b.R))
+			if math.Abs(p.Dist(a.C)-a.R) > 1e-6*scale ||
+				math.Abs(p.Dist(b.C)-b.R) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(107))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestApproach(t *testing.T) {
+	// Separate circles along x: gap between rims is [5, 7]; midpoint 6.
+	p, ok := ClosestApproach(Circle{Pt(0, 0), 5}, Circle{Pt(10, 0), 3})
+	if ok {
+		t.Error("separate circles reported as intersecting")
+	}
+	if !p.Equal(Pt(6, 0), 1e-9) {
+		t.Errorf("separate closest approach = %v, want (6,0)", p)
+	}
+	// Nested: outer r=10 at origin, inner r=1 at (2,0). Rims at x=10 and
+	// x=3; midpoint (6.5, 0).
+	p, ok = ClosestApproach(Circle{Pt(0, 0), 10}, Circle{Pt(2, 0), 1})
+	if ok {
+		t.Error("nested circles reported as intersecting")
+	}
+	if !p.Equal(Pt(6.5, 0), 1e-9) {
+		t.Errorf("nested closest approach = %v, want (6.5,0)", p)
+	}
+	// Intersecting: chord midpoint.
+	p, ok = ClosestApproach(Circle{Pt(0, 0), 5}, Circle{Pt(6, 0), 5})
+	if !ok {
+		t.Error("intersecting circles reported as non-intersecting")
+	}
+	if !p.Equal(Pt(3, 0), 1e-9) {
+		t.Errorf("chord midpoint = %v, want (3,0)", p)
+	}
+}
+
+func TestPairwiseIntersections(t *testing.T) {
+	// Four APs at the paper's house corners, target at (20, 20).
+	target := Pt(20, 20)
+	aps := []Point{Pt(0, 0), Pt(50, 0), Pt(50, 40), Pt(0, 40)}
+	circles := make([]Circle, len(aps))
+	for i, ap := range aps {
+		circles[i] = Circle{ap, ap.Dist(target)}
+	}
+	pts := PairwiseIntersections(circles, Centroid(aps))
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	est := MedianPoint(pts)
+	if !est.Equal(target, 1e-6) {
+		t.Errorf("noise-free estimate = %v, want %v", est, target)
+	}
+}
+
+func TestPairwiseIntersectionsTwoCircles(t *testing.T) {
+	circles := []Circle{{Pt(0, 0), 5}, {Pt(6, 0), 5}}
+	pts := PairwiseIntersections(circles, Pt(3, 10))
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	if !pts[0].Equal(Pt(3, 4), 1e-9) {
+		t.Errorf("hint selection picked %v, want (3,4)", pts[0])
+	}
+}
+
+func TestPairwiseIntersectionsDegenerateInputs(t *testing.T) {
+	if pts := PairwiseIntersections(nil, Pt(0, 0)); pts != nil {
+		t.Errorf("nil circles: %v", pts)
+	}
+	if pts := PairwiseIntersections([]Circle{{Pt(0, 0), 1}}, Pt(0, 0)); pts != nil {
+		t.Errorf("single circle: %v", pts)
+	}
+	// Non-intersecting pairs still produce one representative each.
+	circles := []Circle{{Pt(0, 0), 1}, {Pt(100, 0), 1}, {Pt(0, 100), 1}}
+	pts := PairwiseIntersections(circles, Pt(0, 0))
+	if len(pts) != 3 {
+		t.Errorf("got %d representatives, want 3", len(pts))
+	}
+}
+
+func TestTrilaterate(t *testing.T) {
+	target := Pt(13, 27)
+	aps := []Point{Pt(0, 0), Pt(50, 0), Pt(50, 40), Pt(0, 40)}
+	circles := make([]Circle, len(aps))
+	for i, ap := range aps {
+		circles[i] = Circle{ap, ap.Dist(target)}
+	}
+	got, ok := Trilaterate(circles)
+	if !ok {
+		t.Fatal("Trilaterate failed")
+	}
+	if !got.Equal(target, 1e-6) {
+		t.Errorf("Trilaterate = %v, want %v", got, target)
+	}
+}
+
+func TestTrilaterateFailure(t *testing.T) {
+	if _, ok := Trilaterate([]Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}}); ok {
+		t.Error("two circles should not trilaterate")
+	}
+	// Collinear centres: singular.
+	collinear := []Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}, {Pt(2, 0), 1}}
+	if _, ok := Trilaterate(collinear); ok {
+		t.Error("collinear centres should fail")
+	}
+}
+
+func TestTrilaterateExactProperty(t *testing.T) {
+	aps := []Point{Pt(0, 0), Pt(50, 0), Pt(50, 40), Pt(0, 40)}
+	f := func(rx, ry float64) bool {
+		clamp := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lim / 2
+			}
+			return math.Mod(math.Abs(v), lim)
+		}
+		target := Pt(clamp(rx, 50), clamp(ry, 40))
+		circles := make([]Circle, len(aps))
+		for i, ap := range aps {
+			circles[i] = Circle{ap, ap.Dist(target)}
+		}
+		got, ok := Trilaterate(circles)
+		return ok && got.Equal(target, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(108))}); err != nil {
+		t.Error(err)
+	}
+}

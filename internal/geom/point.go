@@ -1,0 +1,188 @@
+// Package geom provides the planar geometry used by the localization
+// toolkit: points and vectors, circles and their intersections,
+// segments (for wall occlusion tests), rectangles, median points, and
+// least-squares multilateration.
+//
+// All coordinates are in the toolkit's canonical unit (feet) in the
+// floor plan's real-world frame: the origin is the point chosen in the
+// Floor Plan Processor and axes follow the plan.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a location in the plan's 2-D real-world frame.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product of p and q
+// treated as vectors.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Unit returns the unit vector in the direction of p. The zero vector
+// is returned unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Perp returns p rotated 90° counter-clockwise.
+func (p Point) Perp() Point { return Point{-p.Y, p.X} }
+
+// Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Equal reports whether p and q coincide to within tol in each
+// coordinate.
+func (p Point) Equal(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// String formats the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Centroid returns the arithmetic mean of the points. It returns the
+// zero point for an empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// MedianPoint returns the component-wise median of the points: the
+// point whose X is the median of all Xs and whose Y is the median of
+// all Ys. This is the robust combiner the paper uses to merge the four
+// pairwise circle-intersection points P1..P4 into the final estimate P;
+// unlike the centroid it shrugs off a single wildly wrong intersection.
+// It returns the zero point for an empty slice.
+func MedianPoint(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	return Point{median(xs), median(ys)}
+}
+
+// median returns the median of vs, averaging the two central elements
+// for even lengths. vs is reordered.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// GeometricMedian returns the point minimising the sum of Euclidean
+// distances to pts (the Fermat–Weber point), computed with Weiszfeld's
+// algorithm. It is an alternative robust combiner offered alongside
+// MedianPoint for the geometric approach.
+func GeometricMedian(pts []Point, iters int, tol float64) Point {
+	switch len(pts) {
+	case 0:
+		return Point{}
+	case 1:
+		return pts[0]
+	}
+	// A data point p is itself the geometric median when the resultant
+	// of unit vectors toward the other points has norm at most p's
+	// multiplicity (Weiszfeld stalls near such vertices, so test first).
+	for _, p := range pts {
+		var resultant Point
+		mult := 0.0
+		for _, q := range pts {
+			d := p.Dist(q)
+			if d < 1e-12 {
+				mult++
+				continue
+			}
+			resultant = resultant.Add(q.Sub(p).Scale(1 / d))
+		}
+		if resultant.Norm() <= mult {
+			return p
+		}
+	}
+	cur := Centroid(pts)
+	for i := 0; i < iters; i++ {
+		var num Point
+		var den float64
+		coincident := false
+		for _, p := range pts {
+			d := cur.Dist(p)
+			if d < 1e-12 {
+				coincident = true
+				continue
+			}
+			w := 1 / d
+			num = num.Add(p.Scale(w))
+			den += w
+		}
+		if den == 0 {
+			return cur // all points coincide with cur
+		}
+		next := num.Scale(1 / den)
+		if coincident {
+			// Weiszfeld with a data point at the iterate: nudge.
+			next = next.Lerp(cur, 0.5)
+		}
+		if next.Dist(cur) < tol {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}

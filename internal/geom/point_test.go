@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*-2-4*1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist(Pt(0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.DistSq(q); got != 4+36 {
+		t.Errorf("DistSq = %v", got)
+	}
+}
+
+func TestUnitAndPerp(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := Pt(0, 0).Unit(); got != Pt(0, 0) {
+		t.Errorf("Unit(0) = %v", got)
+	}
+	if got := Pt(1, 0).Perp(); got != Pt(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+	// Perp is a rotation: preserves norm, orthogonal to input.
+	p := Pt(-2.5, 7)
+	if math.Abs(p.Perp().Norm()-p.Norm()) > 1e-12 {
+		t.Error("Perp changed norm")
+	}
+	if p.Dot(p.Perp()) != 0 {
+		t.Error("Perp not orthogonal")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, -20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, -10) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestEqualAndFinite(t *testing.T) {
+	if !Pt(1, 1).Equal(Pt(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("Equal should tolerate 1e-10")
+	}
+	if Pt(1, 1).Equal(Pt(1.1, 1), 1e-9) {
+		t.Error("Equal too lenient")
+	}
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if Pt(math.NaN(), 0).IsFinite() || Pt(0, math.Inf(1)).IsFinite() {
+		t.Error("non-finite point reported finite")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != Pt(0, 0) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if got := Centroid(pts); got != Pt(5, 5) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestMedianPoint(t *testing.T) {
+	if got := MedianPoint(nil); got != Pt(0, 0) {
+		t.Errorf("MedianPoint(nil) = %v", got)
+	}
+	// One wild outlier must not drag the median far.
+	pts := []Point{Pt(1, 1), Pt(2, 2), Pt(3, 3), Pt(1000, -1000)}
+	got := MedianPoint(pts)
+	if got != Pt(2.5, 1.5) {
+		t.Errorf("MedianPoint = %v, want (2.50, 1.50)", got)
+	}
+	// Odd count: exact middle element.
+	pts = []Point{Pt(9, 0), Pt(1, 5), Pt(4, 2)}
+	if got := MedianPoint(pts); got != Pt(4, 2) {
+		t.Errorf("MedianPoint odd = %v", got)
+	}
+}
+
+func TestMedianPointRobustnessProperty(t *testing.T) {
+	// For 4 points where 3 form a tight cluster, the median point stays
+	// within the cluster's bounding box expanded marginally, regardless
+	// of the outlier.
+	f := func(ox, oy float64) bool {
+		if math.IsNaN(ox) || math.IsNaN(oy) || math.IsInf(ox, 0) || math.IsInf(oy, 0) {
+			return true
+		}
+		pts := []Point{Pt(10, 10), Pt(10.5, 10.2), Pt(9.8, 10.1), Pt(ox, oy)}
+		m := MedianPoint(pts)
+		return m.X >= 9.8 && m.X <= 10.5 && m.Y >= 10 && m.Y <= 10.2
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(109))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMedian(t *testing.T) {
+	if got := GeometricMedian(nil, 100, 1e-9); got != Pt(0, 0) {
+		t.Errorf("GeometricMedian(nil) = %v", got)
+	}
+	if got := GeometricMedian([]Point{Pt(7, 7)}, 100, 1e-9); got != Pt(7, 7) {
+		t.Errorf("GeometricMedian single = %v", got)
+	}
+	// Symmetric square: geometric median is the centre.
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	got := GeometricMedian(pts, 200, 1e-12)
+	if !got.Equal(Pt(1, 1), 1e-6) {
+		t.Errorf("GeometricMedian square = %v, want (1,1)", got)
+	}
+	// Majority cluster wins: with 3 coincident points and 1 far point,
+	// the geometric median is at the cluster.
+	pts = []Point{Pt(5, 5), Pt(5, 5), Pt(5, 5), Pt(100, 100)}
+	got = GeometricMedian(pts, 500, 1e-12)
+	if !got.Equal(Pt(5, 5), 1e-3) {
+		t.Errorf("GeometricMedian cluster = %v, want (5,5)", got)
+	}
+}
+
+func TestGeometricMedianMinimizesProperty(t *testing.T) {
+	sumDist := func(c Point, pts []Point) float64 {
+		s := 0.0
+		for _, p := range pts {
+			s += c.Dist(p)
+		}
+		return s
+	}
+	f := func(x1, y1, x2, y2, x3, y3 float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		pts := []Point{
+			Pt(clamp(x1), clamp(y1)),
+			Pt(clamp(x2), clamp(y2)),
+			Pt(clamp(x3), clamp(y3)),
+		}
+		gm := GeometricMedian(pts, 2000, 1e-12)
+		base := sumDist(gm, pts)
+		// The geometric median must beat (or tie) the centroid and all
+		// input points as a 1-sum minimiser. Weiszfeld converges
+		// sublinearly near degenerate configurations, so the slack is
+		// relative to the objective's magnitude.
+		slack := 1e-5 * (1 + base)
+		if base > sumDist(Centroid(pts), pts)+slack {
+			return false
+		}
+		for _, p := range pts {
+			if base > sumDist(p, pts)+slack {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Polygon is a simple (non-self-intersecting) polygon given by its
+// vertices in order; the closing edge from the last vertex back to the
+// first is implicit. Floor plans use polygons to delimit rooms, so a
+// coordinate estimate can be abstracted to "room D22" by containment
+// rather than by nearest training point.
+type Polygon []Point
+
+// ErrDegeneratePolygon is returned for polygons with fewer than three
+// vertices or zero area.
+var ErrDegeneratePolygon = errors.New("geom: polygon needs ≥3 non-collinear vertices")
+
+// Validate checks the polygon has at least three vertices and
+// non-zero area.
+func (pg Polygon) Validate() error {
+	if len(pg) < 3 || math.Abs(pg.Area()) < 1e-12 {
+		return ErrDegeneratePolygon
+	}
+	return nil
+}
+
+// Area returns the signed area (positive for counter-clockwise
+// winding) via the shoelace formula.
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		sum += p.Cross(q)
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid. Degenerate polygons fall back to
+// the vertex mean.
+func (pg Polygon) Centroid() Point {
+	a := pg.Area()
+	if math.Abs(a) < 1e-12 {
+		return Centroid(pg)
+	}
+	var cx, cy float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		w := p.Cross(q)
+		cx += (p.X + q.X) * w
+		cy += (p.Y + q.Y) * w
+	}
+	k := 1 / (6 * a)
+	return Pt(cx*k, cy*k)
+}
+
+// Contains reports whether p lies inside the polygon (boundary points
+// count as inside), by the even-odd ray-casting rule.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	// Boundary check first: ray casting is unreliable exactly on edges.
+	for i := 0; i < n; i++ {
+		if Seg(pg[i], pg[(i+1)%n]).DistToPoint(p) < 1e-9 {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg[i], pg[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Bounds returns the polygon's axis-aligned bounding box.
+func (pg Polygon) Bounds() Rect {
+	if len(pg) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pg[0], Max: pg[0]}
+	for _, p := range pg[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
+// Edges returns the polygon's boundary segments.
+func (pg Polygon) Edges() []Segment {
+	n := len(pg)
+	out := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Seg(pg[i], pg[(i+1)%n]))
+	}
+	return out
+}

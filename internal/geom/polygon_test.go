@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func square(x, y, side float64) Polygon {
+	return Polygon{Pt(x, y), Pt(x+side, y), Pt(x+side, y+side), Pt(x, y+side)}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := square(0, 0, 10).Validate(); err != nil {
+		t.Errorf("square rejected: %v", err)
+	}
+	if err := (Polygon{Pt(0, 0), Pt(1, 1)}).Validate(); err != ErrDegeneratePolygon {
+		t.Errorf("2 vertices: %v", err)
+	}
+	collinear := Polygon{Pt(0, 0), Pt(1, 1), Pt(2, 2)}
+	if err := collinear.Validate(); err != ErrDegeneratePolygon {
+		t.Errorf("collinear: %v", err)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if got := square(0, 0, 10).Area(); got != 100 {
+		t.Errorf("ccw square area = %v", got)
+	}
+	// Clockwise winding flips the sign.
+	cw := Polygon{Pt(0, 0), Pt(0, 10), Pt(10, 10), Pt(10, 0)}
+	if got := cw.Area(); got != -100 {
+		t.Errorf("cw square area = %v", got)
+	}
+	tri := Polygon{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	if got := tri.Area(); got != 50 {
+		t.Errorf("triangle area = %v", got)
+	}
+	if (Polygon{Pt(0, 0)}).Area() != 0 {
+		t.Error("degenerate area not 0")
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	if got := square(10, 20, 10).Centroid(); !got.Equal(Pt(15, 25), 1e-9) {
+		t.Errorf("square centroid = %v", got)
+	}
+	// L-shape: centroid of the union of two squares.
+	l := Polygon{
+		Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20),
+	}
+	got := l.Centroid()
+	// Lower 20×10 rect (area 200, centroid (10,5)) plus upper 10×10
+	// square (area 100, centroid (5,15)): weighted mean (25/3, 25/3).
+	if !got.Equal(Pt(25.0/3, 25.0/3), 1e-9) {
+		t.Errorf("L centroid = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := square(0, 0, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},   // vertex
+		{Pt(5, 0), true},   // edge
+		{Pt(10, 10), true}, // far vertex
+		{Pt(-1, 5), false},
+		{Pt(11, 5), false},
+		{Pt(5, -0.001), false},
+	}
+	for _, c := range cases {
+		if got := sq.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Concave polygon: the notch is outside.
+	l := Polygon{
+		Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20),
+	}
+	if !l.Contains(Pt(5, 15)) {
+		t.Error("upper arm not contained")
+	}
+	if l.Contains(Pt(15, 15)) {
+		t.Error("notch contained")
+	}
+	if (Polygon{Pt(0, 0), Pt(1, 0)}).Contains(Pt(0, 0)) {
+		t.Error("degenerate polygon contained a point")
+	}
+}
+
+func TestPolygonBoundsAndEdges(t *testing.T) {
+	tri := Polygon{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	b := tri.Bounds()
+	if b.Min != Pt(0, 0) || b.Max != Pt(10, 10) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	edges := tri.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("%d edges", len(edges))
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += e.Length()
+	}
+	if math.Abs(total-(20+math.Hypot(10, 10))) > 1e-9 {
+		t.Errorf("perimeter = %v", total)
+	}
+	if (Polygon{}).Bounds() != (Rect{}) {
+		t.Error("empty bounds not zero")
+	}
+}
+
+func TestPolygonContainsMatchesBoundsProperty(t *testing.T) {
+	// Containment implies being inside the bounding box.
+	pg := Polygon{Pt(5, 0), Pt(25, 5), Pt(30, 20), Pt(15, 30), Pt(0, 18)}
+	f := func(x, y float64) bool {
+		p := boundedPoint(x, y)
+		if pg.Contains(p) && !pg.Bounds().Contains(p) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(110))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonCentroidInsideConvexProperty(t *testing.T) {
+	// For convex polygons the centroid is inside.
+	pg := Polygon{Pt(0, 0), Pt(30, 2), Pt(35, 25), Pt(12, 33), Pt(-4, 15)}
+	if !pg.Contains(pg.Centroid()) {
+		t.Error("centroid outside convex polygon")
+	}
+}

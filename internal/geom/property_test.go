@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// boundedPoint maps arbitrary floats into the house-scale range.
+func boundedPoint(x, y float64) Point {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 60)
+	}
+	return Pt(clamp(x), clamp(y))
+}
+
+func seededConfig(seed int64, n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Segment intersection is symmetric and invariant under endpoint swap.
+func TestSegmentIntersectionSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s := Seg(boundedPoint(ax, ay), boundedPoint(bx, by))
+		u := Seg(boundedPoint(cx, cy), boundedPoint(dx, dy))
+		base := s.Intersects(u)
+		if u.Intersects(s) != base {
+			return false
+		}
+		// Swapping either segment's endpoints changes nothing.
+		if Seg(s.B, s.A).Intersects(u) != base {
+			return false
+		}
+		return s.Intersects(Seg(u.B, u.A)) == base
+	}
+	if err := quick.Check(f, seededConfig(3, 400)); err != nil {
+		t.Error(err)
+	}
+}
+
+// A segment always intersects itself and each of its endpoints'
+// degenerate segments.
+func TestSegmentSelfIntersectionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		s := Seg(boundedPoint(ax, ay), boundedPoint(bx, by))
+		if !s.Intersects(s) {
+			return false
+		}
+		return s.Intersects(Seg(s.A, s.A)) && s.Intersects(Seg(s.B, s.B))
+	}
+	if err := quick.Check(f, seededConfig(4, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Distances obey the triangle inequality and symmetry.
+func TestDistanceMetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := boundedPoint(ax, ay)
+		b := boundedPoint(bx, by)
+		c := boundedPoint(cx, cy)
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-12 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, seededConfig(5, 400)); err != nil {
+		t.Error(err)
+	}
+}
+
+// CrossingCount is symmetric in the path's endpoints.
+func TestCrossingCountSymmetryProperty(t *testing.T) {
+	walls := []Segment{
+		Seg(Pt(10, -100), Pt(10, 100)),
+		Seg(Pt(30, -100), Pt(30, 100)),
+		Seg(Pt(-100, 20), Pt(100, 20)),
+	}
+	f := func(ax, ay, bx, by float64) bool {
+		a := boundedPoint(ax, ay)
+		b := boundedPoint(bx, by)
+		return CrossingCount(a, b, walls) == CrossingCount(b, a, walls)
+	}
+	if err := quick.Check(f, seededConfig(6, 400)); err != nil {
+		t.Error(err)
+	}
+}
+
+// A straight path between two points on the same side of every wall
+// crosses nothing.
+func TestCrossingCountSameSideProperty(t *testing.T) {
+	walls := []Segment{Seg(Pt(10, -100), Pt(10, 100))}
+	f := func(ax, ay, bx, by float64) bool {
+		a := boundedPoint(ax, ay)
+		b := boundedPoint(bx, by)
+		// Push both strictly left of the wall.
+		a.X = -1 - math.Abs(a.X)/10
+		b.X = -1 - math.Abs(b.X)/10
+		return CrossingCount(a, b, walls) == 0
+	}
+	if err := quick.Check(f, seededConfig(7, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rect.Clamp is idempotent and always lands inside.
+func TestRectClampProperty(t *testing.T) {
+	r := RectWH(0, 0, 50, 40)
+	f := func(x, y float64) bool {
+		p := boundedPoint(x*3, y*3)
+		c := r.Clamp(p)
+		if !r.Contains(c) {
+			return false
+		}
+		return r.Clamp(c) == c
+	}
+	if err := quick.Check(f, seededConfig(8, 400)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Trilateration with one perturbed radius degrades gracefully: the
+// answer stays finite and within the perturbation's reach.
+func TestTrilaterateRobustnessProperty(t *testing.T) {
+	aps := []Point{Pt(0, 0), Pt(50, 0), Pt(50, 40), Pt(0, 40)}
+	f := func(tx, ty, noise float64) bool {
+		target := boundedPoint(tx, ty)
+		target = RectWH(0, 0, 50, 40).Clamp(target)
+		eps := math.Mod(math.Abs(noise), 5) // ≤5 ft radius error
+		if math.IsNaN(eps) {
+			eps = 1
+		}
+		circles := make([]Circle, len(aps))
+		for i, ap := range aps {
+			r := ap.Dist(target)
+			if i == 0 {
+				r += eps
+			}
+			circles[i] = Circle{ap, r}
+		}
+		got, ok := Trilaterate(circles)
+		if !ok {
+			return false
+		}
+		return got.IsFinite() && got.Dist(target) <= 6*eps+1e-6
+	}
+	if err := quick.Check(f, seededConfig(9, 300)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is a line segment between two points. Floor-plan walls are
+// segments; the RF simulator counts wall crossings along the
+// transmitter→receiver path to apply per-wall attenuation.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// String formats the segment as "seg((x1, y1)-(x2, y2))".
+func (s Segment) String() string { return fmt.Sprintf("seg(%v-%v)", s.A, s.B) }
+
+// Length returns the segment's Euclidean length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// Intersects reports whether s and t share at least one point,
+// including touching endpoints and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := direction(t.A, t.B, s.A)
+	d2 := direction(t.A, t.B, s.B)
+	d3 := direction(s.A, s.B, t.A)
+	d4 := direction(s.A, s.B, t.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(t.A, t.B, s.A):
+		return true
+	case d2 == 0 && onSegment(t.A, t.B, s.B):
+		return true
+	case d3 == 0 && onSegment(s.A, s.B, t.A):
+		return true
+	case d4 == 0 && onSegment(s.A, s.B, t.B):
+		return true
+	}
+	return false
+}
+
+// direction returns the orientation of c relative to the directed line
+// a→b: positive for left (counter-clockwise), negative for right, zero
+// for collinear.
+func direction(a, b, c Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// onSegment reports whether collinear point p lies within the bounding
+// box of segment ab.
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// DistToPoint returns the shortest distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	denom := ab.Dot(ab)
+	if denom == 0 {
+		return s.A.Dist(p)
+	}
+	t := p.Sub(s.A).Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.A.Lerp(s.B, t).Dist(p)
+}
+
+// Rect is an axis-aligned rectangle, used for floor outlines and room
+// bounds. Min is the corner with the smaller coordinates.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectWH builds a rectangle from an origin corner plus width and
+// height. Negative extents are normalised.
+func RectWH(x, y, w, h float64) Rect {
+	r := Rect{Min: Pt(x, y), Max: Pt(x+w, y+h)}
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// Width returns the rectangle's horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the rectangle's vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside or on the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return r.Min.X <= p.X && p.X <= r.Max.X && r.Min.Y <= p.Y && p.Y <= r.Max.Y
+}
+
+// Center returns the rectangle's centre point.
+func (r Rect) Center() Point { return r.Min.Lerp(r.Max, 0.5) }
+
+// Corners returns the four corners counter-clockwise starting at Min.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Edges returns the four boundary segments of the rectangle.
+func (r Rect) Edges() [4]Segment {
+	c := r.Corners()
+	return [4]Segment{
+		{c[0], c[1]}, {c[1], c[2]}, {c[2], c[3]}, {c[3], c[0]},
+	}
+}
+
+// Clamp returns the point inside the rectangle nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.Min.X {
+		p.X = r.Min.X
+	} else if p.X > r.Max.X {
+		p.X = r.Max.X
+	}
+	if p.Y < r.Min.Y {
+		p.Y = r.Min.Y
+	} else if p.Y > r.Max.Y {
+		p.Y = r.Max.Y
+	}
+	return p
+}
+
+// CrossingCount returns how many of the walls the open segment from a
+// to b crosses. Endpoints sitting exactly on a wall count as crossings;
+// the RF model treats a device pressed against a wall as attenuated.
+func CrossingCount(a, b Point, walls []Segment) int {
+	path := Segment{a, b}
+	n := 0
+	for _, w := range walls {
+		if path.Intersects(w) {
+			n++
+		}
+	}
+	return n
+}

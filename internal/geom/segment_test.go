@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want bool
+		name string
+	}{
+		{Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), true, "crossing X"},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 1), Pt(10, 1)), false, "parallel"},
+		{Seg(Pt(0, 0), Pt(5, 0)), Seg(Pt(5, 0), Pt(10, 0)), true, "touching endpoints"},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(2, 0), Pt(8, 0)), true, "collinear overlap"},
+		{Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false, "collinear disjoint"},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, -5), Pt(5, 5)), true, "T crossing"},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(5, 5)), true, "T touching"},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 1), Pt(5, 5)), false, "above"},
+	}
+	for _, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("%s: Intersects = %v, want %v", c.name, got, c.want)
+		}
+		// Symmetry.
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("%s (swapped): Intersects = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if s.Length() != 5 {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if s.Midpoint() != Pt(1.5, 2) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if got := s.DistToPoint(Pt(5, 3)); got != 3 {
+		t.Errorf("perpendicular dist = %v", got)
+	}
+	if got := s.DistToPoint(Pt(-4, 3)); got != 5 {
+		t.Errorf("past-endpoint dist = %v", got)
+	}
+	if got := s.DistToPoint(Pt(13, 4)); got != 5 {
+		t.Errorf("past-far-endpoint dist = %v", got)
+	}
+	deg := Seg(Pt(2, 2), Pt(2, 2))
+	if got := deg.DistToPoint(Pt(5, 6)); got != 5 {
+		t.Errorf("degenerate segment dist = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := RectWH(0, 0, 50, 40)
+	if r.Width() != 50 || r.Height() != 40 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Pt(25, 20)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(50, 40)) {
+		t.Error("Contains failed for interior/boundary")
+	}
+	if r.Contains(Pt(-1, 0)) || r.Contains(Pt(51, 40)) {
+		t.Error("Contains accepted exterior point")
+	}
+	if r.Center() != Pt(25, 20) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	// Normalisation of negative extents.
+	n := RectWH(10, 10, -4, -6)
+	if n.Min != Pt(6, 4) || n.Max != Pt(10, 10) {
+		t.Errorf("normalised rect = %+v", n)
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	cases := []struct{ in, want Point }{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(12, -2), Pt(10, 0)},
+		{Pt(4, 99), Pt(4, 10)},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRectCornersAndEdges(t *testing.T) {
+	r := RectWH(0, 0, 2, 3)
+	corners := r.Corners()
+	want := [4]Point{Pt(0, 0), Pt(2, 0), Pt(2, 3), Pt(0, 3)}
+	if corners != want {
+		t.Errorf("Corners = %v", corners)
+	}
+	total := 0.0
+	for _, e := range r.Edges() {
+		total += e.Length()
+	}
+	if math.Abs(total-10) > 1e-12 {
+		t.Errorf("perimeter = %v, want 10", total)
+	}
+}
+
+func TestCrossingCount(t *testing.T) {
+	// Two vertical walls at x=10 and x=20 spanning y in [0, 40].
+	walls := []Segment{
+		Seg(Pt(10, 0), Pt(10, 40)),
+		Seg(Pt(20, 0), Pt(20, 40)),
+	}
+	if got := CrossingCount(Pt(0, 20), Pt(30, 20), walls); got != 2 {
+		t.Errorf("both walls: %d", got)
+	}
+	if got := CrossingCount(Pt(0, 20), Pt(15, 20), walls); got != 1 {
+		t.Errorf("one wall: %d", got)
+	}
+	if got := CrossingCount(Pt(0, 20), Pt(5, 20), walls); got != 0 {
+		t.Errorf("no walls: %d", got)
+	}
+	if got := CrossingCount(Pt(0, 20), Pt(30, 20), nil); got != 0 {
+		t.Errorf("nil walls: %d", got)
+	}
+}

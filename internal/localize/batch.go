@@ -1,0 +1,66 @@
+package localize
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one observation's estimate with its error, in the
+// input order.
+type BatchResult struct {
+	Estimate Estimate
+	Err      error
+}
+
+// Batch localizes many observations concurrently over a worker pool —
+// the server-side shape of the toolkit, where one trained service
+// answers a building's worth of clients. workers ≤ 0 uses GOMAXPROCS.
+// Results preserve input order. The locator must be safe for
+// concurrent Locate calls; every localizer in this package is, after
+// any lazy caches are built (Histogram builds its cache on first use,
+// so prime it with one call before fanning out — Batch does this
+// automatically when it sees more than one worker).
+func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
+	out := make([]BatchResult, len(observations))
+	if len(observations) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(observations) {
+		workers = len(observations)
+	}
+	if workers > 1 {
+		// Prime lazy caches single-threaded so concurrent Locate calls
+		// are read-only.
+		est, err := loc.Locate(observations[0])
+		out[0] = BatchResult{Estimate: est, Err: err}
+		if len(observations) == 1 {
+			return out
+		}
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					est, err := loc.Locate(observations[i])
+					out[i] = BatchResult{Estimate: est, Err: err}
+				}
+			}()
+		}
+		for i := 1; i < len(observations); i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		return out
+	}
+	for i, obs := range observations {
+		est, err := loc.Locate(obs)
+		out[i] = BatchResult{Estimate: est, Err: err}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package localize
+
+import (
+	"math/rand"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+func batchFixture(t *testing.T) (Locator, []Observation) {
+	t.Helper()
+	env := quietEnv(t)
+	db := buildDB(t, env, 10, 1)
+	rng := rand.New(rand.NewSource(3))
+	var obs []Observation
+	for i := 0; i < 50; i++ {
+		p := observe(env, randomHousePoint(rng), 5, rng)
+		obs = append(obs, p)
+	}
+	return NewMaxLikelihood(db), obs
+}
+
+func randomHousePoint(rng *rand.Rand) geom.Point {
+	return geom.Pt(rng.Float64()*50, rng.Float64()*40)
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	loc, obs := batchFixture(t)
+	seq := Batch(loc, obs, 1)
+	par := Batch(loc, obs, 8)
+	if len(seq) != len(obs) || len(par) != len(obs) {
+		t.Fatal("length mismatch")
+	}
+	for i := range seq {
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("obs %d error mismatch", i)
+		}
+		if seq[i].Err == nil && seq[i].Estimate.Name != par[i].Estimate.Name {
+			t.Fatalf("obs %d: %q vs %q", i, seq[i].Estimate.Name, par[i].Estimate.Name)
+		}
+	}
+}
+
+func TestBatchHistogramConcurrent(t *testing.T) {
+	// The histogram localizer has a lazy cache; Batch must prime it
+	// before fanning out (this test runs under -race in CI).
+	env := quietEnv(t)
+	db := buildDB(t, env, 10, 1)
+	h := NewHistogram(db)
+	rng := rand.New(rand.NewSource(4))
+	var obs []Observation
+	for i := 0; i < 30; i++ {
+		obs = append(obs, observe(env, randomHousePoint(rng), 5, rng))
+	}
+	res := Batch(h, obs, 6)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("obs %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestBatchErrorsPropagatePerObservation(t *testing.T) {
+	loc, obs := batchFixture(t)
+	obs[7] = Observation{}                  // empty → error
+	obs[23] = Observation{"gh:os:t": -50.0} // no overlap → error
+	res := Batch(loc, obs, 4)
+	if res[7].Err != ErrEmptyObservation {
+		t.Errorf("obs 7 err = %v", res[7].Err)
+	}
+	if res[23].Err != ErrNoOverlap {
+		t.Errorf("obs 23 err = %v", res[23].Err)
+	}
+	if res[8].Err != nil {
+		t.Errorf("neighbouring observation poisoned: %v", res[8].Err)
+	}
+}
+
+func TestBatchDegenerate(t *testing.T) {
+	loc, obs := batchFixture(t)
+	if got := Batch(loc, nil, 4); len(got) != 0 {
+		t.Error("nil observations produced results")
+	}
+	one := Batch(loc, obs[:1], 16)
+	if len(one) != 1 || one[0].Err != nil {
+		t.Errorf("single observation: %+v", one)
+	}
+	// workers=0 means GOMAXPROCS — still correct.
+	auto := Batch(loc, obs[:5], 0)
+	if len(auto) != 5 {
+		t.Errorf("auto workers: %d results", len(auto))
+	}
+}

@@ -1,0 +1,79 @@
+package localize
+
+import (
+	"math"
+	"sort"
+)
+
+// ConfidenceRadius estimates how far the true position may plausibly
+// be from the returned coordinates: the smallest radius around
+// est.Pos containing at least fraction of the posterior mass over the
+// candidate locations. Applications use it to decide whether a
+// room-level answer is trustworthy ("somewhere on this floor" vs
+// "in this room").
+//
+// Candidate scores are interpreted as log-likelihoods and converted to
+// a posterior under a uniform prior; a Histogram estimate (whose
+// scores are already normalised probabilities in [0,1]) is detected
+// and used as-is. It returns 0 when the estimate carries no
+// candidates, and clamps fraction into (0, 1].
+func ConfidenceRadius(est Estimate, fraction float64) float64 {
+	if len(est.Candidates) == 0 {
+		return 0
+	}
+	if fraction <= 0 {
+		fraction = 0.5
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	// Detect already-normalised scores: all in [0, 1] summing to ≈1.
+	sum := 0.0
+	normalised := true
+	for _, c := range est.Candidates {
+		if c.Score < 0 || c.Score > 1 {
+			normalised = false
+			break
+		}
+		sum += c.Score
+	}
+	weights := make([]float64, len(est.Candidates))
+	if normalised && math.Abs(sum-1) < 1e-6 {
+		for i, c := range est.Candidates {
+			weights[i] = c.Score
+		}
+	} else {
+		// Softmax of log-likelihoods (candidates are ranked best-first,
+		// so the max is the first score).
+		max := est.Candidates[0].Score
+		total := 0.0
+		for i, c := range est.Candidates {
+			weights[i] = math.Exp(c.Score - max)
+			total += weights[i]
+		}
+		if total == 0 {
+			return 0
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	// Accumulate mass outward from est.Pos.
+	type massAt struct {
+		dist float64
+		w    float64
+	}
+	ms := make([]massAt, len(est.Candidates))
+	for i, c := range est.Candidates {
+		ms[i] = massAt{dist: est.Pos.Dist(c.Pos), w: weights[i]}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].dist < ms[j].dist })
+	acc := 0.0
+	for _, m := range ms {
+		acc += m.w
+		if acc >= fraction-1e-12 {
+			return m.dist
+		}
+	}
+	return ms[len(ms)-1].dist
+}

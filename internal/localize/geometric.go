@@ -1,0 +1,204 @@
+package localize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/trainingdb"
+)
+
+// Combiner selects how the geometric approach merges the pairwise
+// circle-intersection points into one estimate.
+type Combiner int
+
+const (
+	// CombineMedian is the paper's rule: the component-wise median
+	// point of P1..P4.
+	CombineMedian Combiner = iota
+	// CombineCentroid averages the intersection points.
+	CombineCentroid
+	// CombineGeoMedian uses the Fermat–Weber geometric median.
+	CombineGeoMedian
+	// CombineLeastSquares skips pairwise intersections entirely and
+	// solves the classical multilateration least-squares system.
+	CombineLeastSquares
+)
+
+// String names the combiner for reports.
+func (c Combiner) String() string {
+	switch c {
+	case CombineMedian:
+		return "median"
+	case CombineCentroid:
+		return "centroid"
+	case CombineGeoMedian:
+		return "geometric-median"
+	case CombineLeastSquares:
+		return "least-squares"
+	default:
+		return fmt.Sprintf("combiner(%d)", int(c))
+	}
+}
+
+// APModel is one access point's fitted signal↔distance relationship:
+// the paper fits each AP separately because antennas, transmit powers
+// and surroundings differ.
+type APModel struct {
+	BSSID string
+	Pos   geom.Point
+	Model *regress.Model
+	// MinDist and MaxDist bracket the model inversion; they come from
+	// the span of training distances, padded outward.
+	MinDist, MaxDist float64
+}
+
+// Geometric is the paper's §5.2 approach: observed RSSI per AP →
+// distance via the fitted inverse-square model → circles around the
+// APs → pairwise intersection points P1..Pn → combined estimate
+// (median point, in the paper).
+type Geometric struct {
+	APs []APModel
+	// Combine selects the merge rule; zero value is the paper's median.
+	Combine Combiner
+	// MinAPs is the minimum number of usable circles; the geometry
+	// needs at least 3 (the paper uses 4). Zero means 3.
+	MinAPs int
+	// Bounds, when non-zero, clamps the final estimate into the floor
+	// rectangle. The paper does not clamp (its §5.2 estimates are raw
+	// intersections), so the zero value preserves that behaviour;
+	// deployments that know the floor outline should set it — a user
+	// cannot be 30 ft outside the building.
+	Bounds geom.Rect
+}
+
+// Name implements Locator.
+func (g *Geometric) Name() string { return "geometric-" + g.Combine.String() }
+
+// FitGeometric builds a Geometric localizer from a training database
+// and the AP positions (keyed by BSSID, plan-frame feet). Each AP's
+// samples are regressed on distance under the basis; pass
+// regress.InversePowerBasis{Degree: 2, MinDist: 1} for the paper's
+// reverse-square model. APs with too few samples or a singular fit are
+// skipped; fewer than three surviving APs is an error.
+func FitGeometric(db *trainingdb.DB, apPositions map[string]geom.Point, basis regress.Basis) (*Geometric, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, errors.New("localize: FitGeometric needs a training database")
+	}
+	if len(apPositions) == 0 {
+		return nil, errors.New("localize: FitGeometric needs AP positions")
+	}
+	g := &Geometric{}
+	// Deterministic AP order.
+	bssids := make([]string, 0, len(apPositions))
+	for b := range apPositions {
+		bssids = append(bssids, b)
+	}
+	sort.Strings(bssids)
+	for _, bssid := range bssids {
+		pos := apPositions[bssid]
+		dists, rssis := db.DistanceSamples(bssid, pos)
+		if len(dists) == 0 {
+			continue
+		}
+		model, err := regress.Fit(basis, dists, rssis)
+		if err != nil {
+			continue // not enough diversity for this AP; skip it
+		}
+		minD, maxD := dists[0], dists[0]
+		for _, d := range dists[1:] {
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		if minD > 1 {
+			minD = 1
+		}
+		g.APs = append(g.APs, APModel{
+			BSSID:   bssid,
+			Pos:     pos,
+			Model:   model,
+			MinDist: minD,
+			MaxDist: maxD * 1.5,
+		})
+	}
+	if len(g.APs) < 3 {
+		return nil, fmt.Errorf("localize: only %d APs fitted; geometric approach needs 3", len(g.APs))
+	}
+	return g, nil
+}
+
+// Distances inverts each fitted model at the observed levels,
+// returning one circle per AP heard in the observation. Observations
+// outside a model's range clamp to the bracket edge (ErrNoRoot from
+// the inverter is tolerated: a stronger-than-trained reading means
+// "very close").
+func (g *Geometric) Distances(obs Observation) []geom.Circle {
+	var circles []geom.Circle
+	for _, ap := range g.APs {
+		level, ok := obs[ap.BSSID]
+		if !ok {
+			continue
+		}
+		d, err := regress.Invert(ap.Model, level, ap.MinDist, ap.MaxDist)
+		if err != nil && !errors.Is(err, regress.ErrNoRoot) {
+			continue
+		}
+		circles = append(circles, geom.Circle{C: ap.Pos, R: d})
+	}
+	return circles
+}
+
+// Locate implements Locator.
+func (g *Geometric) Locate(obs Observation) (Estimate, error) {
+	if err := validateObservation(obs); err != nil {
+		return Estimate{}, err
+	}
+	if len(g.APs) == 0 {
+		return Estimate{}, errors.New("localize: Geometric has no fitted APs")
+	}
+	circles := g.Distances(obs)
+	minAPs := g.MinAPs
+	if minAPs <= 0 {
+		minAPs = 3
+	}
+	if len(circles) == 0 {
+		return Estimate{}, ErrNoOverlap
+	}
+	if len(circles) < minAPs {
+		return Estimate{}, ErrTooFewAPs
+	}
+	centers := make([]geom.Point, len(circles))
+	for i, c := range circles {
+		centers[i] = c.C
+	}
+	hint := geom.Centroid(centers)
+	var pos geom.Point
+	switch g.Combine {
+	case CombineLeastSquares:
+		p, ok := geom.Trilaterate(circles)
+		if !ok {
+			return Estimate{}, errors.New("localize: multilateration singular (collinear APs?)")
+		}
+		pos = p
+	default:
+		pts := geom.PairwiseIntersections(circles, hint)
+		switch g.Combine {
+		case CombineCentroid:
+			pos = geom.Centroid(pts)
+		case CombineGeoMedian:
+			pos = geom.GeometricMedian(pts, 200, 1e-9)
+		default: // CombineMedian, the paper's rule
+			pos = geom.MedianPoint(pts)
+		}
+	}
+	if g.Bounds.Width() > 0 && g.Bounds.Height() > 0 {
+		pos = g.Bounds.Clamp(pos)
+	}
+	return Estimate{Pos: pos, Score: float64(len(circles))}, nil
+}

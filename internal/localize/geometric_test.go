@@ -1,0 +1,253 @@
+package localize
+
+import (
+	"math/rand"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/regress"
+	"indoorloc/internal/trainingdb"
+)
+
+func paperBasis() regress.Basis {
+	return regress.InversePowerBasis{Degree: 2, MinDist: 1}
+}
+
+func fitHouse(t *testing.T, quiet bool) (*Geometric, *rand.Rand, func(p geom.Point, n int) Observation) {
+	t.Helper()
+	var env = quietEnv(t)
+	if !quiet {
+		env = noisyEnv(t)
+	}
+	db := buildDB(t, env, 20, 1)
+	g, err := FitGeometric(db, apPositions(houseAPs()), paperBasis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	return g, rng, func(p geom.Point, n int) Observation {
+		return observe(env, p, n, rng)
+	}
+}
+
+func TestFitGeometricShape(t *testing.T) {
+	g, _, _ := fitHouse(t, true)
+	if len(g.APs) != 4 {
+		t.Fatalf("fitted %d APs", len(g.APs))
+	}
+	for _, ap := range g.APs {
+		if ap.Model == nil {
+			t.Fatalf("%s has nil model", ap.BSSID)
+		}
+		// The fitted curve must decay: closer is stronger.
+		near := ap.Model.Predict(5)
+		far := ap.Model.Predict(50)
+		if near <= far {
+			t.Errorf("%s model not decaying: %v at 5 ft, %v at 50 ft", ap.BSSID, near, far)
+		}
+		if ap.MaxDist <= ap.MinDist {
+			t.Errorf("%s bracket [%v, %v]", ap.BSSID, ap.MinDist, ap.MaxDist)
+		}
+	}
+}
+
+func TestGeometricQuietAccuracy(t *testing.T) {
+	g, _, obsAt := fitHouse(t, true)
+	if g.Name() != "geometric-median" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// In a near-noise-free environment the paper's method should land
+	// within a few feet anywhere inside the house.
+	for _, target := range []geom.Point{
+		geom.Pt(25, 20), geom.Pt(10, 10), geom.Pt(40, 30), geom.Pt(15, 28),
+	} {
+		est, err := g.Locate(obsAt(target, 10))
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		if d := est.Pos.Dist(target); d > 6 {
+			t.Errorf("%v: error %.1f ft", target, d)
+		}
+	}
+}
+
+func TestGeometricCombiners(t *testing.T) {
+	g, _, obsAt := fitHouse(t, true)
+	target := geom.Pt(20, 25)
+	obs := obsAt(target, 10)
+	for _, comb := range []Combiner{CombineMedian, CombineCentroid, CombineGeoMedian, CombineLeastSquares} {
+		g.Combine = comb
+		est, err := g.Locate(obs)
+		if err != nil {
+			t.Fatalf("%v: %v", comb, err)
+		}
+		if d := est.Pos.Dist(target); d > 8 {
+			t.Errorf("%v: error %.1f ft", comb, d)
+		}
+	}
+}
+
+func TestCombinerString(t *testing.T) {
+	cases := map[Combiner]string{
+		CombineMedian:       "median",
+		CombineCentroid:     "centroid",
+		CombineGeoMedian:    "geometric-median",
+		CombineLeastSquares: "least-squares",
+		Combiner(99):        "combiner(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestGeometricErrors(t *testing.T) {
+	g, _, _ := fitHouse(t, true)
+	if _, err := g.Locate(Observation{}); err != ErrEmptyObservation {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := g.Locate(Observation{"zz": -50}); err != ErrNoOverlap {
+		t.Errorf("no overlap: %v", err)
+	}
+	// Only two APs heard: too few for the geometry.
+	two := Observation{
+		g.APs[0].BSSID: -60,
+		g.APs[1].BSSID: -65,
+	}
+	if _, err := g.Locate(two); err != ErrTooFewAPs {
+		t.Errorf("two APs: %v", err)
+	}
+	bare := &Geometric{}
+	if _, err := bare.Locate(Observation{"a": -60}); err == nil {
+		t.Error("unfitted localizer accepted")
+	}
+}
+
+func TestFitGeometricErrors(t *testing.T) {
+	if _, err := FitGeometric(nil, map[string]geom.Point{"a": {}}, paperBasis()); err == nil {
+		t.Error("nil DB accepted")
+	}
+	env := quietEnv(t)
+	db := buildDB(t, env, 5, 1)
+	if _, err := FitGeometric(db, nil, paperBasis()); err == nil {
+		t.Error("nil AP positions accepted")
+	}
+	// Positions for APs that don't exist in the DB: nothing to fit.
+	ghost := map[string]geom.Point{
+		"gh:ost:1": geom.Pt(0, 0), "gh:ost:2": geom.Pt(1, 1), "gh:ost:3": geom.Pt(2, 2),
+	}
+	if _, err := FitGeometric(db, ghost, paperBasis()); err == nil {
+		t.Error("ghost APs accepted")
+	}
+	empty := &trainingdb.DB{Entries: map[string]*trainingdb.Entry{}}
+	if _, err := FitGeometric(empty, ghost, paperBasis()); err == nil {
+		t.Error("empty DB accepted")
+	}
+}
+
+func TestGeometricDistancesRoundTrip(t *testing.T) {
+	g, _, _ := fitHouse(t, true)
+	// Build an observation from each AP model's own prediction at a
+	// known distance; inversion must recover those distances.
+	target := geom.Pt(30, 15)
+	obs := make(Observation, len(g.APs))
+	want := make(map[string]float64, len(g.APs))
+	for _, ap := range g.APs {
+		d := ap.Pos.Dist(target)
+		obs[ap.BSSID] = ap.Model.Predict(d)
+		want[ap.BSSID] = d
+	}
+	circles := g.Distances(obs)
+	if len(circles) != len(g.APs) {
+		t.Fatalf("got %d circles", len(circles))
+	}
+	for i, c := range circles {
+		ap := g.APs[i]
+		if diff := c.R - want[ap.BSSID]; diff > 0.1 || diff < -0.1 {
+			t.Errorf("%s distance %.2f, want %.2f", ap.BSSID, c.R, want[ap.BSSID])
+		}
+	}
+	// Noise-free inversion plus the paper combiner lands on target.
+	est, err := g.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.Pos.Dist(target); d > 1 {
+		t.Errorf("synthetic observation error %.2f ft", d)
+	}
+}
+
+func TestGeometricStrongerThanTrainedClamps(t *testing.T) {
+	g, _, _ := fitHouse(t, true)
+	// An observation hotter than anything trained must clamp to the
+	// minimum distance, not fail.
+	obs := make(Observation, len(g.APs))
+	for _, ap := range g.APs {
+		obs[ap.BSSID] = -1
+	}
+	est, err := g.Locate(obs)
+	if err != nil {
+		t.Fatalf("hot observation: %v", err)
+	}
+	if !est.Pos.IsFinite() {
+		t.Errorf("estimate %v not finite", est.Pos)
+	}
+}
+
+func TestGeometricNoisyStillReasonable(t *testing.T) {
+	g, _, obsAt := fitHouse(t, false)
+	// With full noise the paper reports ~16 ft average deviation; allow
+	// a generous bound per point.
+	total := 0.0
+	n := 0
+	for _, target := range []geom.Point{
+		geom.Pt(25, 20), geom.Pt(12, 8), geom.Pt(38, 31), geom.Pt(5, 35), geom.Pt(45, 5),
+	} {
+		est, err := g.Locate(obsAt(target, 15))
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		total += est.Pos.Dist(target)
+		n++
+	}
+	if avg := total / float64(n); avg > 25 {
+		t.Errorf("average error %.1f ft under noise; expected paper-like ~16 ft", avg)
+	}
+}
+
+func TestGeometricBoundsClamp(t *testing.T) {
+	g, _, _ := fitHouse(t, true)
+	// An absurd observation drives the raw estimate outside the floor;
+	// with Bounds set the answer is clamped inside.
+	obs := Observation{
+		g.APs[0].BSSID: -1,
+		g.APs[1].BSSID: -90,
+		g.APs[2].BSSID: -90,
+		g.APs[3].BSSID: -90,
+	}
+	raw, err := g.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Bounds = geom.RectWH(0, 0, 50, 40)
+	clamped, err := g.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Bounds.Contains(clamped.Pos) {
+		t.Errorf("clamped estimate %v outside bounds", clamped.Pos)
+	}
+	// When the raw estimate was already inside, clamping is identity.
+	if g.Bounds.Contains(raw.Pos) && raw.Pos != clamped.Pos {
+		t.Errorf("in-bounds estimate moved: %v -> %v", raw.Pos, clamped.Pos)
+	}
+	g.Bounds = geom.Rect{} // zero value restores paper behaviour
+	again, err := g.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Pos != raw.Pos {
+		t.Error("zero bounds did not restore raw behaviour")
+	}
+}

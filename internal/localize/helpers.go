@@ -1,0 +1,81 @@
+package localize
+
+import (
+	"math"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+// logf is a guarded log: probabilities at or below zero (which Laplace
+// smoothing should prevent) map to a large negative constant instead
+// of -Inf, keeping candidate ordering total.
+func logf(p float64) float64 {
+	if p <= 0 {
+		return -1e9
+	}
+	return math.Log(p)
+}
+
+// normalizePosterior rewrites candidate scores from log-likelihoods to
+// posterior probabilities under a uniform prior (a numerically safe
+// softmax). Candidates must already be ranked best-first.
+func normalizePosterior(cs []Candidate) {
+	if len(cs) == 0 {
+		return
+	}
+	max := cs[0].Score
+	sum := 0.0
+	for i := range cs {
+		cs[i].Score = math.Exp(cs[i].Score - max)
+		sum += cs[i].Score
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range cs {
+		cs[i].Score /= sum
+	}
+}
+
+// posteriorMean converts ranked log-likelihood candidates into a
+// posterior (softmax under a uniform prior) and returns the expected
+// position. Candidates must be ranked best-first.
+func posteriorMean(cs []Candidate) geom.Point {
+	if len(cs) == 0 {
+		return geom.Point{}
+	}
+	max := cs[0].Score
+	var sum float64
+	var mean geom.Point
+	for _, c := range cs {
+		w := math.Exp(c.Score - max)
+		mean = mean.Add(c.Pos.Scale(w))
+		sum += w
+	}
+	if sum == 0 {
+		return cs[0].Pos
+	}
+	return mean.Scale(1 / sum)
+}
+
+// buildHists populates the Histogram localizer's per ⟨entry, AP⟩
+// histogram cache.
+func (h *Histogram) buildHists(lo, hi float64, bins int) error {
+	h.hists = make(map[string]map[string]*stats.Histogram, h.DB.Len())
+	for name, e := range h.DB.Entries {
+		m := make(map[string]*stats.Histogram, len(e.PerAP))
+		for bssid, s := range e.PerAP {
+			hist, err := stats.NewHistogram(lo, hi, bins)
+			if err != nil {
+				return err
+			}
+			for _, v := range s.Samples {
+				hist.Add(v)
+			}
+			m[bssid] = hist
+		}
+		h.hists[name] = m
+	}
+	return nil
+}

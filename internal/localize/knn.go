@@ -1,0 +1,128 @@
+package localize
+
+import (
+	"errors"
+	"math"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/trainingdb"
+)
+
+// KNN is the RADAR baseline: nearest neighbour(s) in signal space.
+// The observation vector is compared with each training point's mean
+// vector by Euclidean distance in dB; the estimate is the centroid of
+// the K closest training points (K=1 is classic NNSS). Weighted mode
+// scales each neighbour by the inverse of its signal distance.
+type KNN struct {
+	DB *trainingdb.DB
+	// K is the neighbour count; zero means 1.
+	K int
+	// Weighted selects inverse-distance weighting of the K neighbours.
+	Weighted bool
+	// FloorRSSI substitutes for APs missing on either side. Typical -95.
+	FloorRSSI float64
+}
+
+// NewKNN returns a K-nearest-neighbour localizer.
+func NewKNN(db *trainingdb.DB, k int) *KNN {
+	return &KNN{DB: db, K: k, FloorRSSI: -95}
+}
+
+// Name implements Locator.
+func (k *KNN) Name() string {
+	if k.kVal() == 1 {
+		return "nnss"
+	}
+	if k.Weighted {
+		return "wknn"
+	}
+	return "knn"
+}
+
+func (k *KNN) kVal() int {
+	if k.K <= 0 {
+		return 1
+	}
+	return k.K
+}
+
+// SignalDistance returns the Euclidean distance in dB between an
+// observation and a training entry over the database's AP universe,
+// substituting floor for missing readings.
+func (k *KNN) SignalDistance(obs Observation, e *trainingdb.Entry) float64 {
+	sum := 0.0
+	for _, b := range k.DB.BSSIDs {
+		var trainVal, obsVal float64
+		if s, ok := e.PerAP[b]; ok {
+			trainVal = s.Mean
+		} else {
+			trainVal = k.FloorRSSI
+		}
+		if v, ok := obs[b]; ok {
+			obsVal = v
+		} else {
+			obsVal = k.FloorRSSI
+		}
+		d := obsVal - trainVal
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Locate implements Locator.
+func (k *KNN) Locate(obs Observation) (Estimate, error) {
+	if err := validateObservation(obs); err != nil {
+		return Estimate{}, err
+	}
+	if k.DB == nil || k.DB.Len() == 0 {
+		return Estimate{}, errors.New("localize: KNN has no training database")
+	}
+	overlap := false
+	for _, b := range k.DB.BSSIDs {
+		if _, ok := obs[b]; ok {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return Estimate{}, ErrNoOverlap
+	}
+	candidates := make([]Candidate, 0, k.DB.Len())
+	for _, name := range k.DB.Names() {
+		e := k.DB.Entries[name]
+		d := k.SignalDistance(obs, e)
+		candidates = append(candidates, Candidate{Name: name, Pos: e.Pos, Score: -d})
+	}
+	rankCandidates(candidates)
+	kk := k.kVal()
+	if kk > len(candidates) {
+		kk = len(candidates)
+	}
+	top := candidates[:kk]
+	var pos geom.Point
+	if k.Weighted {
+		var wsum float64
+		for _, c := range top {
+			w := 1 / (1e-6 - c.Score) // score is -distance
+			pos = pos.Add(c.Pos.Scale(w))
+			wsum += w
+		}
+		pos = pos.Scale(1 / wsum)
+	} else {
+		pts := make([]geom.Point, len(top))
+		for i, c := range top {
+			pts[i] = c.Pos
+		}
+		pos = geom.Centroid(pts)
+	}
+	name := ""
+	if kk == 1 {
+		name = top[0].Name
+	}
+	return Estimate{
+		Pos:        pos,
+		Name:       name,
+		Score:      top[0].Score,
+		Candidates: candidates,
+	}, nil
+}

@@ -1,0 +1,209 @@
+package localize
+
+import (
+	"errors"
+
+	"indoorloc/internal/stats"
+	"indoorloc/internal/trainingdb"
+)
+
+// MaxLikelihood is the paper's probabilistic approach (§5.1). For each
+// training point it evaluates, per AP, the Gaussian likelihood
+//
+//	value = exp(-(observation-training)²/(2σ²)) / sqrt(2πσ²)
+//
+// with the training point's stored mean and standard deviation, and
+// multiplies the per-AP values (a log-domain sum here, to survive many
+// APs). The training point with the maximum likelihood is the
+// estimate; like the paper, the method "does not return the coordinate
+// values of the observed location, but returns the most approximate
+// training location instead".
+type MaxLikelihood struct {
+	DB *trainingdb.DB
+	// FloorRSSI substitutes for APs present on one side (observation or
+	// training entry) but not the other, modelling "heard nothing" as a
+	// level at the receiver floor. Typical: -95.
+	FloorRSSI float64
+	// FloorSigma is the spread assumed for substituted readings.
+	// Typical: 4 dB. Values below stats.MinSigma are raised to it.
+	FloorSigma float64
+	// MinOverlap is the minimum number of APs the observation must
+	// share with the database; below it ErrNoOverlap is returned.
+	// Zero means 1.
+	MinOverlap int
+	// ExpectedPosition switches the returned coordinates from the
+	// maximum-likelihood training point (the paper's rule) to the
+	// posterior-weighted mean over all training points. Name still
+	// reports the argmax, so the paper's validity metric is unaffected.
+	ExpectedPosition bool
+}
+
+// NewMaxLikelihood returns a MaxLikelihood with the standard floor
+// parameters.
+func NewMaxLikelihood(db *trainingdb.DB) *MaxLikelihood {
+	return &MaxLikelihood{DB: db, FloorRSSI: -95, FloorSigma: 4}
+}
+
+// Name implements Locator.
+func (m *MaxLikelihood) Name() string { return "probabilistic-ml" }
+
+// Locate implements Locator.
+func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
+	if err := validateObservation(obs); err != nil {
+		return Estimate{}, err
+	}
+	if m.DB == nil || m.DB.Len() == 0 {
+		return Estimate{}, errors.New("localize: MaxLikelihood has no training database")
+	}
+	minOverlap := m.MinOverlap
+	if minOverlap <= 0 {
+		minOverlap = 1
+	}
+	overlap := 0
+	known := make(map[string]bool, len(m.DB.BSSIDs))
+	for _, b := range m.DB.BSSIDs {
+		known[b] = true
+	}
+	for b := range obs {
+		if known[b] {
+			overlap++
+		}
+	}
+	if overlap < minOverlap {
+		return Estimate{}, ErrNoOverlap
+	}
+	floorSigma := m.FloorSigma
+	if floorSigma < stats.MinSigma {
+		floorSigma = stats.MinSigma
+	}
+	candidates := make([]Candidate, 0, m.DB.Len())
+	for _, name := range m.DB.Names() {
+		e := m.DB.Entries[name]
+		ll := 0.0
+		// Score over the union of APs: observed-and-trained pairs use
+		// the trained Gaussian; mismatches use the floor model, which
+		// penalises hearing an AP the training point never heard (and
+		// vice versa) — absence is evidence too.
+		for _, b := range m.DB.BSSIDs {
+			s, trained := e.PerAP[b]
+			o, heard := obs[b]
+			switch {
+			case trained && heard:
+				ll += stats.LogGaussianPDF(o, s.Mean, s.StdDev)
+			case trained && !heard:
+				ll += stats.LogGaussianPDF(m.FloorRSSI, s.Mean, s.StdDev)
+			case !trained && heard:
+				ll += stats.LogGaussianPDF(o, m.FloorRSSI, floorSigma)
+			}
+		}
+		candidates = append(candidates, Candidate{Name: name, Pos: e.Pos, Score: ll})
+	}
+	rankCandidates(candidates)
+	best := candidates[0]
+	est := Estimate{
+		Pos:        best.Pos,
+		Name:       best.Name,
+		Score:      best.Score,
+		Candidates: candidates,
+	}
+	if m.ExpectedPosition {
+		est.Pos = posteriorMean(candidates)
+	}
+	return est, nil
+}
+
+// Histogram is the Bayesian histogram-matching localizer the paper
+// sketches as future work ("our new algorithm will consider the
+// distribution of these values"): instead of collapsing each
+// ⟨training point, AP⟩ sample set to a mean and σ, it bins the raw
+// samples and scores an observation by the smoothed bin probability,
+// combined across APs in log space with a uniform prior over training
+// points. The posterior over training points is exposed through the
+// candidate scores.
+type Histogram struct {
+	DB *trainingdb.DB
+	// Bins is the histogram resolution in whole-dB bins over
+	// [RangeLo, RangeHi). Zero means 70 bins over [-100, -30).
+	Bins             int
+	RangeLo, RangeHi float64
+	// FloorRSSI substitutes for unheard APs, as in MaxLikelihood.
+	FloorRSSI float64
+
+	// hists caches per ⟨entry, AP⟩ histograms, built on first use. The
+	// database must not change after the first Locate call.
+	hists map[string]map[string]*stats.Histogram
+}
+
+// NewHistogram returns a Histogram localizer with 1-dB bins over the
+// practical RSSI range.
+func NewHistogram(db *trainingdb.DB) *Histogram {
+	return &Histogram{DB: db, Bins: 70, RangeLo: -100, RangeHi: -30, FloorRSSI: -95}
+}
+
+// Name implements Locator.
+func (h *Histogram) Name() string { return "probabilistic-histogram" }
+
+// Locate implements Locator.
+func (h *Histogram) Locate(obs Observation) (Estimate, error) {
+	if err := validateObservation(obs); err != nil {
+		return Estimate{}, err
+	}
+	if h.DB == nil || h.DB.Len() == 0 {
+		return Estimate{}, errors.New("localize: Histogram has no training database")
+	}
+	bins := h.Bins
+	lo, hi := h.RangeLo, h.RangeHi
+	if bins <= 0 {
+		bins = 70
+		lo, hi = -100, -30
+	}
+	if hi <= lo {
+		lo, hi = -100, -30
+	}
+	overlap := false
+	for _, b := range h.DB.BSSIDs {
+		if _, ok := obs[b]; ok {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return Estimate{}, ErrNoOverlap
+	}
+	if h.hists == nil {
+		if err := h.buildHists(lo, hi, bins); err != nil {
+			return Estimate{}, err
+		}
+	}
+	// An AP heard now but never seen at some entry scores against an
+	// empty histogram — uniform after Laplace smoothing.
+	uniform := logf(1 / float64(bins))
+	candidates := make([]Candidate, 0, h.DB.Len())
+	for _, name := range h.DB.Names() {
+		ll := 0.0
+		for _, b := range h.DB.BSSIDs {
+			hist, trained := h.hists[name][b]
+			o, heard := obs[b]
+			switch {
+			case trained && heard:
+				ll += logf(hist.Prob(o))
+			case trained && !heard:
+				ll += logf(hist.Prob(h.FloorRSSI))
+			case !trained && heard:
+				ll += uniform
+			}
+		}
+		candidates = append(candidates, Candidate{Name: name, Pos: h.DB.Entries[name].Pos, Score: ll})
+	}
+	rankCandidates(candidates)
+	// Normalise scores into a posterior for the candidates (softmax of
+	// log-likelihoods with uniform prior).
+	normalizePosterior(candidates)
+	best := candidates[0]
+	return Estimate{
+		Pos:        best.Pos,
+		Name:       best.Name,
+		Score:      best.Score,
+		Candidates: candidates,
+	}, nil
+}

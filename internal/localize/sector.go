@@ -1,0 +1,162 @@
+package localize
+
+import (
+	"errors"
+	"sort"
+
+	"indoorloc/internal/trainingdb"
+)
+
+// Sector implements the identifying-code approach the paper surveys in
+// §2.2: ignore signal strength entirely and use only *which* APs are
+// audible. Training records each location's audible-AP set; at
+// observation time "the set of visible broadcast tags forms an
+// identifying code, which determines the location from a table of
+// vertex-code pairings". Ties and near-misses are resolved by Hamming
+// distance between the observed code and each location's code.
+//
+// The method needs codes to differ between locations, which in
+// practice means either many APs or aggressive receiver floors; with
+// the paper's four house-wide audible APs it degrades gracefully to
+// "everything matches", making it a useful lower-bound baseline.
+type Sector struct {
+	DB *trainingdb.DB
+	// AudibleFraction is the fraction of a location's training sweeps
+	// in which an AP must appear to count as part of the location's
+	// code. Zero means 0.5.
+	AudibleFraction float64
+
+	codes map[string]uint64 // cached per-entry codes as BSSID bitmasks
+}
+
+// NewSector returns a Sector localizer over the database.
+func NewSector(db *trainingdb.DB) *Sector { return &Sector{DB: db} }
+
+// Name implements Locator.
+func (s *Sector) Name() string { return "sector-code" }
+
+// code builds the observed bitmask over the database's AP universe.
+func (s *Sector) observedCode(obs Observation) uint64 {
+	var code uint64
+	for i, b := range s.DB.BSSIDs {
+		if i >= 64 {
+			break // identifying codes beyond 64 APs are out of scope
+		}
+		if _, ok := obs[b]; ok {
+			code |= 1 << uint(i)
+		}
+	}
+	return code
+}
+
+// buildCodes derives each training location's code: an AP is in the
+// code when it was heard in at least AudibleFraction of that
+// location's sweeps (approximated by sample count relative to the
+// location's busiest AP, since wi-scan records do not carry sweep
+// counts explicitly).
+func (s *Sector) buildCodes() {
+	frac := s.AudibleFraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	s.codes = make(map[string]uint64, s.DB.Len())
+	for name, e := range s.DB.Entries {
+		maxN := 0
+		for _, st := range e.PerAP {
+			if st.N > maxN {
+				maxN = st.N
+			}
+		}
+		var code uint64
+		for i, b := range s.DB.BSSIDs {
+			if i >= 64 {
+				break
+			}
+			st, ok := e.PerAP[b]
+			if !ok {
+				continue
+			}
+			if maxN == 0 || float64(st.N) >= frac*float64(maxN) {
+				code |= 1 << uint(i)
+			}
+		}
+		s.codes[name] = code
+	}
+}
+
+// hamming counts differing bits.
+func hamming(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Locate implements Locator. The estimate is the centroid of all
+// locations whose codes are at the minimum Hamming distance from the
+// observed code; when a single location attains the minimum its name
+// is returned.
+func (s *Sector) Locate(obs Observation) (Estimate, error) {
+	if err := validateObservation(obs); err != nil {
+		return Estimate{}, err
+	}
+	if s.DB == nil || s.DB.Len() == 0 {
+		return Estimate{}, errors.New("localize: Sector has no training database")
+	}
+	overlap := false
+	for _, b := range s.DB.BSSIDs {
+		if _, ok := obs[b]; ok {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return Estimate{}, ErrNoOverlap
+	}
+	if s.codes == nil {
+		s.buildCodes()
+	}
+	observed := s.observedCode(obs)
+	candidates := make([]Candidate, 0, s.DB.Len())
+	best := 1 << 30
+	for _, name := range s.DB.Names() {
+		d := hamming(observed, s.codes[name])
+		if d < best {
+			best = d
+		}
+		candidates = append(candidates, Candidate{
+			Name:  name,
+			Pos:   s.DB.Entries[name].Pos,
+			Score: -float64(d),
+		})
+	}
+	rankCandidates(candidates)
+	// All minimum-distance locations vote; their centroid is the
+	// estimate.
+	var winners []Candidate
+	for _, c := range candidates {
+		if int(-c.Score) == best {
+			winners = append(winners, c)
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i].Name < winners[j].Name })
+	var x, y float64
+	for _, c := range winners {
+		x += c.Pos.X
+		y += c.Pos.Y
+	}
+	n := float64(len(winners))
+	est := Estimate{
+		Score:      -float64(best),
+		Candidates: candidates,
+	}
+	est.Pos.X, est.Pos.Y = x/n, y/n
+	if len(winners) == 1 {
+		est.Name = winners[0].Name
+		est.Pos = winners[0].Pos
+	}
+	return est, nil
+}

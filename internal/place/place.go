@@ -1,0 +1,251 @@
+// Package place chooses access-point positions for a floor — the
+// deployment-planning question upstream of everything the paper
+// builds: localization is only as good as the AP geometry (see the
+// AP-count and AP-placement sensitivity in EXPERIMENTS.md A4).
+//
+// Two objectives are offered:
+//
+//   - Coverage: maximise the worst-case mean RSSI over the floor
+//     (classic WLAN planning), and
+//   - Distinguishability: maximise the minimum pairwise signal-space
+//     distance between training points (fingerprinting planning —
+//     points that sound alike localize alike).
+//
+// Both use greedy forward selection over a candidate set, which is
+// within (1−1/e) of optimal for the submodular coverage objective and
+// a strong heuristic for the min-distance one.
+package place
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/rf"
+	"indoorloc/internal/units"
+)
+
+// Objective scores a set of AP positions against sample points.
+type Objective int
+
+const (
+	// Coverage maximises the minimum (over sample points) of the
+	// maximum (over APs) mean RSSI — every point should hear at least
+	// one AP well.
+	Coverage Objective = iota
+	// Distinguishability maximises the minimum pairwise distance
+	// between sample points' signal vectors, so a fingerprinting
+	// localizer can tell them apart.
+	Distinguishability
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case Coverage:
+		return "coverage"
+	case Distinguishability:
+		return "distinguishability"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Problem is one placement instance.
+type Problem struct {
+	// Candidates are the feasible AP positions (outlets, ceiling mounts).
+	Candidates []geom.Point
+	// Samples are the floor points the objective is evaluated at
+	// (typically the training grid).
+	Samples []geom.Point
+	// Walls attenuate per crossing, via the model.
+	Walls []geom.Segment
+	// Model predicts mean RSSI; nil means rf.DefaultLogDistance().
+	Model rf.Model
+	// TxPower is the per-AP level at the model's reference distance;
+	// zero means -30 dBm.
+	TxPower units.DBm
+	// Objective selects the score; zero value is Coverage.
+	Objective Objective
+}
+
+// Result is a chosen placement.
+type Result struct {
+	// Indices into Problem.Candidates, in selection order.
+	Chosen []int
+	// Positions of the chosen candidates, in selection order.
+	Positions []geom.Point
+	// Score of the final set under the problem's objective.
+	Score float64
+}
+
+// rssiAt predicts the mean level at sample s from an AP at c.
+func (p *Problem) rssiAt(c, s geom.Point) float64 {
+	model := p.Model
+	if model == nil {
+		model = rf.DefaultLogDistance()
+	}
+	tx := p.TxPower
+	if tx == 0 {
+		tx = -30
+	}
+	w := geom.CrossingCount(c, s, p.Walls)
+	return float64(model.MeanRSSI(tx, c.Dist(s), w))
+}
+
+// Greedy selects k APs by forward selection: at each step it adds the
+// candidate that most improves the objective over the current set.
+// Ties break toward the lower candidate index, keeping runs
+// deterministic.
+func Greedy(p *Problem, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, errors.New("place: k must be positive")
+	}
+	if len(p.Candidates) < k {
+		return nil, fmt.Errorf("place: %d candidates for k=%d", len(p.Candidates), k)
+	}
+	if len(p.Samples) == 0 {
+		return nil, errors.New("place: no sample points")
+	}
+	if p.Objective == Distinguishability && len(p.Samples) < 2 {
+		return nil, errors.New("place: distinguishability needs at least two samples")
+	}
+
+	// Precompute the candidate × sample RSSI matrix once.
+	rssi := make([][]float64, len(p.Candidates))
+	for ci, c := range p.Candidates {
+		row := make([]float64, len(p.Samples))
+		for si, s := range p.Samples {
+			row[si] = p.rssiAt(c, s)
+		}
+		rssi[ci] = row
+	}
+
+	chosen := make([]int, 0, k)
+	inSet := make([]bool, len(p.Candidates))
+	for len(chosen) < k {
+		bestIdx := -1
+		bestScore := math.Inf(-1)
+		for ci := range p.Candidates {
+			if inSet[ci] {
+				continue
+			}
+			score := p.score(rssi, append(chosen, ci))
+			if score > bestScore {
+				bestScore = score
+				bestIdx = ci
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen = append(chosen, bestIdx)
+		inSet[bestIdx] = true
+	}
+	res := &Result{Chosen: chosen, Score: p.score(rssi, chosen)}
+	for _, ci := range chosen {
+		res.Positions = append(res.Positions, p.Candidates[ci])
+	}
+	return res, nil
+}
+
+// score evaluates a candidate set under the problem's objective.
+func (p *Problem) score(rssi [][]float64, set []int) float64 {
+	switch p.Objective {
+	case Distinguishability:
+		return p.minPairDistance(rssi, set)
+	default:
+		return p.minBestRSSI(rssi, set)
+	}
+}
+
+// minBestRSSI is the coverage objective: min over samples of the best
+// AP level there.
+func (p *Problem) minBestRSSI(rssi [][]float64, set []int) float64 {
+	worst := math.Inf(1)
+	for si := range p.Samples {
+		best := math.Inf(-1)
+		for _, ci := range set {
+			if v := rssi[ci][si]; v > best {
+				best = v
+			}
+		}
+		if best < worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// minPairDistance is the fingerprinting objective: the minimum
+// Euclidean distance in dB between any two samples' signal vectors
+// under the chosen APs.
+func (p *Problem) minPairDistance(rssi [][]float64, set []int) float64 {
+	min := math.Inf(1)
+	for i := 0; i < len(p.Samples); i++ {
+		for j := i + 1; j < len(p.Samples); j++ {
+			sum := 0.0
+			for _, ci := range set {
+				d := rssi[ci][i] - rssi[ci][j]
+				sum += d * d
+			}
+			if sum < min {
+				min = sum
+			}
+		}
+	}
+	return math.Sqrt(min)
+}
+
+// GridCandidates generates candidate positions on a grid over the
+// outline — the default feasible set when mounting anywhere is
+// acceptable.
+func GridCandidates(outline geom.Rect, pitch float64) []geom.Point {
+	if pitch <= 0 {
+		return nil
+	}
+	var out []geom.Point
+	for y := outline.Min.Y; y <= outline.Max.Y+1e-9; y += pitch {
+		for x := outline.Min.X; x <= outline.Max.X+1e-9; x += pitch {
+			out = append(out, geom.Pt(x, y))
+		}
+	}
+	return out
+}
+
+// Evaluate scores an explicit placement (for comparing a human layout,
+// like the paper's four corners, against the optimizer's pick).
+func Evaluate(p *Problem, positions []geom.Point) (float64, error) {
+	if len(positions) == 0 {
+		return 0, errors.New("place: empty placement")
+	}
+	// Treat the positions as the candidate set and select all of them.
+	saved := p.Candidates
+	p.Candidates = positions
+	defer func() { p.Candidates = saved }()
+	rssi := make([][]float64, len(positions))
+	for ci, c := range positions {
+		row := make([]float64, len(p.Samples))
+		for si, s := range p.Samples {
+			row[si] = p.rssiAt(c, s)
+		}
+		rssi[ci] = row
+	}
+	set := make([]int, len(positions))
+	for i := range set {
+		set[i] = i
+	}
+	return p.score(rssi, set), nil
+}
+
+// Describe renders a result for logs.
+func (r *Result) Describe() string {
+	parts := make([]string, 0, len(r.Positions))
+	for _, pos := range r.Positions {
+		parts = append(parts, pos.String())
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("%d APs at %v (score %.1f)", len(r.Positions), parts, r.Score)
+}

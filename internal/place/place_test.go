@@ -1,0 +1,213 @@
+package place
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/rf"
+)
+
+func houseProblem(obj Objective) *Problem {
+	outline := geom.RectWH(0, 0, 50, 40)
+	return &Problem{
+		Candidates: GridCandidates(outline, 10),
+		Samples:    GridCandidates(outline, 10),
+		Objective:  obj,
+	}
+}
+
+func TestGridCandidates(t *testing.T) {
+	pts := GridCandidates(geom.RectWH(0, 0, 50, 40), 10)
+	if len(pts) != 30 {
+		t.Errorf("%d candidates, want 30", len(pts))
+	}
+	if GridCandidates(geom.RectWH(0, 0, 10, 10), 0) != nil {
+		t.Error("zero pitch produced candidates")
+	}
+	// Offset outlines keep their frame.
+	off := GridCandidates(geom.RectWH(5, 5, 10, 10), 5)
+	if off[0] != geom.Pt(5, 5) {
+		t.Errorf("offset grid starts at %v", off[0])
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	p := houseProblem(Coverage)
+	if _, err := Greedy(p, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Greedy(p, len(p.Candidates)+1); err == nil {
+		t.Error("k > candidates accepted")
+	}
+	empty := *p
+	empty.Samples = nil
+	if _, err := Greedy(&empty, 2); err == nil {
+		t.Error("no samples accepted")
+	}
+	one := *p
+	one.Objective = Distinguishability
+	one.Samples = one.Samples[:1]
+	if _, err := Greedy(&one, 2); err == nil {
+		t.Error("single-sample distinguishability accepted")
+	}
+}
+
+func TestGreedyCoverageSingleAPCentres(t *testing.T) {
+	// With one AP and no walls, the minimum-RSSI-maximising position is
+	// the floor's centre (minimises the maximum distance).
+	p := houseProblem(Coverage)
+	res, err := Greedy(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := geom.Pt(25, 20)
+	if res.Positions[0].Dist(centre) > 8 {
+		t.Errorf("single AP at %v, want near %v", res.Positions[0], centre)
+	}
+}
+
+func TestGreedyCoverageImprovesWithK(t *testing.T) {
+	p := houseProblem(Coverage)
+	var prev float64 = math.Inf(-1)
+	for k := 1; k <= 4; k++ {
+		res, err := Greedy(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Chosen) != k {
+			t.Fatalf("k=%d chose %d", k, len(res.Chosen))
+		}
+		if res.Score < prev-1e-9 {
+			t.Fatalf("coverage got worse at k=%d: %v -> %v", k, prev, res.Score)
+		}
+		prev = res.Score
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	p := houseProblem(Coverage)
+	a, err := Greedy(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Chosen {
+		if a.Chosen[i] != b.Chosen[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}
+
+func TestGreedyNoDuplicates(t *testing.T) {
+	p := houseProblem(Distinguishability)
+	res, err := Greedy(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, ci := range res.Chosen {
+		if seen[ci] {
+			t.Fatal("candidate chosen twice")
+		}
+		seen[ci] = true
+	}
+}
+
+func TestDistinguishabilityPrefersSpread(t *testing.T) {
+	// Two samples on the x axis: an AP off to one side distinguishes
+	// them; an AP equidistant from both cannot.
+	p := &Problem{
+		Candidates: []geom.Point{
+			geom.Pt(25, 30), // equidistant from both samples
+			geom.Pt(0, 0),   // close to sample A: big level difference
+		},
+		Samples:   []geom.Point{geom.Pt(10, 0), geom.Pt(40, 0)},
+		Objective: Distinguishability,
+	}
+	res, err := Greedy(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen[0] != 1 {
+		t.Errorf("chose candidate %d, want the asymmetric one", res.Chosen[0])
+	}
+}
+
+func TestWallsChangeTheAnswer(t *testing.T) {
+	// A wall splitting the floor pushes coverage placement to serve
+	// both sides.
+	base := &Problem{
+		Candidates: GridCandidates(geom.RectWH(0, 0, 50, 40), 5),
+		Samples:    GridCandidates(geom.RectWH(0, 0, 50, 40), 10),
+		Model:      rf.LogDistance{Exponent: 2.3, RefDist: 3, WallLoss: 15, MaxWalls: 0},
+	}
+	noWall, err := Greedy(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wall sits off the candidate grid so no AP can stand "on" it.
+	walled := *base
+	walled.Walls = []geom.Segment{geom.Seg(geom.Pt(24, -1), geom.Pt(24, 41))}
+	withWall, err := Greedy(&walled, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a heavy wall, two APs should straddle it: one on each side.
+	left, right := 0, 0
+	for _, pos := range withWall.Positions {
+		if pos.X < 24 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Errorf("walled placement %v does not straddle the wall", withWall.Positions)
+	}
+	_ = noWall
+}
+
+func TestEvaluateComparesLayouts(t *testing.T) {
+	p := houseProblem(Coverage)
+	corners := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 40), geom.Pt(0, 40),
+	}
+	cornerScore, err := Evaluate(p, corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < cornerScore-1e-9 {
+		t.Errorf("greedy (%v) lost to corners (%v)", res.Score, cornerScore)
+	}
+	if _, err := Evaluate(p, nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	// Evaluate must not clobber the problem's candidate set.
+	if len(p.Candidates) != 30 {
+		t.Error("Evaluate corrupted candidates")
+	}
+}
+
+func TestObjectiveStringAndDescribe(t *testing.T) {
+	if Coverage.String() != "coverage" || Distinguishability.String() != "distinguishability" {
+		t.Error("objective names wrong")
+	}
+	if !strings.Contains(Objective(9).String(), "9") {
+		t.Error("unknown objective string")
+	}
+	p := houseProblem(Coverage)
+	res, _ := Greedy(p, 2)
+	d := res.Describe()
+	if !strings.Contains(d, "2 APs") || !strings.Contains(d, "score") {
+		t.Errorf("Describe = %q", d)
+	}
+}

@@ -1,0 +1,309 @@
+// Package regress implements the least-squares regression machinery
+// the paper's geometric approach depends on.
+//
+// Section 5.2 fits, per access point, a "reverse square" model of
+// signal strength against distance,
+//
+//	SignalStrength(d) = a + b/d + c/d²,
+//
+// by least squares over the training samples, then inverts the fitted
+// curve at observation time to turn a signal strength back into a
+// distance. The package provides general linear least squares over an
+// arbitrary basis (solved by normal equations with partially pivoted
+// Gaussian elimination), the inverse-power and polynomial bases, the
+// log-distance basis used by the RADAR-style model, goodness-of-fit
+// statistics, and numeric inversion of fitted monotone models.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Basis maps a scalar input to its feature vector. The fitted model is
+// the dot product of the coefficient vector with the feature vector.
+type Basis interface {
+	// Features returns the feature vector for input x. The length must
+	// be the same for every x.
+	Features(x float64) []float64
+	// Terms returns human-readable names for the features, used when
+	// printing fitted models.
+	Terms() []string
+}
+
+// InversePowerBasis is the paper's reverse-square basis:
+// features 1, 1/d, 1/d², ..., 1/d^Degree. Inputs below MinDist are
+// clamped so a sample taken on top of the transmitter cannot blow up
+// the design matrix.
+type InversePowerBasis struct {
+	Degree  int
+	MinDist float64
+}
+
+// Features returns [1, 1/x, 1/x², ...].
+func (b InversePowerBasis) Features(x float64) []float64 {
+	if x < b.MinDist {
+		x = b.MinDist
+	}
+	f := make([]float64, b.Degree+1)
+	f[0] = 1
+	inv := 1 / x
+	acc := 1.0
+	for i := 1; i <= b.Degree; i++ {
+		acc *= inv
+		f[i] = acc
+	}
+	return f
+}
+
+// Terms returns ["1", "1/d", "1/d^2", ...].
+func (b InversePowerBasis) Terms() []string {
+	t := make([]string, b.Degree+1)
+	t[0] = "1"
+	for i := 1; i <= b.Degree; i++ {
+		if i == 1 {
+			t[i] = "1/d"
+		} else {
+			t[i] = fmt.Sprintf("1/d^%d", i)
+		}
+	}
+	return t
+}
+
+// PolynomialBasis has features 1, x, x², ..., x^Degree.
+type PolynomialBasis struct{ Degree int }
+
+// Features returns [1, x, x², ...].
+func (b PolynomialBasis) Features(x float64) []float64 {
+	f := make([]float64, b.Degree+1)
+	acc := 1.0
+	for i := range f {
+		f[i] = acc
+		acc *= x
+	}
+	return f
+}
+
+// Terms returns ["1", "d", "d^2", ...].
+func (b PolynomialBasis) Terms() []string {
+	t := make([]string, b.Degree+1)
+	t[0] = "1"
+	for i := 1; i <= b.Degree; i++ {
+		if i == 1 {
+			t[i] = "d"
+		} else {
+			t[i] = fmt.Sprintf("d^%d", i)
+		}
+	}
+	return t
+}
+
+// LogDistBasis has features 1 and log10(d) — the RADAR/log-distance
+// path-loss shape SS(d) = P0 - 10·n·log10(d). Inputs below MinDist are
+// clamped.
+type LogDistBasis struct{ MinDist float64 }
+
+// Features returns [1, log10(max(x, MinDist))].
+func (b LogDistBasis) Features(x float64) []float64 {
+	m := b.MinDist
+	if m <= 0 {
+		m = 1e-6
+	}
+	if x < m {
+		x = m
+	}
+	return []float64{1, math.Log10(x)}
+}
+
+// Terms returns ["1", "log10(d)"].
+func (b LogDistBasis) Terms() []string { return []string{"1", "log10(d)"} }
+
+// Model is a fitted linear-in-parameters regression model.
+type Model struct {
+	Basis Basis
+	Coef  []float64
+	// Goodness of fit over the training data.
+	R2   float64 // coefficient of determination
+	RMSE float64 // root mean squared residual
+	N    int     // number of samples fitted
+}
+
+// Predict evaluates the fitted model at x.
+func (m *Model) Predict(x float64) float64 {
+	f := m.Basis.Features(x)
+	s := 0.0
+	for i, c := range m.Coef {
+		s += c * f[i]
+	}
+	return s
+}
+
+// String renders the model as "y = c0·t0 + c1·t1 + ..." with fit stats.
+func (m *Model) String() string {
+	terms := m.Basis.Terms()
+	s := "y ="
+	for i, c := range m.Coef {
+		if i == 0 {
+			s += fmt.Sprintf(" %.4g", c)
+			continue
+		}
+		if c >= 0 {
+			s += fmt.Sprintf(" + %.4g·%s", c, terms[i])
+		} else {
+			s += fmt.Sprintf(" - %.4g·%s", -c, terms[i])
+		}
+	}
+	return fmt.Sprintf("%s  (n=%d, R²=%.3f, RMSE=%.2f)", s, m.N, m.R2, m.RMSE)
+}
+
+// Errors returned by Fit and Invert.
+var (
+	ErrTooFewSamples = errors.New("regress: fewer samples than coefficients")
+	ErrSingular      = errors.New("regress: singular normal matrix (inputs not diverse enough)")
+	ErrNoRoot        = errors.New("regress: no root in search interval")
+)
+
+// Fit performs least-squares regression of ys on xs under the basis.
+// xs and ys must have equal length and at least as many samples as the
+// basis has features.
+func Fit(basis Basis, xs, ys []float64) (*Model, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regress: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	k := len(basis.Features(xs[0]))
+	if len(xs) < k {
+		return nil, ErrTooFewSamples
+	}
+	// Normal equations: (FᵀF) c = Fᵀy.
+	ata := make([][]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	atb := make([]float64, k)
+	for r, x := range xs {
+		f := basis.Features(x)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				ata[i][j] += f[i] * f[j]
+			}
+			atb[i] += f[i] * ys[r]
+		}
+	}
+	coef, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Basis: basis, Coef: coef, N: len(xs)}
+	// Goodness of fit.
+	meanY := 0.0
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		r := ys[i] - m.Predict(x)
+		ssRes += r * r
+		d := ys[i] - meanY
+		ssTot += d * d
+	}
+	m.RMSE = math.Sqrt(ssRes / float64(len(xs)))
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy
+// of the inputs, returning x with a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}
+
+// Invert finds a distance d in [lo, hi] with m.Predict(d) = y, by
+// bisection. Signal-vs-distance models are monotone decreasing over
+// their physical range, so a sign change brackets exactly one root.
+// When y lies outside the model's range on [lo, hi] the nearer
+// endpoint is returned (the best physical answer for an observation
+// stronger than any training sample, or weaker), with ErrNoRoot.
+func Invert(m *Model, y, lo, hi float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo := m.Predict(lo) - y
+	fhi := m.Predict(hi) - y
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		// No sign change: clamp to the endpoint whose prediction is
+		// closer to the target.
+		if math.Abs(flo) <= math.Abs(fhi) {
+			return lo, ErrNoRoot
+		}
+		return hi, ErrNoRoot
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fm := m.Predict(mid) - y
+		if fm == 0 || (hi-lo)/2 < 1e-10 {
+			return mid, nil
+		}
+		if fm*flo < 0 {
+			hi = mid
+		} else {
+			lo = mid
+			flo = fm
+		}
+	}
+	return (lo + hi) / 2, nil
+}

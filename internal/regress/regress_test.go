@@ -1,0 +1,312 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestInversePowerBasis(t *testing.T) {
+	b := InversePowerBasis{Degree: 2, MinDist: 0.5}
+	f := b.Features(2)
+	want := []float64{1, 0.5, 0.25}
+	for i := range want {
+		if !close(f[i], want[i], 1e-12) {
+			t.Errorf("feature[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+	// Clamping below MinDist.
+	f0 := b.Features(0)
+	fm := b.Features(0.5)
+	for i := range f0 {
+		if f0[i] != fm[i] {
+			t.Error("MinDist clamp failed")
+		}
+	}
+	terms := b.Terms()
+	if terms[0] != "1" || terms[1] != "1/d" || terms[2] != "1/d^2" {
+		t.Errorf("Terms = %v", terms)
+	}
+}
+
+func TestPolynomialBasis(t *testing.T) {
+	b := PolynomialBasis{Degree: 3}
+	f := b.Features(2)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("feature[%d] = %v", i, f[i])
+		}
+	}
+	if got := b.Terms(); got[3] != "d^3" {
+		t.Errorf("Terms = %v", got)
+	}
+}
+
+func TestLogDistBasis(t *testing.T) {
+	b := LogDistBasis{MinDist: 1}
+	f := b.Features(100)
+	if f[0] != 1 || !close(f[1], 2, 1e-12) {
+		t.Errorf("Features(100) = %v", f)
+	}
+	// Clamp at MinDist keeps log finite.
+	f = b.Features(0)
+	if math.IsInf(f[1], 0) || math.IsNaN(f[1]) {
+		t.Errorf("clamped feature = %v", f[1])
+	}
+	// Zero MinDist still protected.
+	b = LogDistBasis{}
+	f = b.Features(0)
+	if math.IsInf(f[1], 0) || math.IsNaN(f[1]) {
+		t.Errorf("default clamp failed: %v", f[1])
+	}
+}
+
+func TestFitRecoversExactInverseSquare(t *testing.T) {
+	// Generate noise-free data from known coefficients and recover them.
+	truth := []float64{-68, 120, -160} // a + b/d + c/d²
+	basis := InversePowerBasis{Degree: 2, MinDist: 0.5}
+	var xs, ys []float64
+	for d := 1.0; d <= 64; d += 1.5 {
+		f := basis.Features(d)
+		y := truth[0]*f[0] + truth[1]*f[1] + truth[2]*f[2]
+		xs = append(xs, d)
+		ys = append(ys, y)
+	}
+	m, err := Fit(basis, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if !close(m.Coef[i], truth[i], 1e-6) {
+			t.Errorf("coef[%d] = %v, want %v", i, m.Coef[i], truth[i])
+		}
+	}
+	if !close(m.R2, 1, 1e-9) || m.RMSE > 1e-6 {
+		t.Errorf("fit stats: R²=%v RMSE=%v", m.R2, m.RMSE)
+	}
+	if m.N != len(xs) {
+		t.Errorf("N = %d", m.N)
+	}
+}
+
+func TestFitNoisyStillClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := []float64{-70, 90, -55}
+	basis := InversePowerBasis{Degree: 2, MinDist: 0.5}
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		d := 1 + rng.Float64()*60
+		f := basis.Features(d)
+		y := truth[0] + truth[1]*f[1] + truth[2]*f[2] + rng.NormFloat64()*2
+		xs = append(xs, d)
+		ys = append(ys, y)
+	}
+	m, err := Fit(basis, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(m.Coef[0], truth[0], 1.0) {
+		t.Errorf("intercept = %v, want ≈%v", m.Coef[0], truth[0])
+	}
+	if m.RMSE < 1 || m.RMSE > 3 {
+		t.Errorf("RMSE = %v, want ≈2", m.RMSE)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	basis := PolynomialBasis{Degree: 2}
+	if _, err := Fit(basis, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit(basis, nil, nil); err != ErrTooFewSamples {
+		t.Errorf("empty fit err = %v", err)
+	}
+	if _, err := Fit(basis, []float64{1, 2}, []float64{1, 2}); err != ErrTooFewSamples {
+		t.Errorf("underdetermined fit err = %v", err)
+	}
+	// All-identical x with a degree-1 basis: singular.
+	if _, err := Fit(PolynomialBasis{Degree: 1},
+		[]float64{3, 3, 3, 3}, []float64{1, 2, 3, 4}); err != ErrSingular {
+		t.Errorf("constant-x fit err = %v", err)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2x fitted with a polynomial basis.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9, 11}
+	m, err := Fit(PolynomialBasis{Degree: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(m.Coef[0], 3, 1e-9) || !close(m.Coef[1], 2, 1e-9) {
+		t.Errorf("coef = %v", m.Coef)
+	}
+}
+
+func TestFitConstantTarget(t *testing.T) {
+	// All y equal: R² defined as 1 (perfect fit, no variance).
+	xs := []float64{1, 2, 3}
+	ys := []float64{5, 5, 5}
+	m, err := Fit(PolynomialBasis{Degree: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(m.Predict(10), 5, 1e-9) {
+		t.Errorf("Predict = %v", m.Predict(10))
+	}
+	if m.R2 != 1 {
+		t.Errorf("R² = %v", m.R2)
+	}
+}
+
+func TestFitLeastSquaresOptimalityProperty(t *testing.T) {
+	// The fitted coefficients must have residual sum of squares no
+	// larger than randomly perturbed coefficient vectors.
+	basis := InversePowerBasis{Degree: 2, MinDist: 0.5}
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys []float64
+	for i := 0; i < 60; i++ {
+		d := 1 + rng.Float64()*50
+		xs = append(xs, d)
+		ys = append(ys, -60+150/d-80/(d*d)+rng.NormFloat64()*3)
+	}
+	m, err := Fit(basis, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rss := func(coef []float64) float64 {
+		s := 0.0
+		for i, x := range xs {
+			f := basis.Features(x)
+			pred := 0.0
+			for j, c := range coef {
+				pred += c * f[j]
+			}
+			r := ys[i] - pred
+			s += r * r
+		}
+		return s
+	}
+	best := rss(m.Coef)
+	f := func(d0, d1, d2 float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.1
+			}
+			return math.Mod(v, 10)
+		}
+		pert := []float64{
+			m.Coef[0] + norm(d0),
+			m.Coef[1] + norm(d1),
+			m.Coef[2] + norm(d2),
+		}
+		return rss(pert) >= best-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(106))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	// Monotone decreasing model: y = -40 - 20·log10(d).
+	basis := LogDistBasis{MinDist: 0.1}
+	var xs, ys []float64
+	for d := 1.0; d <= 100; d *= 1.3 {
+		xs = append(xs, d)
+		ys = append(ys, -40-20*math.Log10(d))
+	}
+	m, err := Fit(basis, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert at y = -60: expect d = 10.
+	d, err := Invert(m, -60, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(d, 10, 1e-6) {
+		t.Errorf("Invert = %v, want 10", d)
+	}
+	// Exact endpoint hits.
+	d, err = Invert(m, m.Predict(1), 1, 100)
+	if err != nil || !close(d, 1, 1e-9) {
+		t.Errorf("endpoint lo: d=%v err=%v", d, err)
+	}
+	d, err = Invert(m, m.Predict(100), 1, 100)
+	if err != nil || !close(d, 100, 1e-9) {
+		t.Errorf("endpoint hi: d=%v err=%v", d, err)
+	}
+	// Out of range: stronger than any training signal clamps to lo.
+	d, err = Invert(m, 0, 1, 100)
+	if err != ErrNoRoot || d != 1 {
+		t.Errorf("too-strong clamp: d=%v err=%v", d, err)
+	}
+	// Weaker than any training signal clamps to hi.
+	d, err = Invert(m, -200, 1, 100)
+	if err != ErrNoRoot || d != 100 {
+		t.Errorf("too-weak clamp: d=%v err=%v", d, err)
+	}
+	// Swapped interval still works.
+	d, err = Invert(m, -60, 100, 1)
+	if err != nil || !close(d, 10, 1e-6) {
+		t.Errorf("swapped interval: d=%v err=%v", d, err)
+	}
+}
+
+func TestInvertRoundTripProperty(t *testing.T) {
+	basis := InversePowerBasis{Degree: 2, MinDist: 0.5}
+	var xs, ys []float64
+	for d := 1.0; d <= 80; d += 0.7 {
+		xs = append(xs, d)
+		ys = append(ys, -55-30*math.Log10(d)) // smooth monotone target
+	}
+	m, err := Fit(basis, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-tripping requires a bracket where the fitted curve is
+	// strictly monotone: the inverse-power basis can crest below ~2 ft,
+	// where Predict is not injective. Verify monotonicity on [3, 80]
+	// first, then round-trip within it.
+	prev := m.Predict(3)
+	for d := 3.5; d <= 80; d += 0.5 {
+		cur := m.Predict(d)
+		if cur >= prev {
+			t.Fatalf("fitted curve not monotone at %v ft", d)
+		}
+		prev = cur
+	}
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		d := 4 + math.Mod(math.Abs(raw), 70) // [4, 74]
+		y := m.Predict(d)
+		back, err := Invert(m, y, 3, 80)
+		return err == nil && close(back, d, 1e-4)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m, err := Fit(InversePowerBasis{Degree: 2, MinDist: 0.5},
+		[]float64{1, 2, 4, 8, 16}, []float64{-40, -52, -61, -67, -70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"y =", "1/d", "R²"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package rf
+
+import (
+	"hash/fnv"
+	"math"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/units"
+)
+
+// Drift models slow, time-varying transmit-level wander — thermal
+// cycling, power-supply sag, firmware AGC — one of the components of
+// the paper's "unstableness of the RF signal strength". Each AP
+// follows its own sinusoid: amplitude Amp dB, period PeriodMillis,
+// with a per-AP phase derived from the BSSID so APs never drift in
+// lockstep.
+type Drift struct {
+	// Amp is the peak deviation in dB; zero disables drift.
+	Amp float64
+	// PeriodMillis is the oscillation period; zero means one hour.
+	PeriodMillis int64
+}
+
+// At returns the drift offset in dB for an AP at time tMillis.
+func (d Drift) At(bssid string, tMillis int64) float64 {
+	if d.Amp == 0 {
+		return 0
+	}
+	period := d.PeriodMillis
+	if period <= 0 {
+		period = 3_600_000
+	}
+	h := fnv.New32a()
+	h.Write([]byte(bssid))
+	phase := float64(h.Sum32()) / float64(1<<32) * 2 * math.Pi
+	return d.Amp * math.Sin(2*math.Pi*float64(tMillis)/float64(period)+phase)
+}
+
+// SetDrift installs (or clears, with a zero Drift) the environment's
+// transmit-level drift model.
+func (e *Environment) SetDrift(d Drift) { e.drift = d }
+
+// MeanAtTime is MeanAt plus the drift offset at time tMillis.
+func (e *Environment) MeanAtTime(p geom.Point, i int, tMillis int64) units.DBm {
+	level := e.MeanAt(p, i)
+	level += units.DBm(e.drift.At(e.aps[i].BSSID, tMillis))
+	return level
+}
+
+// SampleAt draws one fast-fading sample at time tMillis, including
+// drift. ok is false below the receiver floor.
+func (e *Environment) SampleAt(p geom.Point, i int, tMillis int64, rng randSource) (Reading, bool) {
+	level := float64(e.MeanAtTime(p, i, tMillis)) + rng.NormFloat64()*e.fastSigma
+	if units.DBm(level) < e.floor {
+		return Reading{}, false
+	}
+	ap := e.aps[i]
+	return Reading{
+		BSSID:   ap.BSSID,
+		SSID:    ap.SSID,
+		RSSI:    units.QuantizeRSSI(units.DBm(level)),
+		Noise:   units.QuantizeRSSI(e.noiseFloor + units.DBm(rng.NormFloat64())),
+		Channel: ap.Channel,
+	}, true
+}
+
+// ScanAt draws one full scan at time tMillis, including drift.
+func (e *Environment) ScanAt(p geom.Point, tMillis int64, rng randSource) []Reading {
+	out := make([]Reading, 0, len(e.aps))
+	for i := range e.aps {
+		if r, ok := e.SampleAt(p, i, tMillis, rng); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// randSource is the subset of *rand.Rand the samplers need; declared
+// here so SampleAt's contract is explicit and testable.
+type randSource interface {
+	NormFloat64() float64
+}

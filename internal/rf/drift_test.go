@@ -1,0 +1,91 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+func TestDriftDisabledByDefault(t *testing.T) {
+	env := testEnv(t, Config{ShadowSigma: 0.001})
+	p := geom.Pt(20, 20)
+	if env.MeanAtTime(p, 0, 0) != env.MeanAtTime(p, 0, 5_000_000) {
+		t.Error("zero drift changed the mean over time")
+	}
+}
+
+func TestDriftShape(t *testing.T) {
+	d := Drift{Amp: 3, PeriodMillis: 60_000}
+	// Bounded by ±Amp, and periodic.
+	for tm := int64(0); tm < 300_000; tm += 700 {
+		v := d.At("ap", tm)
+		if math.Abs(v) > 3+1e-9 {
+			t.Fatalf("drift %v exceeds amplitude at t=%d", v, tm)
+		}
+		if math.Abs(v-d.At("ap", tm+60_000)) > 1e-9 {
+			t.Fatalf("not periodic at t=%d", tm)
+		}
+	}
+	// Distinct APs get distinct phases.
+	if d.At("ap-one", 0) == d.At("ap-two", 0) {
+		t.Error("phases collide")
+	}
+	// Full swing is realised somewhere in a period.
+	var lo, hi float64
+	for tm := int64(0); tm < 60_000; tm += 100 {
+		v := d.At("ap", tm)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < 2.9 || lo > -2.9 {
+		t.Errorf("swing [%v, %v], want ≈±3", lo, hi)
+	}
+}
+
+func TestDriftZeroPeriodDefaults(t *testing.T) {
+	d := Drift{Amp: 2}
+	// One hour period: value at t and t+1h match.
+	if math.Abs(d.At("x", 123)-d.At("x", 123+3_600_000)) > 1e-9 {
+		t.Error("default period is not one hour")
+	}
+}
+
+func TestEnvironmentDriftMovesSamples(t *testing.T) {
+	env := testEnv(t, Config{ShadowSigma: 0.001, FastSigma: 0.001})
+	env.SetDrift(Drift{Amp: 4, PeriodMillis: 100_000})
+	p := geom.Pt(20, 20)
+	var spread stats.Running
+	for tm := int64(0); tm < 100_000; tm += 2_000 {
+		spread.Add(float64(env.MeanAtTime(p, 0, tm)))
+	}
+	if spread.Max()-spread.Min() < 6 {
+		t.Errorf("drift swing %v dB, want ≈8", spread.Max()-spread.Min())
+	}
+	// Clearing the drift restores stationarity.
+	env.SetDrift(Drift{})
+	if env.MeanAtTime(p, 0, 0) != env.MeanAtTime(p, 0, 50_000) {
+		t.Error("drift not cleared")
+	}
+}
+
+func TestScanAtMatchesScanWithoutDrift(t *testing.T) {
+	env := testEnv(t, Config{})
+	p := geom.Pt(25, 20)
+	a := env.Scan(p, rand.New(rand.NewSource(5)))
+	b := env.ScanAt(p, 12345, rand.New(rand.NewSource(5)))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("drift-free ScanAt differs from Scan")
+		}
+	}
+}

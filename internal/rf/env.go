@@ -1,0 +1,225 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/units"
+)
+
+// Reading is one AP's level as observed at a point — the atom of every
+// wi-scan record.
+type Reading struct {
+	BSSID string
+	SSID  string
+	// RSSI is the quantised received level in whole dBm, as a NIC
+	// driver reports it.
+	RSSI int
+	// Noise is the quantised noise-floor estimate in dBm.
+	Noise int
+	// Channel is the AP's 802.11b channel.
+	Channel int
+}
+
+// Environment composes APs, walls, a path-loss model and the two noise
+// layers into a samplable radio environment. The zero value is not
+// usable; construct with NewEnvironment.
+type Environment struct {
+	aps    []AP
+	walls  []geom.Segment
+	model  Model
+	shadow ShadowField
+	// fastSigma is the standard deviation in dB of per-sample fading.
+	fastSigma float64
+	// floor is the receiver sensitivity: levels below it are not heard
+	// and produce no reading, like a real scan.
+	floor units.DBm
+	// noiseFloor is the ambient noise level reported in readings.
+	noiseFloor units.DBm
+	// extraLoss, when non-nil, adds scenario-specific attenuation
+	// (people, humidity, furniture factor experiments) in dB for a
+	// transmitter-receiver pair.
+	extraLoss func(ap AP, rx geom.Point) float64
+	// drift is the slow per-AP transmit-level wander; zero disables it.
+	drift Drift
+}
+
+// Config holds the knobs for NewEnvironment. Zero fields get the
+// defaults listed on each field.
+type Config struct {
+	Model       Model     // default DefaultLogDistance()
+	ShadowSigma float64   // dB, default 3.5
+	ShadowCell  float64   // feet, default 8
+	FastSigma   float64   // dB, default 2.5
+	Floor       units.DBm // default -94 dBm
+	NoiseFloor  units.DBm // default -96 dBm
+	Seed        int64     // shadow-field seed, default 1
+}
+
+// NewEnvironment builds a radio environment over the given APs and
+// walls. AP definitions are validated; BSSIDs must be unique.
+func NewEnvironment(aps []AP, walls []geom.Segment, cfg Config) (*Environment, error) {
+	if len(aps) == 0 {
+		return nil, fmt.Errorf("rf: environment needs at least one AP")
+	}
+	seen := make(map[string]bool, len(aps))
+	for _, ap := range aps {
+		if err := ap.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[ap.BSSID] {
+			return nil, fmt.Errorf("rf: duplicate BSSID %s", ap.BSSID)
+		}
+		seen[ap.BSSID] = true
+	}
+	if cfg.Model == nil {
+		cfg.Model = DefaultLogDistance()
+	}
+	if cfg.ShadowSigma == 0 {
+		cfg.ShadowSigma = 3.5
+	}
+	if cfg.ShadowCell == 0 {
+		cfg.ShadowCell = 8
+	}
+	if cfg.FastSigma == 0 {
+		cfg.FastSigma = 2.5
+	}
+	if cfg.Floor == 0 {
+		cfg.Floor = -94
+	}
+	if cfg.NoiseFloor == 0 {
+		cfg.NoiseFloor = -96
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Environment{
+		aps:   append([]AP(nil), aps...),
+		walls: append([]geom.Segment(nil), walls...),
+		model: cfg.Model,
+		shadow: ShadowField{
+			Sigma:    cfg.ShadowSigma,
+			CellSize: cfg.ShadowCell,
+			Seed:     cfg.Seed,
+		},
+		fastSigma:  cfg.FastSigma,
+		floor:      cfg.Floor,
+		noiseFloor: cfg.NoiseFloor,
+	}, nil
+}
+
+// APs returns the environment's access points (shared slice; treat as
+// read-only).
+func (e *Environment) APs() []AP { return e.aps }
+
+// Walls returns the environment's wall segments (shared slice; treat
+// as read-only).
+func (e *Environment) Walls() []geom.Segment { return e.walls }
+
+// Floor returns the receiver sensitivity threshold.
+func (e *Environment) Floor() units.DBm { return e.floor }
+
+// SetExtraLoss installs a scenario hook adding attenuation in dB for a
+// transmitter-receiver pair; pass nil to remove it. The factor
+// experiments (people, humidity, furniture) use this.
+func (e *Environment) SetExtraLoss(f func(ap AP, rx geom.Point) float64) {
+	e.extraLoss = f
+}
+
+// MeanAt returns the time-stable expected level at p from the i-th AP:
+// path loss plus wall attenuation plus shadow bias plus scenario loss,
+// before fast fading. It is the "true" radio map value localization
+// error is measured against.
+func (e *Environment) MeanAt(p geom.Point, i int) units.DBm {
+	ap := e.aps[i]
+	d := ap.Pos.Dist(p)
+	wallCount := geom.CrossingCount(ap.Pos, p, e.walls)
+	level := e.model.MeanRSSI(ap.TxPower, d, wallCount)
+	level += units.DBm(e.shadow.At(ap.BSSID, p))
+	if e.extraLoss != nil {
+		level -= units.DBm(e.extraLoss(ap, p))
+	}
+	return level
+}
+
+// Sample draws one fast-fading sample of the i-th AP at p. ok is false
+// when the sample fell below the receiver floor — the AP simply does
+// not appear in that scan, exactly as with real hardware.
+func (e *Environment) Sample(p geom.Point, i int, rng *rand.Rand) (Reading, bool) {
+	level := float64(e.MeanAt(p, i)) + rng.NormFloat64()*e.fastSigma
+	if units.DBm(level) < e.floor {
+		return Reading{}, false
+	}
+	ap := e.aps[i]
+	return Reading{
+		BSSID:   ap.BSSID,
+		SSID:    ap.SSID,
+		RSSI:    units.QuantizeRSSI(units.DBm(level)),
+		Noise:   units.QuantizeRSSI(e.noiseFloor + units.DBm(rng.NormFloat64())),
+		Channel: ap.Channel,
+	}, true
+}
+
+// Scan draws one scan at p: a reading for every AP currently above the
+// receiver floor, in AP order.
+func (e *Environment) Scan(p geom.Point, rng *rand.Rand) []Reading {
+	out := make([]Reading, 0, len(e.aps))
+	for i := range e.aps {
+		if r, ok := e.Sample(p, i, rng); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MeanVector returns MeanAt for every AP; APs below the floor report
+// the floor value with ok=false in the parallel mask.
+func (e *Environment) MeanVector(p geom.Point) ([]units.DBm, []bool) {
+	levels := make([]units.DBm, len(e.aps))
+	audible := make([]bool, len(e.aps))
+	for i := range e.aps {
+		l := e.MeanAt(p, i)
+		levels[i] = l
+		audible[i] = l >= e.floor
+	}
+	return levels, audible
+}
+
+// SNRAt returns the mean signal-to-noise ratio in dB at p for AP i.
+func (e *Environment) SNRAt(p geom.Point, i int) float64 {
+	return float64(e.MeanAt(p, i) - e.noiseFloor)
+}
+
+// DistanceForLevel inverts the environment's deterministic path-loss
+// model (ignoring walls and shadowing) for AP i: the distance at which
+// the mean level equals target. Used as an oracle in tests; real
+// localization inverts a *fitted* model instead. The search covers
+// [0.1, maxDist] feet by bisection and clamps outside that range.
+func (e *Environment) DistanceForLevel(i int, target units.DBm, maxDist float64) float64 {
+	ap := e.aps[i]
+	f := func(d float64) float64 {
+		return float64(e.model.MeanRSSI(ap.TxPower, d, 0) - target)
+	}
+	lo, hi := 0.1, maxDist
+	if f(lo) <= 0 {
+		return lo
+	}
+	if f(hi) >= 0 {
+		return hi
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		v := f(mid)
+		if math.Abs(v) < 1e-12 || hi-lo < 1e-9 {
+			return mid
+		}
+		if v > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

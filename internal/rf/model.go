@@ -1,0 +1,147 @@
+// Package rf simulates 802.11b radio propagation. It stands in for the
+// paper's physical testbed (four consumer APs plus a "third-party
+// signal strength detecting system"): given access-point positions,
+// interior walls and a path-loss model, it produces the RSSI samples
+// the rest of the toolkit consumes.
+//
+// The simulator layers three effects that the indoor-localization
+// literature (RADAR and the paper's own Figure 4) identifies:
+//
+//  1. Deterministic distance decay — a path-loss model such as
+//     log-distance with a wall-attenuation factor. This produces the
+//     inverse-square-looking curve of Figure 4.
+//  2. Slow (shadow) fading — a spatially correlated, time-stable bias
+//     per ⟨AP, location⟩. This is what makes fingerprinting work at
+//     all: the paper's "second observation" is that RSSI at a fixed
+//     position is stable, yet differs from the pure distance model.
+//  3. Fast fading — per-sample noise from multipath and interference,
+//     the paper's "largest barrier".
+//
+// All randomness is seeded, so experiments replay exactly.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/units"
+)
+
+// AP describes one access point as the scanner sees it.
+type AP struct {
+	BSSID   string     // MAC address, the unique key in wi-scan records
+	SSID    string     // network name
+	Pos     geom.Point // position in plan frame (feet)
+	TxPower units.DBm  // level measured at RefDist from the antenna
+	Channel int        // 802.11b channel 1..14
+}
+
+// Model predicts the mean received level for a transmitter-receiver
+// pair, before shadowing and fading are applied.
+type Model interface {
+	// MeanRSSI returns the expected level at distance d (feet) with
+	// wallCount intervening walls, for a transmitter whose level at the
+	// model's reference distance is txPower.
+	MeanRSSI(txPower units.DBm, d float64, wallCount int) units.DBm
+}
+
+// LogDistance is the standard indoor log-distance path-loss model with
+// a RADAR-style wall attenuation factor (WAF):
+//
+//	RSSI(d) = txPower - 10·n·log10(d/RefDist) - min(wallCount, MaxWalls)·WallLoss
+//
+// With n = 2 it reduces to free-space decay, which in linear power is
+// the inverse-square law the paper fits in Figure 4.
+type LogDistance struct {
+	Exponent float64   // path-loss exponent n (free space 2, indoor 1.8–4)
+	RefDist  float64   // reference distance in feet (where txPower holds)
+	WallLoss units.DBm // attenuation per wall crossing, positive dB
+	MaxWalls int       // cap on counted walls (RADAR uses 4); 0 = no cap
+}
+
+// DefaultLogDistance returns parameters calibrated to the RADAR
+// measurements for an office floor: exponent 2.3 beyond 3 ft, ~3.1 dB
+// per wall capped at 4 walls.
+func DefaultLogDistance() LogDistance {
+	return LogDistance{Exponent: 2.3, RefDist: 3, WallLoss: 3.1, MaxWalls: 4}
+}
+
+// MeanRSSI implements Model.
+func (m LogDistance) MeanRSSI(txPower units.DBm, d float64, wallCount int) units.DBm {
+	ref := m.RefDist
+	if ref <= 0 {
+		ref = 1
+	}
+	if d < ref {
+		d = ref // inside the reference sphere the level saturates
+	}
+	if m.MaxWalls > 0 && wallCount > m.MaxWalls {
+		wallCount = m.MaxWalls
+	}
+	loss := 10 * m.Exponent * math.Log10(d/ref)
+	loss += float64(wallCount) * float64(m.WallLoss)
+	return txPower - units.DBm(loss)
+}
+
+// FreeSpace is the free-space path-loss model at a fixed frequency; it
+// ignores walls entirely and serves as the no-obstruction baseline.
+type FreeSpace struct {
+	FreqMHz float64 // carrier frequency; 802.11b sits at ~2440 MHz
+}
+
+// MeanRSSI implements Model. txPower is interpreted as the transmit
+// EIRP; the Friis free-space loss at distance d (feet) is subtracted.
+func (m FreeSpace) MeanRSSI(txPower units.DBm, d float64, _ int) units.DBm {
+	f := m.FreqMHz
+	if f <= 0 {
+		f = 2440
+	}
+	meters := float64(units.Feet(d).Meters())
+	if meters < 0.1 {
+		meters = 0.1
+	}
+	// FSPL(dB) = 20·log10(d_km) + 20·log10(f_MHz) + 32.44
+	fspl := 20*math.Log10(meters/1000) + 20*math.Log10(f) + 32.44
+	return txPower - units.DBm(fspl)
+}
+
+// InverseSquareEmpirical is the paper's own empirical model shape,
+// SS(d) = A + B/d + C/d², with distances in feet. It exists so the
+// simulator can be driven by a curve fitted from data (closing the
+// loop with internal/regress) and so tests can compare the fitted
+// Figure 4 model against the generating one. Wall counts add WallLoss
+// each, uncapped.
+type InverseSquareEmpirical struct {
+	A, B, C  float64
+	MinDist  float64   // clamp, feet
+	WallLoss units.DBm // per-wall attenuation
+}
+
+// MeanRSSI implements Model. txPower shifts the curve's intercept so a
+// hotter transmitter raises the whole profile.
+func (m InverseSquareEmpirical) MeanRSSI(txPower units.DBm, d float64, wallCount int) units.DBm {
+	min := m.MinDist
+	if min <= 0 {
+		min = 1
+	}
+	if d < min {
+		d = min
+	}
+	ss := m.A + m.B/d + m.C/(d*d)
+	ss += float64(txPower) // curve is calibrated for txPower = 0 offset
+	ss -= float64(wallCount) * float64(m.WallLoss)
+	return units.DBm(ss)
+}
+
+// Validate checks an AP definition for the constraints wi-scan files
+// and the simulator rely on.
+func (a AP) Validate() error {
+	if a.BSSID == "" {
+		return fmt.Errorf("rf: AP %q has empty BSSID", a.SSID)
+	}
+	if a.Channel < 0 || a.Channel > 14 {
+		return fmt.Errorf("rf: AP %s channel %d out of 802.11b range", a.BSSID, a.Channel)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+	"indoorloc/internal/units"
+)
+
+func testAPs() []AP {
+	return []AP{
+		{BSSID: "00:02:2d:00:00:0a", SSID: "house", Pos: geom.Pt(0, 0), TxPower: -30, Channel: 1},
+		{BSSID: "00:02:2d:00:00:0b", SSID: "house", Pos: geom.Pt(50, 0), TxPower: -30, Channel: 6},
+		{BSSID: "00:02:2d:00:00:0c", SSID: "house", Pos: geom.Pt(50, 40), TxPower: -30, Channel: 11},
+		{BSSID: "00:02:2d:00:00:0d", SSID: "house", Pos: geom.Pt(0, 40), TxPower: -30, Channel: 1},
+	}
+}
+
+func testEnv(t *testing.T, cfg Config) *Environment {
+	t.Helper()
+	env, err := NewEnvironment(testAPs(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestLogDistanceMonotone(t *testing.T) {
+	m := DefaultLogDistance()
+	prev := m.MeanRSSI(-30, m.RefDist, 0)
+	for d := m.RefDist + 1; d < 200; d += 3 {
+		cur := m.MeanRSSI(-30, d, 0)
+		if cur >= prev {
+			t.Fatalf("level rose with distance at %v ft: %v -> %v", d, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLogDistanceReferenceSaturation(t *testing.T) {
+	m := DefaultLogDistance()
+	at0 := m.MeanRSSI(-30, 0, 0)
+	atRef := m.MeanRSSI(-30, m.RefDist, 0)
+	if at0 != atRef {
+		t.Errorf("inside reference sphere: %v, want %v", at0, atRef)
+	}
+	if atRef != -30 {
+		t.Errorf("level at reference = %v, want -30", atRef)
+	}
+}
+
+func TestLogDistanceWallCap(t *testing.T) {
+	m := LogDistance{Exponent: 2, RefDist: 1, WallLoss: 3, MaxWalls: 4}
+	base := m.MeanRSSI(-30, 10, 0)
+	four := m.MeanRSSI(-30, 10, 4)
+	ten := m.MeanRSSI(-30, 10, 10)
+	if float64(base-four) != 12 {
+		t.Errorf("4 walls cost %v dB, want 12", base-four)
+	}
+	if four != ten {
+		t.Errorf("wall cap not applied: 4 walls %v, 10 walls %v", four, ten)
+	}
+	// No cap when MaxWalls = 0.
+	m.MaxWalls = 0
+	if got := m.MeanRSSI(-30, 10, 10); float64(base-got) != 30 {
+		t.Errorf("uncapped 10 walls cost %v dB, want 30", base-got)
+	}
+}
+
+func TestFreeSpaceKnownValue(t *testing.T) {
+	m := FreeSpace{FreqMHz: 2440}
+	// FSPL at 100 m, 2440 MHz ≈ 80.2 dB.
+	d := float64(units.Meters(100).Feet())
+	got := float64(m.MeanRSSI(0, d, 0))
+	if math.Abs(got-(-80.2)) > 0.2 {
+		t.Errorf("FSPL(100 m) = %v dB, want ≈ -80.2", got)
+	}
+	// Walls are ignored.
+	if m.MeanRSSI(0, d, 5) != m.MeanRSSI(0, d, 0) {
+		t.Error("free space counted walls")
+	}
+}
+
+func TestFreeSpaceInverseSquare(t *testing.T) {
+	// Doubling distance must cost exactly 6.02 dB.
+	m := FreeSpace{FreqMHz: 2440}
+	a := float64(m.MeanRSSI(0, 10, 0))
+	b := float64(m.MeanRSSI(0, 20, 0))
+	if math.Abs((a-b)-6.0206) > 1e-3 {
+		t.Errorf("doubling cost %v dB, want 6.02", a-b)
+	}
+}
+
+func TestInverseSquareEmpirical(t *testing.T) {
+	m := InverseSquareEmpirical{A: -68, B: 120, C: -160, MinDist: 1, WallLoss: 3}
+	// At d=10: -68 + 12 - 1.6 = -57.6.
+	if got := float64(m.MeanRSSI(0, 10, 0)); math.Abs(got-(-57.6)) > 1e-9 {
+		t.Errorf("MeanRSSI(10) = %v", got)
+	}
+	// Clamp below MinDist.
+	if m.MeanRSSI(0, 0.01, 0) != m.MeanRSSI(0, 1, 0) {
+		t.Error("MinDist clamp failed")
+	}
+	// Wall loss applies per wall.
+	if got := float64(m.MeanRSSI(0, 10, 2)); math.Abs(got-(-63.6)) > 1e-9 {
+		t.Errorf("2-wall level = %v", got)
+	}
+	// TxPower shifts the whole curve.
+	if got := m.MeanRSSI(10, 10, 0) - m.MeanRSSI(0, 10, 0); got != 10 {
+		t.Errorf("tx shift = %v", got)
+	}
+}
+
+func TestAPValidate(t *testing.T) {
+	good := AP{BSSID: "aa:bb:cc:dd:ee:ff", Channel: 6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid AP rejected: %v", err)
+	}
+	if err := (AP{Channel: 6}).Validate(); err == nil {
+		t.Error("empty BSSID accepted")
+	}
+	if err := (AP{BSSID: "x", Channel: 15}).Validate(); err == nil {
+		t.Error("channel 15 accepted")
+	}
+}
+
+func TestNewEnvironmentValidation(t *testing.T) {
+	if _, err := NewEnvironment(nil, nil, Config{}); err == nil {
+		t.Error("empty AP list accepted")
+	}
+	dup := []AP{
+		{BSSID: "same", Channel: 1},
+		{BSSID: "same", Channel: 6},
+	}
+	if _, err := NewEnvironment(dup, nil, Config{}); err == nil {
+		t.Error("duplicate BSSID accepted")
+	}
+}
+
+func TestShadowFieldDeterministic(t *testing.T) {
+	s := ShadowField{Sigma: 3, CellSize: 8, Seed: 5}
+	p := geom.Pt(13.7, 22.1)
+	if s.At("ap1", p) != s.At("ap1", p) {
+		t.Error("field not deterministic")
+	}
+	// Different APs see different fields.
+	if s.At("ap1", p) == s.At("ap2", p) {
+		t.Error("field identical across APs")
+	}
+	// Different seeds give different fields.
+	s2 := ShadowField{Sigma: 3, CellSize: 8, Seed: 6}
+	if s.At("ap1", p) == s2.At("ap1", p) {
+		t.Error("field identical across seeds")
+	}
+	// Zero sigma is flat.
+	flat := ShadowField{Sigma: 0, CellSize: 8, Seed: 5}
+	if flat.At("ap1", p) != 0 {
+		t.Error("zero-sigma field not flat")
+	}
+}
+
+func TestShadowFieldContinuity(t *testing.T) {
+	s := ShadowField{Sigma: 4, CellSize: 8, Seed: 3}
+	// Sampling two points 0.01 ft apart must differ by a tiny amount:
+	// the bilinear field is continuous.
+	for x := 0.0; x < 40; x += 1.7 {
+		a := s.At("ap", geom.Pt(x, 10))
+		b := s.At("ap", geom.Pt(x+0.01, 10))
+		if math.Abs(a-b) > 0.15 {
+			t.Fatalf("field jump at x=%v: %v -> %v", x, a, b)
+		}
+	}
+}
+
+func TestShadowFieldStatistics(t *testing.T) {
+	s := ShadowField{Sigma: 3, CellSize: 8, Seed: 11}
+	var r stats.Running
+	for i := 0; i < 4000; i++ {
+		p := geom.Pt(float64(i%200)*1.3, float64(i/200)*2.9)
+		r.Add(s.At("ap", p))
+	}
+	if math.Abs(r.Mean()) > 0.4 {
+		t.Errorf("field mean = %v, want ≈0", r.Mean())
+	}
+	if r.StdDev() < 2 || r.StdDev() > 4 {
+		t.Errorf("field sd = %v, want ≈3", r.StdDev())
+	}
+}
+
+func TestEnvironmentMeanStableAndDecaying(t *testing.T) {
+	env := testEnv(t, Config{ShadowSigma: 0.001})
+	// Mean is deterministic.
+	p := geom.Pt(20, 20)
+	if env.MeanAt(p, 0) != env.MeanAt(p, 0) {
+		t.Error("MeanAt not deterministic")
+	}
+	// Farther from AP0 (at origin) is weaker, on the shadow-free model.
+	near := env.MeanAt(geom.Pt(5, 5), 0)
+	far := env.MeanAt(geom.Pt(45, 35), 0)
+	if near <= far {
+		t.Errorf("near %v not stronger than far %v", near, far)
+	}
+}
+
+func TestEnvironmentSampleDistribution(t *testing.T) {
+	env := testEnv(t, Config{FastSigma: 2.5, ShadowSigma: 0.001})
+	rng := rand.New(rand.NewSource(9))
+	p := geom.Pt(20, 20)
+	mean := float64(env.MeanAt(p, 0))
+	var r stats.Running
+	for i := 0; i < 3000; i++ {
+		reading, ok := env.Sample(p, 0, rng)
+		if !ok {
+			t.Fatal("sample below floor in mid-house")
+		}
+		r.Add(float64(reading.RSSI))
+	}
+	if math.Abs(r.Mean()-mean) > 0.3 {
+		t.Errorf("sample mean %v, model mean %v", r.Mean(), mean)
+	}
+	// Quantisation adds ~1/12 variance; allow a band around 2.5.
+	if r.StdDev() < 2.0 || r.StdDev() > 3.1 {
+		t.Errorf("sample sd = %v, want ≈2.5", r.StdDev())
+	}
+}
+
+func TestEnvironmentFloorDropsReadings(t *testing.T) {
+	aps := testAPs()
+	env, err := NewEnvironment(aps, nil, Config{Floor: -60, FastSigma: 0.001, ShadowSigma: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Next to AP0, far from AP2: with a -60 dBm floor the far corner
+	// APs must be inaudible.
+	scan := env.Scan(geom.Pt(1, 1), rng)
+	for _, r := range scan {
+		if r.BSSID == aps[2].BSSID {
+			t.Error("far AP audible above -60 floor")
+		}
+	}
+	if len(scan) == 0 {
+		t.Error("adjacent AP inaudible")
+	}
+}
+
+func TestEnvironmentScanOrderAndFields(t *testing.T) {
+	env := testEnv(t, Config{})
+	rng := rand.New(rand.NewSource(2))
+	scan := env.Scan(geom.Pt(25, 20), rng)
+	if len(scan) != 4 {
+		t.Fatalf("mid-house scan heard %d APs, want 4", len(scan))
+	}
+	aps := testAPs()
+	for i, r := range scan {
+		if r.BSSID != aps[i].BSSID {
+			t.Errorf("reading %d BSSID %s, want %s", i, r.BSSID, aps[i].BSSID)
+		}
+		if r.SSID != "house" || r.Channel != aps[i].Channel {
+			t.Errorf("reading %d metadata wrong: %+v", i, r)
+		}
+		if r.RSSI > 0 || r.RSSI < -120 {
+			t.Errorf("reading %d RSSI out of range: %d", i, r.RSSI)
+		}
+		if r.Noise > -80 {
+			t.Errorf("reading %d noise suspicious: %d", i, r.Noise)
+		}
+	}
+}
+
+func TestEnvironmentWallsAttenuate(t *testing.T) {
+	wall := []geom.Segment{geom.Seg(geom.Pt(25, -1), geom.Pt(25, 41))}
+	withWall, err := NewEnvironment(testAPs(), wall, Config{ShadowSigma: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noWall := testEnv(t, Config{ShadowSigma: 0.001})
+	p := geom.Pt(40, 20) // AP0 at (0,0) is across the wall
+	diff := float64(noWall.MeanAt(p, 0) - withWall.MeanAt(p, 0))
+	if math.Abs(diff-3.1) > 0.5 {
+		t.Errorf("wall cost %v dB, want ≈3.1", diff)
+	}
+	// Same side of the wall: no cost.
+	q := geom.Pt(10, 20)
+	if noWall.MeanAt(q, 0) != withWall.MeanAt(q, 0) {
+		t.Error("wall attenuated a same-side path")
+	}
+}
+
+func TestEnvironmentExtraLoss(t *testing.T) {
+	env := testEnv(t, Config{ShadowSigma: 0.001})
+	p := geom.Pt(20, 20)
+	base := env.MeanAt(p, 0)
+	env.SetExtraLoss(func(ap AP, rx geom.Point) float64 { return 7 })
+	if got := float64(base - env.MeanAt(p, 0)); got != 7 {
+		t.Errorf("extra loss applied %v dB, want 7", got)
+	}
+	env.SetExtraLoss(nil)
+	if env.MeanAt(p, 0) != base {
+		t.Error("extra loss not removable")
+	}
+}
+
+func TestDistanceForLevel(t *testing.T) {
+	env := testEnv(t, Config{ShadowSigma: 0.001})
+	// Round trip: pick distances, compute level, invert.
+	m := DefaultLogDistance()
+	for _, d := range []float64{5, 10, 25, 60} {
+		level := m.MeanRSSI(-30, d, 0)
+		got := env.DistanceForLevel(0, level, 200)
+		if math.Abs(got-d) > 1e-6 {
+			t.Errorf("DistanceForLevel(%v) = %v, want %v", level, got, d)
+		}
+	}
+	// Clamps: absurdly strong → min distance; absurdly weak → max.
+	if got := env.DistanceForLevel(0, 0, 200); got != 0.1 {
+		t.Errorf("strong clamp = %v", got)
+	}
+	if got := env.DistanceForLevel(0, -500, 200); got != 200 {
+		t.Errorf("weak clamp = %v", got)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	env := testEnv(t, Config{})
+	levels, audible := env.MeanVector(geom.Pt(25, 20))
+	if len(levels) != 4 || len(audible) != 4 {
+		t.Fatalf("vector lengths %d/%d", len(levels), len(audible))
+	}
+	for i := range levels {
+		if !audible[i] {
+			t.Errorf("AP %d inaudible mid-house", i)
+		}
+	}
+}
+
+func TestSNRPositiveNearAP(t *testing.T) {
+	env := testEnv(t, Config{})
+	if snr := env.SNRAt(geom.Pt(1, 1), 0); snr < 20 {
+		t.Errorf("SNR next to AP = %v dB, want > 20", snr)
+	}
+}
+
+func TestQuantizedSamplePropertyInRange(t *testing.T) {
+	env := testEnv(t, Config{})
+	rng := rand.New(rand.NewSource(77))
+	f := func(xRaw, yRaw float64) bool {
+		clamp := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lim / 2
+			}
+			return math.Mod(math.Abs(v), lim)
+		}
+		p := geom.Pt(clamp(xRaw, 50), clamp(yRaw, 40))
+		for i := 0; i < 4; i++ {
+			if r, ok := env.Sample(p, i, rng); ok {
+				if r.RSSI > 0 || r.RSSI < -120 {
+					return false
+				}
+				if units.DBm(r.RSSI) < env.Floor()-1 { // -1 for quantisation
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(104))}); err != nil {
+		t.Error(err)
+	}
+}

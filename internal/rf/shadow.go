@@ -1,0 +1,79 @@
+package rf
+
+import (
+	"hash/fnv"
+	"math"
+
+	"indoorloc/internal/geom"
+)
+
+// ShadowField is a deterministic, spatially correlated Gaussian field
+// modelling slow (shadow) fading. Each ⟨AP, location⟩ pair gets a bias
+// in dB that is stable across time — the property the paper's
+// "second observation" (§2.3) relies on: the signal at a fixed position
+// under a fixed AP is steady, yet differs from the pure distance model
+// by furniture, construction material, and layout effects.
+//
+// The field hashes grid-cell corners (per AP key and seed) to unit
+// Gaussians and interpolates bilinearly, giving a continuous field with
+// correlation length CellSize.
+type ShadowField struct {
+	Sigma    float64 // standard deviation of the bias in dB
+	CellSize float64 // correlation length in feet
+	Seed     int64
+}
+
+// At returns the shadowing bias in dB for receiver position p under
+// the AP identified by key. A zero-sigma or zero-cell field is flat.
+func (s ShadowField) At(key string, p geom.Point) float64 {
+	if s.Sigma == 0 || s.CellSize <= 0 {
+		return 0
+	}
+	gx := p.X / s.CellSize
+	gy := p.Y / s.CellSize
+	x0 := math.Floor(gx)
+	y0 := math.Floor(gy)
+	fx := gx - x0
+	fy := gy - y0
+	v00 := s.corner(key, int64(x0), int64(y0))
+	v10 := s.corner(key, int64(x0)+1, int64(y0))
+	v01 := s.corner(key, int64(x0), int64(y0)+1)
+	v11 := s.corner(key, int64(x0)+1, int64(y0)+1)
+	// Bilinear blend, then rescale: the blend of four unit Gaussians
+	// has variance Σwᵢ², so divide by sqrt of that to keep Sigma honest.
+	w00 := (1 - fx) * (1 - fy)
+	w10 := fx * (1 - fy)
+	w01 := (1 - fx) * fy
+	w11 := fx * fy
+	blend := v00*w00 + v10*w10 + v01*w01 + v11*w11
+	norm := math.Sqrt(w00*w00 + w10*w10 + w01*w01 + w11*w11)
+	if norm == 0 {
+		return 0
+	}
+	return s.Sigma * blend / norm
+}
+
+// corner returns a deterministic standard Gaussian for a grid corner.
+func (s ShadowField) corner(key string, ix, iy int64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(key))
+	put(uint64(s.Seed))
+	put(uint64(ix))
+	put(uint64(iy))
+	bits := h.Sum64()
+	// Two uniforms from one hash: split the 64 bits.
+	u1 := float64(bits>>40) / float64(1<<24)         // 24 bits
+	u2 := float64(bits&((1<<24)-1)) / float64(1<<24) // 24 bits
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	// Box–Muller.
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

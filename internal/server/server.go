@@ -1,0 +1,305 @@
+// Package server exposes a trained location service over HTTP — the
+// deployment shape the paper's motivating applications assume: clients
+// (call routers, conference-material servers, surveillance consoles)
+// ask "where is this signal vector?" over the network.
+//
+// # API
+//
+//	GET  /healthz            → 200 {"status":"ok", ...}
+//	GET  /algorithms         → the registry names
+//	GET  /locations          → the training locations and coordinates
+//	POST /locate             → localize one observation
+//	POST /track/{client}     → stateful tracking: filtered per client
+//	DELETE /track/{client}   → forget a client's track
+//
+// /locate accepts either an averaged observation
+//
+//	{"observation": {"aa:bb:...": -61.5, ...}}
+//
+// or raw wi-scan records
+//
+//	{"records": [{"time_millis":1, "bssid":"aa:bb", "rssi":-61}, ...]}
+//
+// and returns the estimate, the symbolic name, and a confidence
+// radius. All handlers are safe for concurrent use.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/filter"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/track"
+	"indoorloc/internal/wiscan"
+)
+
+// Server wraps a trained core.Service as an http.Handler.
+type Server struct {
+	svc *core.Service
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	trackers map[string]*track.Tracker
+	// newFilter builds the per-client tracking filter.
+	newFilter func() filter.PositionFilter
+}
+
+// New builds a server over a trained service. filterFactory supplies
+// the per-client tracking filter for /track; nil uses a Kalman filter
+// with defaults.
+func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server, error) {
+	if svc == nil || svc.Locator == nil {
+		return nil, errors.New("server: nil service")
+	}
+	if filterFactory == nil {
+		filterFactory = func() filter.PositionFilter {
+			return &filter.Kalman{Dt: 1, ProcessNoise: 0.6, MeasurementNoise: 7}
+		}
+	}
+	s := &Server{
+		svc:       svc,
+		trackers:  make(map[string]*track.Tracker),
+		newFilter: filterFactory,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/locations", s.handleLocations)
+	mux.HandleFunc("/locate", s.handleLocate)
+	mux.HandleFunc("/track/", s.handleTrack)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// locateRequest is the /locate and /track request body.
+type locateRequest struct {
+	Observation map[string]float64 `json:"observation,omitempty"`
+	Records     []recordJSON       `json:"records,omitempty"`
+}
+
+// recordJSON mirrors wiscan.Record with stable JSON names.
+type recordJSON struct {
+	TimeMillis int64  `json:"time_millis"`
+	BSSID      string `json:"bssid"`
+	SSID       string `json:"ssid,omitempty"`
+	Channel    int    `json:"channel,omitempty"`
+	RSSI       int    `json:"rssi"`
+	Noise      int    `json:"noise,omitempty"`
+}
+
+// locateResponse is the /locate and /track response body.
+type locateResponse struct {
+	X                float64 `json:"x"`
+	Y                float64 `json:"y"`
+	Location         string  `json:"location,omitempty"`
+	NearestName      string  `json:"nearest_name,omitempty"`
+	Room             string  `json:"room,omitempty"`
+	ConfidenceRadius float64 `json:"confidence_radius_ft"`
+	Algorithm        string  `json:"algorithm"`
+}
+
+// errorResponse is every error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"algorithm": s.svc.Locator.Name(),
+		"locations": s.svc.DB.Len(),
+		"aps":       len(s.svc.DB.BSSIDs),
+	})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, core.Algorithms())
+}
+
+func (s *Server) handleLocations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	type loc struct {
+		Name string  `json:"name"`
+		X    float64 `json:"x"`
+		Y    float64 `json:"y"`
+	}
+	out := make([]loc, 0, s.svc.DB.Len())
+	for _, name := range s.svc.DB.Names() {
+		e := s.svc.DB.Entries[name]
+		out = append(out, loc{Name: name, X: e.Pos.X, Y: e.Pos.Y})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseObservation extracts the observation from a request body.
+func parseObservation(r *http.Request) (localize.Observation, error) {
+	var req locateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	switch {
+	case len(req.Observation) > 0 && len(req.Records) > 0:
+		return nil, errors.New("give observation or records, not both")
+	case len(req.Observation) > 0:
+		return localize.Observation(req.Observation), nil
+	case len(req.Records) > 0:
+		recs := make([]wiscan.Record, len(req.Records))
+		for i, rj := range req.Records {
+			recs[i] = wiscan.Record{
+				TimeMillis: rj.TimeMillis,
+				BSSID:      rj.BSSID,
+				SSID:       rj.SSID,
+				Channel:    rj.Channel,
+				RSSI:       rj.RSSI,
+				Noise:      rj.Noise,
+			}
+		}
+		return localize.ObservationFromRecords(recs), nil
+	default:
+		return nil, errors.New("empty request: need observation or records")
+	}
+}
+
+// statusFor maps localization errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, localize.ErrEmptyObservation),
+		errors.Is(err, localize.ErrNoOverlap),
+		errors.Is(err, localize.ErrTooFewAPs):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	obs, err := parseObservation(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.svc.Locate(obs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, locateResponse{
+		X:                res.Estimate.Pos.X,
+		Y:                res.Estimate.Pos.Y,
+		Location:         res.Estimate.Name,
+		NearestName:      res.NearestName,
+		Room:             res.Room,
+		ConfidenceRadius: localize.ConfidenceRadius(res.Estimate, 0.9),
+		Algorithm:        s.svc.Locator.Name(),
+	})
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	client := strings.TrimPrefix(r.URL.Path, "/track/")
+	if client == "" || strings.Contains(client, "/") {
+		writeError(w, http.StatusBadRequest, errors.New("want /track/{client}"))
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		s.mu.Lock()
+		_, existed := s.trackers[client]
+		delete(s.trackers, client)
+		s.mu.Unlock()
+		if !existed {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no track for %q", client))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "forgotten"})
+	case http.MethodPost:
+		obs, err := parseObservation(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		est, err := s.svc.Locator.Locate(obs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		// Per-client filter state is serialised under the lock; the
+		// heavy Locate above ran outside it.
+		s.mu.Lock()
+		tr, ok := s.trackers[client]
+		if !ok {
+			tr, err = track.New(s.svc.Locator, s.newFilter())
+			if err != nil {
+				s.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			s.trackers[client] = tr
+		}
+		pos := tr.Filter.Update(est.Pos)
+		s.mu.Unlock()
+		resp := locateResponse{
+			X:                pos.X,
+			Y:                pos.Y,
+			Location:         est.Name,
+			ConfidenceRadius: localize.ConfidenceRadius(est, 0.9),
+			Algorithm:        s.svc.Locator.Name(),
+		}
+		if s.svc.Names != nil {
+			if name, _, ok := s.svc.Names.Nearest(pos); ok {
+				resp.NearestName = name
+			}
+		}
+		for _, room := range s.svc.Rooms {
+			if room.Poly.Contains(pos) {
+				resp.Room = room.Name
+				break
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST or DELETE"))
+	}
+}
+
+// ActiveTracks returns the number of clients with tracking state.
+func (s *Server) ActiveTracks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trackers)
+}

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+)
+
+type fixture struct {
+	srv  *Server
+	ts   *httptest.Server
+	scen sim.Scenario
+	sc   *sim.Scanner
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	scen := sim.PaperHouse()
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.NewScanner(env, 41)
+	coll := sc.CaptureCollection(grid, 20)
+	db, _, err := trainingdb.Generate(coll, grid, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.BuildLocator(core.AlgoProbabilistic, db, core.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &core.Service{DB: db, Locator: loc, Names: grid}
+	srv, err := New(svc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &fixture{srv: srv, ts: ts, scen: scen, sc: sc}
+}
+
+// observationBody builds a /locate request body from a live capture.
+func (f *fixture) observationBody(t *testing.T, p geom.Point) []byte {
+	t.Helper()
+	recs := f.sc.Capture(p, 10, 0)
+	req := map[string]any{"records": []map[string]any{}}
+	var rows []map[string]any
+	for _, r := range recs {
+		rows = append(rows, map[string]any{
+			"time_millis": r.TimeMillis, "bssid": r.BSSID, "rssi": r.RSSI,
+		})
+	}
+	req["records"] = rows
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil service accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body["status"] != "ok" || body["locations"].(float64) != 30 {
+		t.Errorf("body %v", body)
+	}
+}
+
+func TestAlgorithmsAndLocations(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.ts.URL + "/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var algos []string
+	json.NewDecoder(resp.Body).Decode(&algos)
+	resp.Body.Close()
+	if len(algos) != len(core.Algorithms()) {
+		t.Errorf("algorithms %v", algos)
+	}
+	resp, err = http.Get(f.ts.URL + "/locations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locs []map[string]any
+	json.NewDecoder(resp.Body).Decode(&locs)
+	resp.Body.Close()
+	if len(locs) != 30 {
+		t.Errorf("%d locations", len(locs))
+	}
+}
+
+func TestLocateWithRecords(t *testing.T) {
+	f := newFixture(t)
+	target := geom.Pt(25, 20)
+	resp, body := postJSON(t, f.ts.URL+"/locate", f.observationBody(t, target))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	// This test checks the HTTP plumbing, not accuracy: the estimate
+	// only needs to land inside the house.
+	x, y := body["x"].(float64), body["y"].(float64)
+	if !f.scen.Outline.Contains(geom.Pt(x, y)) {
+		t.Errorf("estimate (%v, %v) outside the house", x, y)
+	}
+	if body["location"] == "" || body["nearest_name"] == "" {
+		t.Errorf("symbolic fields missing: %v", body)
+	}
+	if body["algorithm"] != "probabilistic-ml" {
+		t.Errorf("algorithm %v", body["algorithm"])
+	}
+	if _, ok := body["confidence_radius_ft"]; !ok {
+		t.Error("no confidence radius")
+	}
+}
+
+func TestLocateWithAveragedObservation(t *testing.T) {
+	f := newFixture(t)
+	obs := map[string]float64{}
+	for _, ap := range f.scen.APs {
+		obs[ap.BSSID] = -60
+	}
+	b, _ := json.Marshal(map[string]any{"observation": obs})
+	resp, _ := postJSON(t, f.ts.URL+"/locate", b)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	f := newFixture(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"empty body", `{}`, http.StatusBadRequest},
+		{"both fields", `{"observation":{"a":-60},"records":[{"bssid":"a","rssi":-60}]}`, http.StatusBadRequest},
+		{"unknown field", `{"wat":1}`, http.StatusBadRequest},
+		{"malformed", `{`, http.StatusBadRequest},
+		{"no overlap", `{"observation":{"gh:os:t":-60}}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, _ := postJSON(t, f.ts.URL+"/locate", []byte(c.body))
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(f.ts.URL + "/locate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /locate: %d", resp.StatusCode)
+	}
+}
+
+func TestTrackLifecycle(t *testing.T) {
+	f := newFixture(t)
+	// A client walks; its track smooths.
+	for i := 0; i < 5; i++ {
+		p := geom.Pt(10+float64(i)*2, 20)
+		resp, body := postJSON(t, f.ts.URL+"/track/phone-1", f.observationBody(t, p))
+		if resp.StatusCode != 200 {
+			t.Fatalf("step %d: %d %v", i, resp.StatusCode, body)
+		}
+	}
+	if f.srv.ActiveTracks() != 1 {
+		t.Errorf("%d active tracks", f.srv.ActiveTracks())
+	}
+	// A second client is independent.
+	postJSON(t, f.ts.URL+"/track/phone-2", f.observationBody(t, geom.Pt(40, 30)))
+	if f.srv.ActiveTracks() != 2 {
+		t.Errorf("%d active tracks", f.srv.ActiveTracks())
+	}
+	// Forget the first.
+	req, _ := http.NewRequest(http.MethodDelete, f.ts.URL+"/track/phone-1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || f.srv.ActiveTracks() != 1 {
+		t.Errorf("delete: %d, tracks %d", resp.StatusCode, f.srv.ActiveTracks())
+	}
+	// Deleting again 404s.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: %d", resp.StatusCode)
+	}
+}
+
+func TestTrackBadPaths(t *testing.T) {
+	f := newFixture(t)
+	resp, _ := postJSON(t, f.ts.URL+"/track/", []byte(`{}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty client: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, f.ts.URL+"/track/a/b", []byte(`{}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nested client: %d", resp.StatusCode)
+	}
+	// Unsupported method on /track.
+	req, _ := http.NewRequest(http.MethodPut, f.ts.URL+"/track/x", strings.NewReader("{}"))
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT: %d", r2.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	f := newFixture(t)
+	// Bodies are prepared on the test goroutine: t.Fatal is not legal
+	// inside the workers.
+	bodies := make([][]byte, 8)
+	for c := range bodies {
+		bodies[c] = f.observationBody(t, geom.Pt(float64(5+c*5), 20))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("client-%d", c)
+			body := bodies[c]
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(f.ts.URL+"/track/"+client, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("%s: status %d", client, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if f.srv.ActiveTracks() != 8 {
+		t.Errorf("%d tracks", f.srv.ActiveTracks())
+	}
+}

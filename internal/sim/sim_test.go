@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/rf"
+	"indoorloc/internal/trainingdb"
+)
+
+func TestPaperHouseShape(t *testing.T) {
+	s := PaperHouse()
+	if s.Outline.Width() != 50 || s.Outline.Height() != 40 {
+		t.Errorf("outline %v × %v", s.Outline.Width(), s.Outline.Height())
+	}
+	if len(s.APs) != 4 {
+		t.Fatalf("%d APs", len(s.APs))
+	}
+	corners := map[geom.Point]bool{
+		geom.Pt(0, 0): true, geom.Pt(50, 0): true,
+		geom.Pt(50, 40): true, geom.Pt(0, 40): true,
+	}
+	for _, ap := range s.APs {
+		if !corners[ap.Pos] {
+			t.Errorf("AP %s not at a corner: %v", ap.BSSID, ap.Pos)
+		}
+	}
+	if len(s.TestPoints) != 13 {
+		t.Errorf("%d test points, want 13 (the paper's count)", len(s.TestPoints))
+	}
+	for _, p := range s.TestPoints {
+		if !s.Outline.Contains(p) {
+			t.Errorf("test point %v outside the house", p)
+		}
+	}
+	if s.GridSpacing != 10 {
+		t.Errorf("grid spacing %v", s.GridSpacing)
+	}
+}
+
+func TestTrainingPoints(t *testing.T) {
+	s := PaperHouse()
+	m, err := s.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 × 5 grid: x ∈ {0..50 step 10}, y ∈ {0..40 step 10}.
+	if m.Len() != 30 {
+		t.Errorf("grid has %d points, want 30", m.Len())
+	}
+	p, ok := m.Lookup(TrainingName(2, 3))
+	if !ok || p != geom.Pt(20, 30) {
+		t.Errorf("grid-2-3 = %v %v", p, ok)
+	}
+	// Bad spacing rejected.
+	s.GridSpacing = 0
+	if _, err := s.TrainingPoints(); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestEnvironmentAndAudibility(t *testing.T) {
+	s := PaperHouse()
+	env, err := s.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.TrainingPoints()
+	// All four corner APs should be audible across a 50×40 house with
+	// consumer parameters.
+	if a := Audibility(env, m); a < 0.95 {
+		t.Errorf("audibility %.2f, want ≥0.95", a)
+	}
+	if FloorLevel(env) != -94 {
+		t.Errorf("floor %v", FloorLevel(env))
+	}
+}
+
+func TestAPPositions(t *testing.T) {
+	s := PaperHouse()
+	pos := s.APPositions()
+	if len(pos) != 4 {
+		t.Fatalf("%d positions", len(pos))
+	}
+	if pos["00:02:2d:00:00:0c"] != geom.Pt(50, 40) {
+		t.Errorf("AP C at %v", pos["00:02:2d:00:00:0c"])
+	}
+}
+
+func TestScannerCapture(t *testing.T) {
+	s := PaperHouse()
+	env, _ := s.Environment()
+	sc := NewScanner(env, 7)
+	recs := sc.Capture(geom.Pt(25, 20), 5, 1000)
+	if len(recs) != 20 { // 5 sweeps × 4 audible APs mid-house
+		t.Errorf("%d records, want 20", len(recs))
+	}
+	// Timestamps advance by the interval.
+	if recs[0].TimeMillis != 1000 || recs[len(recs)-1].TimeMillis != 5000 {
+		t.Errorf("timestamps %d..%d", recs[0].TimeMillis, recs[len(recs)-1].TimeMillis)
+	}
+	for _, r := range recs {
+		if r.RSSI >= 0 || r.RSSI < -120 {
+			t.Errorf("rssi %d", r.RSSI)
+		}
+		if r.SSID != "house" {
+			t.Errorf("ssid %q", r.SSID)
+		}
+	}
+}
+
+func TestScannerDeterminism(t *testing.T) {
+	s := PaperHouse()
+	env, _ := s.Environment()
+	a := NewScanner(env, 7).Capture(geom.Pt(10, 10), 10, 0)
+	b := NewScanner(env, 7).Capture(geom.Pt(10, 10), 10, 0)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different captures")
+		}
+	}
+}
+
+func TestCaptureCollectionToTrainingDB(t *testing.T) {
+	s := PaperHouse()
+	env, _ := s.Environment()
+	m, _ := s.TrainingPoints()
+	coll := NewScanner(env, 11).CaptureCollection(m, 10)
+	if len(coll.Files) != m.Len() {
+		t.Fatalf("collection has %d files", len(coll.Files))
+	}
+	db, skipped, err := trainingdb.Generate(coll, m, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != nil {
+		t.Errorf("skipped %v", skipped)
+	}
+	if db.Len() != 30 {
+		t.Errorf("db has %d entries", db.Len())
+	}
+	if len(db.BSSIDs) != 4 {
+		t.Errorf("db sees %d APs", len(db.BSSIDs))
+	}
+}
+
+func TestPlan(t *testing.T) {
+	s := PaperHouse()
+	p, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.APs) != 4 || p.APs[0].Name != s.APs[0].BSSID {
+		t.Errorf("plan APs = %v", p.APs)
+	}
+	if len(p.Locations) != 30 {
+		t.Errorf("plan has %d locations", len(p.Locations))
+	}
+	// The plan's coordinate frame reproduces the scenario's geometry.
+	pos, err := p.APPositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pos["00:02:2d:00:00:0c"].Dist(geom.Pt(50, 40)); d > 0.2 {
+		t.Errorf("AP C maps to %v", pos["00:02:2d:00:00:0c"])
+	}
+	lm, err := p.LocationMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := lm.Lookup(TrainingName(1, 1))
+	if !ok || w.Dist(geom.Pt(10, 10)) > 0.2 {
+		t.Errorf("grid-1-1 maps to %v", w)
+	}
+	if len(p.Walls) != 2 {
+		t.Errorf("plan has %d walls", len(p.Walls))
+	}
+}
+
+func TestPeopleFactor(t *testing.T) {
+	ap := rf.AP{Pos: geom.Pt(0, 0)}
+	f := PeopleFactor([]geom.Point{geom.Pt(5, 0)}, 1.5, 3)
+	if got := f(ap, geom.Pt(10, 0)); got != 3 {
+		t.Errorf("blocked path loss = %v", got)
+	}
+	if got := f(ap, geom.Pt(0, 10)); got != 0 {
+		t.Errorf("clear path loss = %v", got)
+	}
+	// Two people on the path stack.
+	f2 := PeopleFactor([]geom.Point{geom.Pt(3, 0), geom.Pt(6, 0)}, 1, 3)
+	if got := f2(ap, geom.Pt(10, 0)); got != 6 {
+		t.Errorf("double block = %v", got)
+	}
+}
+
+func TestHumidityFactor(t *testing.T) {
+	ap := rf.AP{Pos: geom.Pt(0, 0)}
+	f := HumidityFactor(0.1)
+	if got := f(ap, geom.Pt(30, 40)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("humidity loss over 50 ft = %v", got)
+	}
+}
+
+func TestFurnitureFactor(t *testing.T) {
+	ap := rf.AP{Pos: geom.Pt(0, 0)}
+	f := FurnitureFactor([]FurnitureBlob{
+		{Center: geom.Pt(5, 0), Radius: 2, LossDB: 4},
+		{Center: geom.Pt(0, 5), Radius: 1, LossDB: 2},
+	})
+	if got := f(ap, geom.Pt(10, 0)); got != 4 {
+		t.Errorf("through couch = %v", got)
+	}
+	if got := f(ap, geom.Pt(0, 10)); got != 2 {
+		t.Errorf("through shelf = %v", got)
+	}
+	if got := f(ap, geom.Pt(-5, -5)); got != 0 {
+		t.Errorf("clear = %v", got)
+	}
+}
+
+func TestTemperatureFactor(t *testing.T) {
+	f := TemperatureFactor(2)
+	if got := f(rf.AP{}, geom.Pt(0, 0)); got != -2 {
+		t.Errorf("temperature delta = %v", got)
+	}
+}
+
+func TestFactorChangesEnvironment(t *testing.T) {
+	s := PaperHouse()
+	s.Radio = rf.Config{ShadowSigma: 0.001}
+	env, _ := s.Environment()
+	p := geom.Pt(25, 20)
+	base := env.MeanAt(p, 0)
+	env.SetExtraLoss(HumidityFactor(0.05))
+	after := env.MeanAt(p, 0)
+	if after >= base {
+		t.Errorf("humidity did not attenuate: %v -> %v", base, after)
+	}
+}
+
+func TestOfficeWing(t *testing.T) {
+	s := OfficeWing()
+	env, err := s.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 117 { // 13 × 9 grid
+		t.Errorf("office grid has %d points", m.Len())
+	}
+	for _, p := range s.TestPoints {
+		if !s.Outline.Contains(p) {
+			t.Errorf("test point %v outside", p)
+		}
+	}
+	// With eight APs every grid point should hear most of them.
+	if a := Audibility(env, m); a < 0.9 {
+		t.Errorf("audibility %.2f", a)
+	}
+	coll := NewScanner(env, 3).CaptureCollection(m, 5)
+	db, _, err := trainingdb.Generate(coll, m, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 117 || len(db.BSSIDs) != 8 {
+		t.Errorf("db %d entries, %d APs", db.Len(), len(db.BSSIDs))
+	}
+}

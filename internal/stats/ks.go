@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum vertical distance between the empirical CDFs of a and b.
+// It returns 0 when either sample is empty.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate critical value for the two-sample
+// KS test at significance alpha (supported: 0.10, 0.05, 0.01; other
+// values use the 0.05 coefficient). Samples whose statistic exceeds it
+// differ significantly.
+func KSCritical(nA, nB int, alpha float64) float64 {
+	if nA <= 0 || nB <= 0 {
+		return math.Inf(1)
+	}
+	var c float64
+	switch {
+	case alpha <= 0.01:
+		c = 1.63
+	case alpha <= 0.05:
+		c = 1.36
+	case alpha <= 0.10:
+		c = 1.22
+	default:
+		c = 1.36
+	}
+	n := float64(nA) * float64(nB) / float64(nA+nB)
+	return c / math.Sqrt(n)
+}
+
+// KSDiffer reports whether the two samples differ significantly at
+// level alpha under the two-sample KS test.
+func KSDiffer(a, b []float64, alpha float64) bool {
+	return KSStatistic(a, b) > KSCritical(len(a), len(b), alpha)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normSample(rng *rand.Rand, n int, mean, sd float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + rng.NormFloat64()*sd
+	}
+	return out
+}
+
+func TestKSStatisticIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := KSStatistic(a, a); got != 0 {
+		t.Errorf("identical samples: %v", got)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if got := KSStatistic(a, b); got != 1 {
+		t.Errorf("disjoint samples: %v, want 1", got)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// a = {1,2}, b = {1.5, 2.5}: CDFs cross; max gap is 0.5.
+	a := []float64{1, 2}
+	b := []float64{1.5, 2.5}
+	if got := KSStatistic(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("got %v, want 0.5", got)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if KSStatistic(nil, []float64{1}) != 0 || KSStatistic([]float64{1}, nil) != 0 {
+		t.Error("empty samples should give 0")
+	}
+}
+
+func TestKSStatisticSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := normSample(rng, 40, -60, 3)
+	b := normSample(rng, 60, -58, 3)
+	if KSStatistic(a, b) != KSStatistic(b, a) {
+		t.Error("not symmetric")
+	}
+}
+
+func TestKSDifferDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := normSample(rng, 200, -60, 2.5)
+	same := normSample(rng, 200, -60, 2.5)
+	shifted := normSample(rng, 200, -55, 2.5)
+	if KSDiffer(base, same, 0.01) {
+		t.Error("same-distribution samples flagged at α=0.01")
+	}
+	if !KSDiffer(base, shifted, 0.01) {
+		t.Error("5 dB shift not detected")
+	}
+}
+
+func TestKSCritical(t *testing.T) {
+	// Larger samples → tighter critical value.
+	if KSCritical(10, 10, 0.05) <= KSCritical(100, 100, 0.05) {
+		t.Error("critical value not shrinking with n")
+	}
+	// Stricter alpha → larger critical value.
+	if KSCritical(50, 50, 0.01) <= KSCritical(50, 50, 0.10) {
+		t.Error("critical value ordering wrong across alphas")
+	}
+	if !math.IsInf(KSCritical(0, 10, 0.05), 1) {
+		t.Error("empty sample should give +Inf")
+	}
+}

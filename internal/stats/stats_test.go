@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Error("zero value not neutral")
+	}
+	r.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !close(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if !close(r.PopVariance(), 4, 1e-12) {
+		t.Errorf("PopVariance = %v", r.PopVariance())
+	}
+	if !close(r.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", r.Variance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Mean() != 42 || r.Variance() != 0 || r.StdDev() != 0 {
+		t.Errorf("single sample: %s", r.String())
+	}
+	if r.Min() != 42 || r.Max() != 42 {
+		t.Error("single-sample extrema wrong")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	xs := []float64{-61, -60, -62, -59, -61, -63, -58, -60, -61}
+	var whole, a, b Running
+	whole.AddAll(xs)
+	a.AddAll(xs[:4])
+	b.AddAll(xs[4:])
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !close(a.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !close(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged Variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged extrema wrong")
+	}
+	// Merging an empty accumulator is a no-op in both directions.
+	var empty Running
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Error("merging empty changed state")
+	}
+	empty.Merge(&a)
+	if empty.N() != a.N() || !close(empty.Mean(), a.Mean(), 1e-12) {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestRunningMergeProperty(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Mod(x, 1000))
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		k := int(split) % len(clean)
+		var whole, a, b Running
+		whole.AddAll(clean)
+		a.AddAll(clean[:k])
+		b.AddAll(clean[k:])
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			close(a.Mean(), whole.Mean(), 1e-6) &&
+			close(a.Variance(), whole.Variance(), 1e-6*(1+whole.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice helpers not zero")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	// Median must not reorder its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Median mutated input")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !close(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {150, 50},
+		{10, 14}, // interpolated: rank 0.4 between 10 and 20
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !close(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+}
+
+func TestGaussianPDF(t *testing.T) {
+	// Standard normal at 0: 1/sqrt(2π).
+	if got := GaussianPDF(0, 0, 1); !close(got, 0.3989422804014327, 1e-12) {
+		t.Errorf("N(0;0,1) = %v", got)
+	}
+	// Symmetry.
+	if GaussianPDF(2, 0, 1) != GaussianPDF(-2, 0, 1) {
+		t.Error("not symmetric")
+	}
+	// Peak at mean.
+	if GaussianPDF(1, 0, 1) >= GaussianPDF(0, 0, 1) {
+		t.Error("not peaked at mean")
+	}
+	// Sigma floor: zero sigma must not panic or return NaN/Inf.
+	got := GaussianPDF(5, 5, 0)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("sigma floor failed: %v", got)
+	}
+}
+
+func TestLogGaussianConsistency(t *testing.T) {
+	f := func(x, mean, sigma float64) bool {
+		norm := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, lim)
+		}
+		x, mean = norm(x, 100), norm(mean, 100)
+		sigma = math.Abs(norm(sigma, 10)) + 0.5
+		p := GaussianPDF(x, mean, sigma)
+		lp := LogGaussianPDF(x, mean, sigma)
+		if p < 1e-300 {
+			// Linear-space density underflowed (or is about to lose
+			// precision to gradual underflow); the log form must still
+			// be finite — that is the point of computing in log space.
+			return !math.IsInf(lp, 0) && !math.IsNaN(lp)
+		}
+		return close(math.Log(p), lp, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 5); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	h, err := NewHistogram(-100, -30, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-65, -65.4, -64.9, -80, -200, 10} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// Clamping: -200 landed in bin 0, +10 in the last bin.
+	if h.Counts[0] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Error("edge clamping failed")
+	}
+	// Mode should be near -65 (three samples in adjacent bins; the
+	// -65 bin holds two: -65 and -64.9? bin width is 1 dB).
+	if m := h.Mode(); m < -66 || m > -64 {
+		t.Errorf("Mode = %v", m)
+	}
+}
+
+func TestHistogramProbSmoothing(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	h.Add(5)
+	// Unseen bin gets Laplace mass, never zero.
+	if p := h.Prob(1); p <= 0 {
+		t.Errorf("unseen bin prob = %v", p)
+	}
+	// Seen bin strictly more likely than unseen.
+	if h.Prob(5) <= h.Prob(1) {
+		t.Error("smoothing inverted likelihoods")
+	}
+	// Probabilities over all bins sum to 1.
+	total := 0.0
+	for i := 0; i < 10; i++ {
+		total += h.Prob(float64(i) + 0.5)
+	}
+	if !close(total, 1, 1e-9) {
+		t.Errorf("probabilities sum to %v", total)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Errorf("empty ECDF err = %v", err)
+	}
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !close(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	e, _ := NewECDF([]float64{-61, -58, -70, -65, -59, -61})
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.At(lo) <= e.At(hi)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(102))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package track combines a localizer with a tracking filter into the
+// client-tracking service the paper's future work §6.2 describes:
+// each observation window is localized, then blended with history.
+//
+// A Tracker is stateful — one per moving client. Feed it observation
+// windows in time order; it returns the smoothed position after each.
+package track
+
+import (
+	"errors"
+
+	"indoorloc/internal/filter"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
+	"indoorloc/internal/wiscan"
+)
+
+// Tracker fuses per-window localization with a position filter.
+type Tracker struct {
+	// Locator produces the raw per-window estimate.
+	Locator localize.Locator
+	// Filter blends history; nil means raw (no smoothing).
+	Filter filter.PositionFilter
+
+	// LastRaw holds the most recent unfiltered estimate, for
+	// diagnostics and renderers that want both.
+	LastRaw localize.Estimate
+
+	started bool
+}
+
+// New returns a tracker over the locator and filter. A nil filter
+// means no smoothing.
+func New(loc localize.Locator, f filter.PositionFilter) (*Tracker, error) {
+	if loc == nil {
+		return nil, errors.New("track: nil locator")
+	}
+	if f == nil {
+		f = filter.Raw{}
+	}
+	return &Tracker{Locator: loc, Filter: f}, nil
+}
+
+// Step consumes one observation window and returns the smoothed
+// position. Windows that fail to localize (no overlap, too few APs)
+// return the error; the filter state is left untouched so tracking
+// resumes cleanly on the next good window.
+func (t *Tracker) Step(recs []wiscan.Record) (geom.Point, error) {
+	if len(recs) == 0 {
+		return geom.Point{}, localize.ErrEmptyObservation
+	}
+	est, err := t.Locator.Locate(localize.ObservationFromRecords(recs))
+	if err != nil {
+		return geom.Point{}, err
+	}
+	t.LastRaw = est
+	t.started = true
+	return t.Filter.Update(est.Pos), nil
+}
+
+// Reset clears filter history; the next Step starts a fresh track.
+func (t *Tracker) Reset() {
+	t.Filter.Reset()
+	t.started = false
+	t.LastRaw = localize.Estimate{}
+}
+
+// Started reports whether at least one window has been processed
+// since construction or the last Reset.
+func (t *Tracker) Started() bool { return t.started }
+
+// Path localizes a whole capture log: it slices recs into windows of
+// windowMillis (stride strideMillis; ≤0 means non-overlapping) and
+// steps the tracker through them. Windows that fail to localize are
+// skipped; the returned positions correspond to the successful
+// windows, in order.
+func (t *Tracker) Path(recs []wiscan.Record, windowMillis, strideMillis int64) []geom.Point {
+	var out []geom.Point
+	for _, win := range wiscan.Windows(recs, windowMillis, strideMillis) {
+		if p, err := t.Step(win); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

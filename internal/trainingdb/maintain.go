@@ -1,0 +1,183 @@
+package trainingdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// PruneAPs removes, from every entry, APs with fewer than minSamples
+// observations at that entry, then drops BSSIDs no longer referenced
+// anywhere. Sparse sightings — a neighbour's AP caught twice during a
+// survey — add noise to signal-space distances and are the first thing
+// a deployment trims. It returns the number of ⟨entry, AP⟩ records
+// removed.
+func (db *DB) PruneAPs(minSamples int) int {
+	removed := 0
+	for _, e := range db.Entries {
+		for bssid, s := range e.PerAP {
+			if s.N < minSamples {
+				delete(e.PerAP, bssid)
+				removed++
+			}
+		}
+	}
+	db.rebuildBSSIDs()
+	return removed
+}
+
+// RemoveEntry deletes a training location, returning false when it
+// does not exist. BSSIDs referenced only by that entry disappear from
+// the universe.
+func (db *DB) RemoveEntry(name string) bool {
+	if _, ok := db.Entries[name]; !ok {
+		return false
+	}
+	delete(db.Entries, name)
+	db.rebuildBSSIDs()
+	return true
+}
+
+// rebuildBSSIDs recomputes the sorted BSSID universe from the entries.
+func (db *DB) rebuildBSSIDs() {
+	set := make(map[string]bool)
+	for _, e := range db.Entries {
+		for bssid := range e.PerAP {
+			set[bssid] = true
+		}
+	}
+	db.BSSIDs = db.BSSIDs[:0]
+	for b := range set {
+		db.BSSIDs = append(db.BSSIDs, b)
+	}
+	sort.Strings(db.BSSIDs)
+}
+
+// Distinguishability returns, for each pair of training locations, the
+// Euclidean distance between their mean signal vectors in dB (missing
+// APs substituted with floor). Small values flag locations a
+// fingerprinting localizer will confuse; surveys use this to decide
+// where to add APs or training points. Keys are "nameA|nameB" with
+// nameA < nameB.
+func (db *DB) Distinguishability(floor float64) map[string]float64 {
+	names := db.Names()
+	out := make(map[string]float64, len(names)*(len(names)-1)/2)
+	vecs := make(map[string][]float64, len(names))
+	for _, n := range names {
+		vecs[n] = db.Entries[n].MeanVector(db.BSSIDs, floor)
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			va, vb := vecs[a], vecs[b]
+			sum := 0.0
+			for k := range va {
+				d := va[k] - vb[k]
+				sum += d * d
+			}
+			out[a+"|"+b] = math.Sqrt(sum)
+		}
+	}
+	return out
+}
+
+// jsonDB is the interoperability export shape: everything a non-Go
+// consumer needs, with stable field names.
+type jsonDB struct {
+	Version int          `json:"version"`
+	BSSIDs  []string     `json:"bssids"`
+	Entries []*jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Name  string         `json:"name"`
+	X     float64        `json:"x"`
+	Y     float64        `json:"y"`
+	PerAP []*jsonAPStats `json:"per_ap"`
+}
+
+type jsonAPStats struct {
+	BSSID   string    `json:"bssid"`
+	N       int       `json:"n"`
+	Mean    float64   `json:"mean"`
+	StdDev  float64   `json:"std_dev"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// ExportJSON writes the database as stable, human-inspectable JSON —
+// the interchange path for non-Go tooling. Set withSamples to include
+// the raw sample arrays (large); statistics are always included.
+func ExportJSON(w io.Writer, db *DB, withSamples bool) error {
+	out := &jsonDB{Version: 1, BSSIDs: db.BSSIDs}
+	for _, name := range db.Names() {
+		e := db.Entries[name]
+		je := &jsonEntry{Name: e.Name, X: e.Pos.X, Y: e.Pos.Y}
+		bssids := make([]string, 0, len(e.PerAP))
+		for b := range e.PerAP {
+			bssids = append(bssids, b)
+		}
+		sort.Strings(bssids)
+		for _, b := range bssids {
+			s := e.PerAP[b]
+			js := &jsonAPStats{
+				BSSID: s.BSSID, N: s.N, Mean: s.Mean,
+				StdDev: s.StdDev, Min: s.Min, Max: s.Max,
+			}
+			if withSamples {
+				js.Samples = s.Samples
+			}
+			je.PerAP = append(je.PerAP, js)
+		}
+		out.Entries = append(out.Entries, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trainingdb: export: %w", err)
+	}
+	return nil
+}
+
+// ImportJSON reads a database written by ExportJSON. Entries exported
+// without samples round-trip with empty Samples slices; moment
+// statistics survive either way.
+func ImportJSON(r io.Reader) (*DB, error) {
+	var in jsonDB
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trainingdb: import: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("trainingdb: unsupported export version %d", in.Version)
+	}
+	db := &DB{Entries: make(map[string]*Entry, len(in.Entries))}
+	for _, je := range in.Entries {
+		if je.Name == "" {
+			return nil, fmt.Errorf("trainingdb: import: entry with empty name")
+		}
+		if _, dup := db.Entries[je.Name]; dup {
+			return nil, fmt.Errorf("trainingdb: import: duplicate entry %q", je.Name)
+		}
+		e := &Entry{Name: je.Name, PerAP: make(map[string]*APStats, len(je.PerAP))}
+		e.Pos.X, e.Pos.Y = je.X, je.Y
+		for _, js := range je.PerAP {
+			if js.BSSID == "" {
+				return nil, fmt.Errorf("trainingdb: import: %q has AP with empty BSSID", je.Name)
+			}
+			e.PerAP[js.BSSID] = &APStats{
+				BSSID: js.BSSID, N: js.N, Mean: js.Mean,
+				StdDev: js.StdDev, Min: js.Min, Max: js.Max,
+				Samples: js.Samples,
+			}
+		}
+		db.Entries[je.Name] = e
+	}
+	db.rebuildBSSIDs()
+	if db.Len() == 0 {
+		return nil, ErrNoEntries
+	}
+	return db, nil
+}

@@ -1,0 +1,67 @@
+package trainingdb
+
+import (
+	"sort"
+
+	"indoorloc/internal/stats"
+)
+
+// StaleAP is one AP whose live distribution no longer matches its
+// training snapshot at a location.
+type StaleAP struct {
+	Location string
+	BSSID    string
+	// KS is the two-sample Kolmogorov–Smirnov statistic between the
+	// training samples and the fresh observations.
+	KS float64
+	// Critical is the significance threshold the statistic exceeded.
+	Critical float64
+	// MeanShift is the fresh mean minus the trained mean, in dB.
+	MeanShift float64
+}
+
+// Staleness compares fresh RSSI samples against a location's training
+// snapshot, AP by AP, with a two-sample KS test at level alpha
+// (default 0.05 when alpha ≤ 0). It returns the APs whose
+// distributions have drifted significantly — the recalibration alarm
+// for the paper's "unstableness" problem: when the world moves away
+// from the fingerprint map, detect it instead of silently
+// mislocalizing.
+//
+// fresh maps BSSID → raw RSSI samples captured recently at (or near)
+// the location. APs absent from either side are skipped: presence
+// changes are a coarser signal better caught by audibility checks.
+func (db *DB) Staleness(location string, fresh map[string][]float64, alpha float64) []StaleAP {
+	e, ok := db.Entries[location]
+	if !ok {
+		return nil
+	}
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	var out []StaleAP
+	bssids := make([]string, 0, len(fresh))
+	for b := range fresh {
+		bssids = append(bssids, b)
+	}
+	sort.Strings(bssids)
+	for _, b := range bssids {
+		samples := fresh[b]
+		s, trained := e.PerAP[b]
+		if !trained || len(samples) == 0 || len(s.Samples) == 0 {
+			continue
+		}
+		ks := stats.KSStatistic(s.Samples, samples)
+		crit := stats.KSCritical(len(s.Samples), len(samples), alpha)
+		if ks > crit {
+			out = append(out, StaleAP{
+				Location:  location,
+				BSSID:     b,
+				KS:        ks,
+				Critical:  crit,
+				MeanShift: stats.Mean(samples) - s.Mean,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package trainingdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// staleFixture builds a DB with one location whose AP has a tight
+// Gaussian sample set.
+func staleFixture(t *testing.T) *DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 120)
+	var mean float64
+	for i := range samples {
+		samples[i] = -60 + rng.NormFloat64()*2.5
+		mean += samples[i]
+	}
+	mean /= float64(len(samples))
+	return &DB{
+		Entries: map[string]*Entry{
+			"kitchen": {
+				Name: "kitchen",
+				PerAP: map[string]*APStats{
+					"ap0": {BSSID: "ap0", N: len(samples), Mean: mean, Samples: samples},
+				},
+			},
+		},
+		BSSIDs: []string{"ap0"},
+	}
+}
+
+func freshSamples(seed int64, n int, mean, sd float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + rng.NormFloat64()*sd
+	}
+	return out
+}
+
+func TestStalenessCleanWorldQuiet(t *testing.T) {
+	db := staleFixture(t)
+	fresh := map[string][]float64{"ap0": freshSamples(9, 100, -60, 2.5)}
+	if stale := db.Staleness("kitchen", fresh, 0.01); len(stale) != 0 {
+		t.Errorf("clean world flagged: %+v", stale)
+	}
+}
+
+func TestStalenessDetectsShift(t *testing.T) {
+	db := staleFixture(t)
+	fresh := map[string][]float64{"ap0": freshSamples(9, 100, -54, 2.5)}
+	stale := db.Staleness("kitchen", fresh, 0.05)
+	if len(stale) != 1 {
+		t.Fatalf("6 dB shift not flagged: %+v", stale)
+	}
+	s := stale[0]
+	if s.Location != "kitchen" || s.BSSID != "ap0" {
+		t.Errorf("identity: %+v", s)
+	}
+	if s.KS <= s.Critical {
+		t.Errorf("KS %v not above critical %v", s.KS, s.Critical)
+	}
+	if math.Abs(s.MeanShift-6) > 1.5 {
+		t.Errorf("MeanShift = %v, want ≈6", s.MeanShift)
+	}
+}
+
+func TestStalenessSkipsUnknowns(t *testing.T) {
+	db := staleFixture(t)
+	fresh := map[string][]float64{
+		"ghost": freshSamples(3, 50, -40, 1), // untrained AP: skipped
+		"ap0":   nil,                         // no fresh samples: skipped
+	}
+	if stale := db.Staleness("kitchen", fresh, 0.05); len(stale) != 0 {
+		t.Errorf("skips failed: %+v", stale)
+	}
+	if stale := db.Staleness("nowhere", fresh, 0.05); stale != nil {
+		t.Error("unknown location returned results")
+	}
+}
+
+func TestStalenessDefaultAlpha(t *testing.T) {
+	db := staleFixture(t)
+	fresh := map[string][]float64{"ap0": freshSamples(9, 100, -54, 2.5)}
+	if stale := db.Staleness("kitchen", fresh, 0); len(stale) != 1 {
+		t.Error("default alpha failed to flag an obvious shift")
+	}
+}

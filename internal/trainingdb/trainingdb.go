@@ -1,0 +1,290 @@
+// Package trainingdb implements the Training Database Generator: it
+// joins a wi-scan collection (one file per training location) with a
+// location map (names → coordinates) and produces a compact database
+// of observation records and per-⟨location, AP⟩ statistics.
+//
+// The paper motivates the database over raw wi-scan collections on two
+// grounds: it is compressed, so it moves over a network easily, and it
+// loads into memory much faster than re-reading wi-scan files line by
+// line. Save/Load therefore use gob encoding under gzip.
+package trainingdb
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/stats"
+	"indoorloc/internal/wiscan"
+)
+
+// APStats summarises one AP's signal at one training location — the
+// ⟨training point, AP⟩ mean and standard deviation the paper computes
+// in its training phase, plus extrema and the raw samples for
+// distribution-aware methods.
+type APStats struct {
+	BSSID    string
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+	// Samples holds the raw RSSI values in capture order. Histogram and
+	// percentile methods need the full distribution, not just moments.
+	Samples []float64
+}
+
+// Entry is one training location's record set.
+type Entry struct {
+	Name string
+	Pos  geom.Point
+	// PerAP holds statistics keyed by BSSID.
+	PerAP map[string]*APStats
+}
+
+// MeanVector returns the entry's mean RSSI for each requested BSSID.
+// APs never heard at this location report def (use the receiver floor,
+// matching how fingerprinting handles missing APs).
+func (e *Entry) MeanVector(bssids []string, def float64) []float64 {
+	out := make([]float64, len(bssids))
+	for i, b := range bssids {
+		if s, ok := e.PerAP[b]; ok {
+			out[i] = s.Mean
+		} else {
+			out[i] = def
+		}
+	}
+	return out
+}
+
+// DB is a training database: every training location's observations
+// and statistics, plus the universe of BSSIDs seen during training.
+type DB struct {
+	Entries map[string]*Entry
+	// BSSIDs lists every BSSID observed anywhere during training,
+	// sorted, defining the canonical AP ordering for signal vectors.
+	BSSIDs []string
+}
+
+// Options controls Generate.
+type Options struct {
+	// SkipUnmapped drops wi-scan files whose location is missing from
+	// the location map instead of failing. Skipped names are returned.
+	SkipUnmapped bool
+}
+
+// ErrNoEntries is returned when generation produces an empty database.
+var ErrNoEntries = errors.New("trainingdb: no entries")
+
+// Generate builds a database from a wi-scan collection and a location
+// map. Every wi-scan location must appear in the map unless
+// opts.SkipUnmapped is set. The returned slice lists skipped locations
+// (nil when none).
+func Generate(c *wiscan.Collection, m *locmap.Map, opts Options) (*DB, []string, error) {
+	db := &DB{Entries: make(map[string]*Entry)}
+	var skipped []string
+	bssidSet := make(map[string]bool)
+	for _, loc := range c.Locations() {
+		pos, ok := m.Lookup(loc)
+		if !ok {
+			if opts.SkipUnmapped {
+				skipped = append(skipped, loc)
+				continue
+			}
+			return nil, nil, fmt.Errorf("trainingdb: location %q not in location map", loc)
+		}
+		entry := &Entry{Name: loc, Pos: pos, PerAP: make(map[string]*APStats)}
+		f := c.Files[loc]
+		type acc struct {
+			run     stats.Running
+			samples []float64
+		}
+		accs := make(map[string]*acc)
+		for _, rec := range f.Records {
+			a := accs[rec.BSSID]
+			if a == nil {
+				a = &acc{}
+				accs[rec.BSSID] = a
+			}
+			a.run.Add(float64(rec.RSSI))
+			a.samples = append(a.samples, float64(rec.RSSI))
+		}
+		for bssid, a := range accs {
+			bssidSet[bssid] = true
+			entry.PerAP[bssid] = &APStats{
+				BSSID:   bssid,
+				N:       a.run.N(),
+				Mean:    a.run.Mean(),
+				StdDev:  a.run.StdDev(),
+				Min:     a.run.Min(),
+				Max:     a.run.Max(),
+				Samples: a.samples,
+			}
+		}
+		db.Entries[loc] = entry
+	}
+	if len(db.Entries) == 0 {
+		return nil, nil, ErrNoEntries
+	}
+	for b := range bssidSet {
+		db.BSSIDs = append(db.BSSIDs, b)
+	}
+	sort.Strings(db.BSSIDs)
+	return db, skipped, nil
+}
+
+// Names returns the training location names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.Entries))
+	for n := range db.Entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of training locations.
+func (db *DB) Len() int { return len(db.Entries) }
+
+// TotalSamples returns the number of raw observations stored.
+func (db *DB) TotalSamples() int {
+	n := 0
+	for _, e := range db.Entries {
+		for _, s := range e.PerAP {
+			n += s.N
+		}
+	}
+	return n
+}
+
+// NearestEntry returns the training location closest to p, breaking
+// ties toward the lexically smaller name. ok is false for an empty DB.
+// The paper's "valid estimation" metric asks whether the localizer
+// returned exactly this entry.
+func (db *DB) NearestEntry(p geom.Point) (*Entry, bool) {
+	var bestEntry *Entry
+	best := math.Inf(1)
+	for _, name := range db.Names() {
+		e := db.Entries[name]
+		if d := p.DistSq(e.Pos); d < best {
+			best = d
+			bestEntry = e
+		}
+	}
+	return bestEntry, bestEntry != nil
+}
+
+// Merge folds another database's entries into db. Colliding location
+// names are an error (re-training a location should replace it
+// explicitly, not silently blend).
+func (db *DB) Merge(other *DB) error {
+	for name, e := range other.Entries {
+		if _, dup := db.Entries[name]; dup {
+			return fmt.Errorf("trainingdb: merge collision on %q", name)
+		}
+		db.Entries[name] = e
+	}
+	set := make(map[string]bool, len(db.BSSIDs)+len(other.BSSIDs))
+	for _, b := range db.BSSIDs {
+		set[b] = true
+	}
+	for _, b := range other.BSSIDs {
+		set[b] = true
+	}
+	db.BSSIDs = db.BSSIDs[:0]
+	for b := range set {
+		db.BSSIDs = append(db.BSSIDs, b)
+	}
+	sort.Strings(db.BSSIDs)
+	return nil
+}
+
+// DistanceSamples returns (distance, RSSI) pairs for one AP across all
+// training entries: each entry contributes its samples at the entry's
+// distance from apPos. This is exactly the scatter the paper fits in
+// Figure 4.
+func (db *DB) DistanceSamples(bssid string, apPos geom.Point) (dists, rssis []float64) {
+	for _, name := range db.Names() {
+		e := db.Entries[name]
+		s, ok := e.PerAP[bssid]
+		if !ok {
+			continue
+		}
+		d := e.Pos.Dist(apPos)
+		for _, v := range s.Samples {
+			dists = append(dists, d)
+			rssis = append(rssis, v)
+		}
+	}
+	return dists, rssis
+}
+
+// fileHeader guards against loading foreign gob streams.
+const fileHeader = "indoorloc-tdb-v1"
+
+// Save writes the database, gzip-compressed, to w.
+func Save(w io.Writer, db *DB) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(fileHeader); err != nil {
+		return fmt.Errorf("trainingdb: encode header: %w", err)
+	}
+	if err := enc.Encode(db); err != nil {
+		return fmt.Errorf("trainingdb: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trainingdb: compress: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trainingdb: decompress: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var header string
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trainingdb: decode header: %w", err)
+	}
+	if header != fileHeader {
+		return nil, fmt.Errorf("trainingdb: bad header %q", header)
+	}
+	db := &DB{}
+	if err := dec.Decode(db); err != nil {
+		return nil, fmt.Errorf("trainingdb: decode: %w", err)
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to path.
+func SaveFile(path string, db *DB) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trainingdb: %w", err)
+	}
+	if err := Save(fh, db); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*DB, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trainingdb: %w", err)
+	}
+	defer fh.Close()
+	return Load(fh)
+}

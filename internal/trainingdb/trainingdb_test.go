@@ -1,0 +1,278 @@
+package trainingdb
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/wiscan"
+)
+
+const (
+	apA = "00:02:2d:00:00:0a"
+	apB = "00:02:2d:00:00:0b"
+)
+
+func testCollection() *wiscan.Collection {
+	mk := func(loc string, recs ...wiscan.Record) *wiscan.File {
+		return &wiscan.File{Location: loc, Records: recs}
+	}
+	rec := func(t int64, bssid string, rssi int) wiscan.Record {
+		return wiscan.Record{TimeMillis: t, BSSID: bssid, SSID: "house", Channel: 6, RSSI: rssi, Noise: -95}
+	}
+	return &wiscan.Collection{Files: map[string]*wiscan.File{
+		"kitchen": mk("kitchen",
+			rec(1000, apA, -60), rec(1000, apB, -75),
+			rec(2000, apA, -62), rec(2000, apB, -73),
+			rec(3000, apA, -61),
+		),
+		"hall": mk("hall",
+			rec(1000, apA, -70), rec(2000, apA, -71),
+		),
+	}}
+}
+
+func testMap() *locmap.Map {
+	m := locmap.New()
+	m.Add("kitchen", geom.Pt(5, 35))
+	m.Add("hall", geom.Pt(25, 20))
+	return m
+}
+
+func TestGenerateBasic(t *testing.T) {
+	db, skipped, err := Generate(testCollection(), testMap(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != nil {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if got := db.Names(); got[0] != "hall" || got[1] != "kitchen" {
+		t.Errorf("Names = %v", got)
+	}
+	if len(db.BSSIDs) != 2 || db.BSSIDs[0] != apA || db.BSSIDs[1] != apB {
+		t.Errorf("BSSIDs = %v", db.BSSIDs)
+	}
+	k := db.Entries["kitchen"]
+	if k.Pos != geom.Pt(5, 35) {
+		t.Errorf("kitchen pos = %v", k.Pos)
+	}
+	sa := k.PerAP[apA]
+	if sa.N != 3 || math.Abs(sa.Mean-(-61)) > 1e-12 {
+		t.Errorf("kitchen/apA stats = %+v", sa)
+	}
+	if sa.Min != -62 || sa.Max != -60 {
+		t.Errorf("kitchen/apA extrema = %v/%v", sa.Min, sa.Max)
+	}
+	if len(sa.Samples) != 3 {
+		t.Errorf("samples = %v", sa.Samples)
+	}
+	if sa.StdDev <= 0 {
+		t.Errorf("stddev = %v", sa.StdDev)
+	}
+	// hall never heard apB.
+	if _, ok := db.Entries["hall"].PerAP[apB]; ok {
+		t.Error("hall has phantom apB stats")
+	}
+	if db.TotalSamples() != 7 {
+		t.Errorf("TotalSamples = %d", db.TotalSamples())
+	}
+}
+
+func TestGenerateUnmapped(t *testing.T) {
+	m := locmap.New()
+	m.Add("kitchen", geom.Pt(5, 35)) // hall intentionally missing
+	if _, _, err := Generate(testCollection(), m, Options{}); err == nil {
+		t.Error("unmapped location accepted in strict mode")
+	}
+	db, skipped, err := Generate(testCollection(), m, Options{SkipUnmapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "hall" {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	c := &wiscan.Collection{Files: map[string]*wiscan.File{}}
+	if _, _, err := Generate(c, testMap(), Options{}); err != ErrNoEntries {
+		t.Errorf("err = %v, want ErrNoEntries", err)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	v := db.Entries["hall"].MeanVector(db.BSSIDs, -95)
+	if math.Abs(v[0]-(-70.5)) > 1e-12 {
+		t.Errorf("v[0] = %v", v[0])
+	}
+	if v[1] != -95 { // apB unheard at hall → default
+		t.Errorf("v[1] = %v, want floor default", v[1])
+	}
+}
+
+func TestNearestEntry(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	e, ok := db.NearestEntry(geom.Pt(6, 34))
+	if !ok || e.Name != "kitchen" {
+		t.Errorf("NearestEntry = %v %v", e, ok)
+	}
+	e, ok = db.NearestEntry(geom.Pt(26, 19))
+	if !ok || e.Name != "hall" {
+		t.Errorf("NearestEntry = %v %v", e, ok)
+	}
+	empty := &DB{Entries: map[string]*Entry{}}
+	if _, ok := empty.NearestEntry(geom.Pt(0, 0)); ok {
+		t.Error("empty DB returned an entry")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	other := &DB{
+		Entries: map[string]*Entry{
+			"porch": {Name: "porch", Pos: geom.Pt(0, 0), PerAP: map[string]*APStats{
+				"new:ap": {BSSID: "new:ap", N: 1, Mean: -80, Samples: []float64{-80}},
+			}},
+		},
+		BSSIDs: []string{"new:ap"},
+	}
+	if err := db.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if len(db.BSSIDs) != 3 || db.BSSIDs[2] != "new:ap" {
+		t.Errorf("BSSIDs = %v", db.BSSIDs)
+	}
+	// Collision detection.
+	dup := &DB{Entries: map[string]*Entry{"kitchen": {Name: "kitchen"}}}
+	if err := db.Merge(dup); err == nil {
+		t.Error("merge collision accepted")
+	}
+}
+
+func TestDistanceSamples(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	apPos := geom.Pt(0, 0)
+	dists, rssis := db.DistanceSamples(apA, apPos)
+	if len(dists) != 5 || len(rssis) != 5 {
+		t.Fatalf("got %d/%d samples", len(dists), len(rssis))
+	}
+	// hall sorts first: distance from (25,20) to origin.
+	wantHall := math.Hypot(25, 20)
+	if math.Abs(dists[0]-wantHall) > 1e-12 {
+		t.Errorf("dists[0] = %v, want %v", dists[0], wantHall)
+	}
+	if rssis[0] != -70 {
+		t.Errorf("rssis[0] = %v", rssis[0])
+	}
+	// Unknown AP yields nothing.
+	d, r := db.DistanceSamples("nope", apPos)
+	if d != nil || r != nil {
+		t.Error("unknown AP returned samples")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || len(back.BSSIDs) != len(db.BSSIDs) {
+		t.Fatal("shape mismatch after round trip")
+	}
+	for name, e := range db.Entries {
+		be := back.Entries[name]
+		if be == nil || be.Pos != e.Pos {
+			t.Fatalf("entry %s mismatch", name)
+		}
+		for b, s := range e.PerAP {
+			bs := be.PerAP[b]
+			if bs == nil || bs.N != s.N || bs.Mean != s.Mean || bs.StdDev != s.StdDev {
+				t.Errorf("%s/%s stats mismatch", name, b)
+			}
+			if len(bs.Samples) != len(s.Samples) {
+				t.Errorf("%s/%s samples mismatch", name, b)
+			}
+		}
+	}
+}
+
+func TestSaveCompresses(t *testing.T) {
+	// The paper's selling point: databases are compressed. A DB with
+	// many repeated samples must encode smaller than its raw float size.
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	big := db.Entries["kitchen"].PerAP[apA]
+	for i := 0; i < 10000; i++ {
+		big.Samples = append(big.Samples, -61)
+	}
+	big.N = len(big.Samples)
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 8*10000/4 {
+		t.Errorf("compressed size %d bytes; compression looks broken", buf.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gzip at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid gzip, wrong payload.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("hello, not a gob stream"))
+	zw.Close()
+	if _, err := Load(&buf); err == nil {
+		t.Error("non-gob gzip accepted")
+	}
+	// Valid gob under gzip but wrong header string.
+	buf.Reset()
+	zw = gzip.NewWriter(&buf)
+	enc := gob.NewEncoder(zw)
+	enc.Encode("some-other-format")
+	zw.Close()
+	if _, err := Load(&buf); err == nil {
+		t.Error("wrong header accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db, _, _ := Generate(testCollection(), testMap(), Options{})
+	path := filepath.Join(t.TempDir(), "train.tdb")
+	if err := SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Error("file round trip lost entries")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.tdb")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Package units provides the unit conversions used throughout the
+// toolkit.
+//
+// The paper's experiments are specified in feet (a 50 ft × 40 ft house
+// with training points every 10 ft), so the toolkit's canonical
+// distance unit is the foot. Radio signal strength is expressed in dBm,
+// the unit reported by 802.11 NICs; power in milliwatts is available
+// for models that work in linear space.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeetPerMeter is the exact number of international feet in one metre.
+const FeetPerMeter = 1 / 0.3048
+
+// MetersPerFoot is the exact length of one international foot in metres.
+const MetersPerFoot = 0.3048
+
+// Feet is a distance in feet, the toolkit's canonical distance unit.
+type Feet float64
+
+// Meters converts a distance in feet to metres.
+func (f Feet) Meters() Meters { return Meters(float64(f) * MetersPerFoot) }
+
+// String formats the distance with a "ft" suffix.
+func (f Feet) String() string { return fmt.Sprintf("%.2f ft", float64(f)) }
+
+// Meters is a distance in metres.
+type Meters float64
+
+// Feet converts a distance in metres to feet.
+func (m Meters) Feet() Feet { return Feet(float64(m) * FeetPerMeter) }
+
+// String formats the distance with an "m" suffix.
+func (m Meters) String() string { return fmt.Sprintf("%.2f m", float64(m)) }
+
+// DBm is a signal power level in decibel-milliwatts. Typical 802.11
+// receive levels range from about -30 dBm (adjacent to the AP) down to
+// the noise floor near -100 dBm.
+type DBm float64
+
+// Milliwatts converts a dBm level to linear milliwatts.
+func (p DBm) Milliwatts() Milliwatts {
+	return Milliwatts(math.Pow(10, float64(p)/10))
+}
+
+// String formats the level with a "dBm" suffix.
+func (p DBm) String() string { return fmt.Sprintf("%.1f dBm", float64(p)) }
+
+// Milliwatts is a linear power in milliwatts.
+type Milliwatts float64
+
+// DBm converts a linear milliwatt power to dBm. Non-positive powers
+// map to -infinity dBm.
+func (mw Milliwatts) DBm() DBm {
+	if mw <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(float64(mw)))
+}
+
+// QuantizeRSSI rounds a model-space signal level to the nearest whole
+// dBm and clamps it to the range real NIC drivers report. Wi-scan
+// records store RSSI as a small integer, mirroring wireless card
+// firmware.
+func QuantizeRSSI(p DBm) int {
+	const (
+		maxRSSI = 0    // no NIC reports a positive receive level
+		minRSSI = -120 // below any practical noise floor
+	)
+	r := int(math.Round(float64(p)))
+	if r > maxRSSI {
+		r = maxRSSI
+	}
+	if r < minRSSI {
+		r = minRSSI
+	}
+	return r
+}
+
+// ClampDBm limits a level to the closed range [lo, hi].
+func ClampDBm(p, lo, hi DBm) DBm {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}

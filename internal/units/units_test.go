@@ -1,0 +1,115 @@
+package units
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFeetMetersRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, 10, 50, 40, 3.2808398950131235, -7.5}
+	for _, ft := range cases {
+		got := float64(Feet(ft).Meters().Feet())
+		if !almostEqual(got, ft, 1e-12) {
+			t.Errorf("Feet(%v) round trip = %v", ft, got)
+		}
+	}
+}
+
+func TestKnownConversions(t *testing.T) {
+	if got := float64(Meters(1).Feet()); !almostEqual(got, 3.280839895, 1e-9) {
+		t.Errorf("1 m = %v ft, want 3.280839895", got)
+	}
+	if got := float64(Feet(50).Meters()); !almostEqual(got, 15.24, 1e-12) {
+		t.Errorf("50 ft = %v m, want 15.24", got)
+	}
+}
+
+func TestDBmMilliwatts(t *testing.T) {
+	if got := float64(DBm(0).Milliwatts()); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("0 dBm = %v mW, want 1", got)
+	}
+	if got := float64(DBm(-30).Milliwatts()); !almostEqual(got, 0.001, 1e-15) {
+		t.Errorf("-30 dBm = %v mW, want 0.001", got)
+	}
+	if got := float64(Milliwatts(100).DBm()); !almostEqual(got, 20, 1e-12) {
+		t.Errorf("100 mW = %v dBm, want 20", got)
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		// Restrict to a physical range to avoid overflow in Pow.
+		p := math.Mod(math.Abs(raw), 120) * -1 // [-120, 0]
+		back := float64(DBm(p).Milliwatts().DBm())
+		return almostEqual(back, p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(105))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilliwattsDBmNonPositive(t *testing.T) {
+	if got := float64(Milliwatts(0).DBm()); !math.IsInf(got, -1) {
+		t.Errorf("0 mW = %v dBm, want -Inf", got)
+	}
+	if got := float64(Milliwatts(-5).DBm()); !math.IsInf(got, -1) {
+		t.Errorf("-5 mW = %v dBm, want -Inf", got)
+	}
+}
+
+func TestQuantizeRSSI(t *testing.T) {
+	cases := []struct {
+		in   DBm
+		want int
+	}{
+		{-60.2, -60},
+		{-60.7, -61},
+		{-59.5, -60}, // math.Round rounds half away from zero
+		{5, 0},       // clamp high
+		{-200, -120}, // clamp low
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := QuantizeRSSI(c.in); got != c.want {
+			t.Errorf("QuantizeRSSI(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeRSSIRangeProperty(t *testing.T) {
+	f := func(p float64) bool {
+		r := QuantizeRSSI(DBm(p))
+		return r <= 0 && r >= -120
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(105))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampDBm(t *testing.T) {
+	if got := ClampDBm(-150, -100, -30); got != -100 {
+		t.Errorf("clamp low: got %v", got)
+	}
+	if got := ClampDBm(-20, -100, -30); got != -30 {
+		t.Errorf("clamp high: got %v", got)
+	}
+	if got := ClampDBm(-55, -100, -30); got != -55 {
+		t.Errorf("clamp mid: got %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Feet(12.345).String(); s != "12.35 ft" {
+		t.Errorf("Feet.String() = %q", s)
+	}
+	if s := Meters(1).String(); s != "1.00 m" {
+		t.Errorf("Meters.String() = %q", s)
+	}
+	if s := DBm(-61.25).String(); s != "-61.2 dBm" && s != "-61.3 dBm" {
+		t.Errorf("DBm.String() = %q", s)
+	}
+}

@@ -1,0 +1,186 @@
+package wiscan
+
+import (
+	"archive/zip"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Collection is a set of wi-scan files keyed by location name — what
+// the Training Database Generator receives. The paper passes it as
+// "a string representing either the name of a directory containing the
+// wi-scan files or a zip file containing the wi-scan files";
+// ReadCollection accepts exactly that.
+type Collection struct {
+	Files map[string]*File
+}
+
+// Locations returns the collection's location names, sorted.
+func (c *Collection) Locations() []string {
+	out := make([]string, 0, len(c.Files))
+	for name := range c.Files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalRecords returns the number of records across all files.
+func (c *Collection) TotalRecords() int {
+	n := 0
+	for _, f := range c.Files {
+		n += len(f.Records)
+	}
+	return n
+}
+
+// ReadCollection loads a wi-scan collection from path: a directory
+// (walked recursively) or a .zip archive. Files with extension .wiscan
+// or .txt are parsed; anything else is skipped. Nested directories are
+// flattened: the location name is the file's base name without
+// extension unless a "# location:" header overrides it. Duplicate
+// location names across subdirectories are an error, since a training
+// database must key observations by location.
+func ReadCollection(path string) (*Collection, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("wiscan: %w", err)
+	}
+	if info.IsDir() {
+		return readDirCollection(path)
+	}
+	if strings.EqualFold(filepath.Ext(path), ".zip") {
+		return readZipCollection(path)
+	}
+	return nil, fmt.Errorf("wiscan: %s is neither a directory nor a .zip archive", path)
+}
+
+func isScanFile(name string) bool {
+	ext := strings.ToLower(filepath.Ext(name))
+	return ext == ".wiscan" || ext == ".txt"
+}
+
+func locationFromName(name string) string {
+	base := filepath.Base(name)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func readDirCollection(dir string) (*Collection, error) {
+	c := &Collection{Files: make(map[string]*File)}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !isScanFile(path) {
+			return nil
+		}
+		fh, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		return c.add(fh, path)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wiscan: walking %s: %w", dir, err)
+	}
+	if len(c.Files) == 0 {
+		return nil, fmt.Errorf("wiscan: no wi-scan files under %s", dir)
+	}
+	return c, nil
+}
+
+func readZipCollection(path string) (*Collection, error) {
+	zr, err := zip.OpenReader(path)
+	if err != nil {
+		return nil, fmt.Errorf("wiscan: opening zip %s: %w", path, err)
+	}
+	defer zr.Close()
+	c := &Collection{Files: make(map[string]*File)}
+	for _, entry := range zr.File {
+		if entry.FileInfo().IsDir() || !isScanFile(entry.Name) {
+			continue
+		}
+		rc, err := entry.Open()
+		if err != nil {
+			return nil, fmt.Errorf("wiscan: zip entry %s: %w", entry.Name, err)
+		}
+		err = c.add(rc, entry.Name)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(c.Files) == 0 {
+		return nil, fmt.Errorf("wiscan: no wi-scan files in %s", path)
+	}
+	return c, nil
+}
+
+// add parses one stream into the collection under the location derived
+// from name (or the file's own header).
+func (c *Collection) add(r io.Reader, name string) error {
+	f, err := Read(r, locationFromName(name))
+	if err != nil {
+		return fmt.Errorf("wiscan: %s: %w", name, err)
+	}
+	if _, dup := c.Files[f.Location]; dup {
+		return fmt.Errorf("wiscan: duplicate location %q (file %s)", f.Location, name)
+	}
+	c.Files[f.Location] = f
+	return nil
+}
+
+// WriteDir writes every file in the collection into dir as
+// <location>.wiscan, creating dir if needed.
+func (c *Collection) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wiscan: %w", err)
+	}
+	for name, f := range c.Files {
+		path := filepath.Join(dir, name+".wiscan")
+		fh, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("wiscan: %w", err)
+		}
+		if err := Write(fh, f); err != nil {
+			fh.Close()
+			return fmt.Errorf("wiscan: writing %s: %w", path, err)
+		}
+		if err := fh.Close(); err != nil {
+			return fmt.Errorf("wiscan: closing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// WriteZip writes the collection as a zip archive at path, one
+// <location>.wiscan entry per file, sorted for reproducible bytes.
+func (c *Collection) WriteZip(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wiscan: %w", err)
+	}
+	zw := zip.NewWriter(fh)
+	for _, name := range c.Locations() {
+		w, err := zw.Create(name + ".wiscan")
+		if err != nil {
+			fh.Close()
+			return fmt.Errorf("wiscan: zip entry %s: %w", name, err)
+		}
+		if err := Write(w, c.Files[name]); err != nil {
+			fh.Close()
+			return fmt.Errorf("wiscan: writing zip entry %s: %w", name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		fh.Close()
+		return fmt.Errorf("wiscan: finalising zip: %w", err)
+	}
+	return fh.Close()
+}

@@ -1,0 +1,154 @@
+package wiscan
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleCollection() *Collection {
+	mk := func(loc string, rssis ...int) *File {
+		f := &File{Location: loc}
+		for i, r := range rssis {
+			f.Records = append(f.Records, Record{
+				TimeMillis: int64(1000 * (i + 1)),
+				BSSID:      "00:02:2d:00:00:0a",
+				SSID:       "house",
+				Channel:    6,
+				RSSI:       r,
+				Noise:      -95,
+			})
+		}
+		return f
+	}
+	return &Collection{Files: map[string]*File{
+		"kitchen": mk("kitchen", -61, -62, -60),
+		"hall":    mk("hall", -70, -71),
+		"porch":   mk("porch", -80),
+	}}
+}
+
+func TestCollectionDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleCollection()
+	if err := orig.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Locations(); len(got) != 3 || got[0] != "hall" || got[1] != "kitchen" || got[2] != "porch" {
+		t.Errorf("Locations = %v", got)
+	}
+	if back.TotalRecords() != orig.TotalRecords() {
+		t.Errorf("TotalRecords = %d, want %d", back.TotalRecords(), orig.TotalRecords())
+	}
+	for name, f := range orig.Files {
+		bf := back.Files[name]
+		if bf == nil {
+			t.Fatalf("missing location %s", name)
+		}
+		for i := range f.Records {
+			if bf.Records[i] != f.Records[i] {
+				t.Errorf("%s record %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestCollectionZipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	zipPath := filepath.Join(dir, "scans.zip")
+	orig := sampleCollection()
+	if err := orig.WriteZip(zipPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCollection(zipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalRecords() != orig.TotalRecords() {
+		t.Errorf("TotalRecords = %d, want %d", back.TotalRecords(), orig.TotalRecords())
+	}
+	if _, ok := back.Files["kitchen"]; !ok {
+		t.Error("kitchen missing from zip round trip")
+	}
+}
+
+func TestCollectionNestedDirs(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "floor1", "west")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "100\taa:bb\tnet\t6\t-61\t-95\n"
+	if err := os.WriteFile(filepath.Join(dir, "lobby.wiscan"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "office.txt"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-scan files are skipped.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := c.Locations()
+	if len(locs) != 2 || locs[0] != "lobby" || locs[1] != "office" {
+		t.Errorf("Locations = %v", locs)
+	}
+}
+
+func TestCollectionDuplicateLocation(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "100\taa:bb\tnet\t6\t-61\t-95\n"
+	os.WriteFile(filepath.Join(dir, "lobby.wiscan"), []byte(content), 0o644)
+	os.WriteFile(filepath.Join(sub, "lobby.wiscan"), []byte(content), 0o644)
+	if _, err := ReadCollection(dir); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate locations: err = %v", err)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	if _, err := ReadCollection(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing path accepted")
+	}
+	// Empty dir.
+	if _, err := ReadCollection(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// Not a dir or zip.
+	plain := filepath.Join(t.TempDir(), "file.dat")
+	os.WriteFile(plain, []byte("x"), 0o644)
+	if _, err := ReadCollection(plain); err == nil {
+		t.Error("plain file accepted")
+	}
+	// Malformed file inside dir.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.wiscan"), []byte("not a record\n"), 0o644)
+	if _, err := ReadCollection(dir); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestHeaderOverridesFileName(t *testing.T) {
+	dir := t.TempDir()
+	content := "# location: master bedroom\n100\taa:bb\tnet\t6\t-61\t-95\n"
+	os.WriteFile(filepath.Join(dir, "scan007.wiscan"), []byte(content), 0o644)
+	c, err := ReadCollection(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Files["master bedroom"]; !ok {
+		t.Errorf("Locations = %v, want header name", c.Locations())
+	}
+}

@@ -1,0 +1,105 @@
+package wiscan
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomRecord generates a valid record from quick's random source.
+type randomRecord Record
+
+// Generate implements quick.Generator, constraining fields to the
+// format's legal ranges.
+func (randomRecord) Generate(r *rand.Rand, _ int) reflect.Value {
+	ssids := []string{"house", "coffee shop wifi", "", "net-5G", "привет"}
+	rec := randomRecord{
+		TimeMillis: r.Int63n(2_000_000_000_000),
+		BSSID:      randomBSSID(r),
+		SSID:       ssids[r.Intn(len(ssids))],
+		Channel:    r.Intn(15),
+		RSSI:       -r.Intn(121),
+		Noise:      -80 - r.Intn(40),
+	}
+	return reflect.ValueOf(rec)
+}
+
+func randomBSSID(r *rand.Rand) string {
+	const hex = "0123456789abcdef"
+	var b strings.Builder
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		b.WriteByte(hex[r.Intn(16)])
+		b.WriteByte(hex[r.Intn(16)])
+	}
+	return b.String()
+}
+
+// TestWriteParsePropertyRoundTrip: anything the writer emits, the
+// parser accepts and reproduces exactly.
+func TestWriteParsePropertyRoundTrip(t *testing.T) {
+	f := func(rrs []randomRecord) bool {
+		if len(rrs) == 0 {
+			return true
+		}
+		orig := &File{Location: "prop"}
+		for _, rr := range rrs {
+			orig.Records = append(orig.Records, Record(rr))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			return false
+		}
+		back, err := Read(&buf, "other")
+		if err != nil {
+			return false
+		}
+		if back.Location != "prop" || len(back.Records) != len(orig.Records) {
+			return false
+		}
+		for i := range orig.Records {
+			if back.Records[i] != orig.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(103))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics: arbitrary line mutations produce errors, not
+// panics, and accepted records always satisfy the format's invariants.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := "1118161600123\t00:02:2d:0a:0b:0c\thouse\t6\t-61\t-96\n"
+	chars := []byte("\t\n 0123456789-abcxyz:.#")
+	for i := 0; i < 2000; i++ {
+		b := []byte(strings.Repeat(base, 1+rng.Intn(3)))
+		// Mutate a few bytes.
+		for m := 0; m < 1+rng.Intn(5); m++ {
+			b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+		}
+		f, err := Read(bytes.NewReader(b), "fuzz")
+		if err != nil {
+			continue
+		}
+		for _, rec := range f.Records {
+			if rec.RSSI > 0 || rec.RSSI < -120 {
+				t.Fatalf("accepted invalid RSSI %d from %q", rec.RSSI, b)
+			}
+			if rec.TimeMillis < 0 {
+				t.Fatalf("accepted negative timestamp from %q", b)
+			}
+			if rec.BSSID == "" {
+				t.Fatalf("accepted empty BSSID from %q", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package wiscan
+
+import "sort"
+
+// Windows slices a continuous capture into observation windows of
+// windowMillis, starting a new window every strideMillis — the
+// pre-processing a tracking client applies to its scan log before
+// localizing each window. Records are bucketed by timestamp; windows
+// with no records are skipped. strideMillis ≤ 0 means non-overlapping
+// windows (stride = window).
+func Windows(recs []Record, windowMillis, strideMillis int64) [][]Record {
+	if len(recs) == 0 || windowMillis <= 0 {
+		return nil
+	}
+	if strideMillis <= 0 {
+		strideMillis = windowMillis
+	}
+	sorted := append([]Record(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].TimeMillis < sorted[j].TimeMillis
+	})
+	first := sorted[0].TimeMillis
+	last := sorted[len(sorted)-1].TimeMillis
+	var out [][]Record
+	for start := first; start <= last; start += strideMillis {
+		end := start + windowMillis
+		// Records in [start, end).
+		lo := sort.Search(len(sorted), func(i int) bool {
+			return sorted[i].TimeMillis >= start
+		})
+		hi := sort.Search(len(sorted), func(i int) bool {
+			return sorted[i].TimeMillis >= end
+		})
+		if hi > lo {
+			win := make([]Record, hi-lo)
+			copy(win, sorted[lo:hi])
+			out = append(out, win)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package wiscan
+
+import "testing"
+
+func recAt(t int64) Record {
+	return Record{TimeMillis: t, BSSID: "a", RSSI: -60}
+}
+
+func TestWindowsNonOverlapping(t *testing.T) {
+	var recs []Record
+	for ms := int64(0); ms < 10_000; ms += 1000 {
+		recs = append(recs, recAt(ms))
+	}
+	wins := Windows(recs, 3000, 0)
+	if len(wins) != 4 { // [0,3k) [3k,6k) [6k,9k) [9k,12k)
+		t.Fatalf("%d windows", len(wins))
+	}
+	if len(wins[0]) != 3 || len(wins[3]) != 1 {
+		t.Errorf("window sizes %d...%d", len(wins[0]), len(wins[3]))
+	}
+	// Total records preserved across non-overlapping windows.
+	total := 0
+	for _, w := range wins {
+		total += len(w)
+	}
+	if total != len(recs) {
+		t.Errorf("total %d, want %d", total, len(recs))
+	}
+}
+
+func TestWindowsOverlapping(t *testing.T) {
+	var recs []Record
+	for ms := int64(0); ms < 6000; ms += 1000 {
+		recs = append(recs, recAt(ms))
+	}
+	wins := Windows(recs, 4000, 2000)
+	if len(wins) != 3 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	// First window [0,4k) has 4 records; second [2k,6k) has 4.
+	if len(wins[0]) != 4 || len(wins[1]) != 4 {
+		t.Errorf("sizes %d, %d", len(wins[0]), len(wins[1]))
+	}
+}
+
+func TestWindowsUnsortedInput(t *testing.T) {
+	recs := []Record{recAt(5000), recAt(0), recAt(2500)}
+	wins := Windows(recs, 3000, 0)
+	if len(wins) != 2 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	if wins[0][0].TimeMillis != 0 || wins[0][1].TimeMillis != 2500 {
+		t.Errorf("first window %v", wins[0])
+	}
+	// Input slice untouched.
+	if recs[0].TimeMillis != 5000 {
+		t.Error("input reordered")
+	}
+}
+
+func TestWindowsEmptyGapsSkipped(t *testing.T) {
+	recs := []Record{recAt(0), recAt(10_000)}
+	wins := Windows(recs, 1000, 0)
+	if len(wins) != 2 {
+		t.Fatalf("%d windows (gaps should be skipped)", len(wins))
+	}
+}
+
+func TestWindowsDegenerate(t *testing.T) {
+	if Windows(nil, 1000, 0) != nil {
+		t.Error("nil records produced windows")
+	}
+	if Windows([]Record{recAt(0)}, 0, 0) != nil {
+		t.Error("zero window produced windows")
+	}
+}

@@ -1,0 +1,250 @@
+// Package wiscan reads and writes wi-scan files, the raw-capture
+// format the Training Database Generator consumes.
+//
+// A wi-scan file records the output of a wireless scanning tool at one
+// named training location: a sequence of observations, each one AP's
+// signal strength at one moment. The paper's toolkit receives these
+// files either as a directory or as a zip archive, one file per
+// location, with the location's name taken from the file name.
+//
+// # File format
+//
+// wi-scan files are line-oriented UTF-8 text:
+//
+//	# wi-scan v1
+//	# location: kitchen
+//	1118161600123	00:02:2d:0a:0b:0c	house	6	-61	-96
+//	1118161600123	00:02:2d:0a:0b:0d	house	11	-74	-95
+//	1118161601130	00:02:2d:0a:0b:0c	house	6	-62	-96
+//
+// Columns are tab-separated: timestamp in Unix milliseconds, BSSID,
+// SSID, channel, RSSI in dBm, and (optionally) noise in dBm. Lines
+// beginning with '#' and blank lines are ignored; a "# location:"
+// header, when present, overrides the file-name-derived location name.
+// Records sharing a timestamp belong to the same scan sweep. The
+// reader also accepts space-separated columns and CRLF line endings,
+// since capture tools disagree about both.
+package wiscan
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one AP observation.
+type Record struct {
+	// TimeMillis is the capture time in Unix milliseconds. Records with
+	// equal timestamps belong to one scan sweep.
+	TimeMillis int64
+	BSSID      string
+	SSID       string
+	Channel    int
+	// RSSI is the received level in whole dBm (negative).
+	RSSI int
+	// Noise is the noise floor in dBm; 0 means not reported.
+	Noise int
+}
+
+// File is a parsed wi-scan file.
+type File struct {
+	// Location is the training-location name, from the "# location:"
+	// header or the file name.
+	Location string
+	Records  []Record
+}
+
+// ErrNoRecords is returned when a wi-scan file contains no data lines.
+var ErrNoRecords = errors.New("wiscan: no records")
+
+// ParseError describes a malformed line.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("wiscan: line %d %q: %v", e.Line, e.Text, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Read parses a wi-scan stream. location seeds File.Location and is
+// typically the file's base name; a "# location:" header overrides it.
+func Read(r io.Reader, location string) (*File, error) {
+	f := &File{Location: location}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if loc, ok := headerValue(trimmed, "location"); ok {
+				f.Location = loc
+			}
+			continue
+		}
+		rec, err := parseLine(trimmed)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Text: trimmed, Err: err}
+		}
+		f.Records = append(f.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wiscan: read: %w", err)
+	}
+	if len(f.Records) == 0 {
+		return nil, ErrNoRecords
+	}
+	return f, nil
+}
+
+// headerValue extracts the value of a "# key: value" comment header.
+func headerValue(line, key string) (string, bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	prefix := key + ":"
+	if !strings.HasPrefix(strings.ToLower(body), prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(body[len(prefix):]), true
+}
+
+// parseLine parses one data line. Tabs are the canonical separator;
+// runs of spaces are tolerated. SSIDs containing separators survive
+// only in tab-separated files (fields are positional).
+func parseLine(line string) (Record, error) {
+	var fields []string
+	if strings.Contains(line, "\t") {
+		fields = strings.Split(line, "\t")
+	} else {
+		fields = strings.Fields(line)
+	}
+	if len(fields) < 5 {
+		return Record{}, fmt.Errorf("want ≥5 fields (time bssid ssid channel rssi [noise]), got %d", len(fields))
+	}
+	t, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("timestamp: %v", err)
+	}
+	if t < 0 {
+		return Record{}, fmt.Errorf("timestamp %d negative", t)
+	}
+	bssid := strings.TrimSpace(fields[1])
+	if bssid == "" {
+		return Record{}, errors.New("empty BSSID")
+	}
+	ssid := strings.TrimSpace(fields[2])
+	ch, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+	if err != nil {
+		return Record{}, fmt.Errorf("channel: %v", err)
+	}
+	rssi, err := strconv.Atoi(strings.TrimSpace(fields[4]))
+	if err != nil {
+		return Record{}, fmt.Errorf("rssi: %v", err)
+	}
+	if rssi > 0 || rssi < -120 {
+		return Record{}, fmt.Errorf("rssi %d outside [-120, 0]", rssi)
+	}
+	noise := 0
+	if len(fields) >= 6 && strings.TrimSpace(fields[5]) != "" {
+		noise, err = strconv.Atoi(strings.TrimSpace(fields[5]))
+		if err != nil {
+			return Record{}, fmt.Errorf("noise: %v", err)
+		}
+	}
+	return Record{
+		TimeMillis: t,
+		BSSID:      bssid,
+		SSID:       ssid,
+		Channel:    ch,
+		RSSI:       rssi,
+		Noise:      noise,
+	}, nil
+}
+
+// Write renders the file in canonical tab-separated form, including
+// the version and location headers.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# wi-scan v1")
+	if f.Location != "" {
+		fmt.Fprintf(bw, "# location: %s\n", f.Location)
+	}
+	for _, r := range f.Records {
+		fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%d\n",
+			r.TimeMillis, r.BSSID, r.SSID, r.Channel, r.RSSI, r.Noise)
+	}
+	return bw.Flush()
+}
+
+// Scans groups the file's records into sweeps by timestamp, ordered by
+// time. Records within a sweep keep file order.
+func (f *File) Scans() [][]Record {
+	byTime := make(map[int64][]Record)
+	var times []int64
+	for _, r := range f.Records {
+		if _, ok := byTime[r.TimeMillis]; !ok {
+			times = append(times, r.TimeMillis)
+		}
+		byTime[r.TimeMillis] = append(byTime[r.TimeMillis], r)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([][]Record, len(times))
+	for i, t := range times {
+		out[i] = byTime[t]
+	}
+	return out
+}
+
+// BSSIDs returns the distinct BSSIDs in the file, sorted.
+func (f *File) BSSIDs() []string {
+	set := make(map[string]bool)
+	for _, r := range f.Records {
+		set[r.BSSID] = true
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RSSIsFor returns the RSSI series for one BSSID, in record order.
+func (f *File) RSSIsFor(bssid string) []float64 {
+	var out []float64
+	for _, r := range f.Records {
+		if r.BSSID == bssid {
+			out = append(out, float64(r.RSSI))
+		}
+	}
+	return out
+}
+
+// Duration returns the capture span in milliseconds (last timestamp
+// minus first), or 0 with fewer than two distinct timestamps.
+func (f *File) Duration() int64 {
+	if len(f.Records) == 0 {
+		return 0
+	}
+	min, max := f.Records[0].TimeMillis, f.Records[0].TimeMillis
+	for _, r := range f.Records[1:] {
+		if r.TimeMillis < min {
+			min = r.TimeMillis
+		}
+		if r.TimeMillis > max {
+			max = r.TimeMillis
+		}
+	}
+	return max - min
+}

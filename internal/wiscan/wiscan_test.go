@@ -1,0 +1,176 @@
+package wiscan
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sample = `# wi-scan v1
+# location: kitchen
+1118161600123	00:02:2d:0a:0b:0c	house	6	-61	-96
+1118161600123	00:02:2d:0a:0b:0d	house	11	-74	-95
+
+1118161601130	00:02:2d:0a:0b:0c	house	6	-62	-96
+`
+
+func TestReadBasic(t *testing.T) {
+	f, err := Read(strings.NewReader(sample), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Location != "kitchen" {
+		t.Errorf("Location = %q, want kitchen (header override)", f.Location)
+	}
+	if len(f.Records) != 3 {
+		t.Fatalf("got %d records", len(f.Records))
+	}
+	r := f.Records[0]
+	if r.TimeMillis != 1118161600123 || r.BSSID != "00:02:2d:0a:0b:0c" ||
+		r.SSID != "house" || r.Channel != 6 || r.RSSI != -61 || r.Noise != -96 {
+		t.Errorf("record 0 = %+v", r)
+	}
+}
+
+func TestReadFallbackLocation(t *testing.T) {
+	in := "1\taa:bb\tnet\t1\t-50\t-90\n"
+	f, err := Read(strings.NewReader(in), "hallway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Location != "hallway" {
+		t.Errorf("Location = %q", f.Location)
+	}
+}
+
+func TestReadSpaceSeparatedAndCRLF(t *testing.T) {
+	in := "100 aa:bb net 6 -55 -92\r\n200 aa:bb net 6 -56\r\n"
+	f, err := Read(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 2 {
+		t.Fatalf("got %d records", len(f.Records))
+	}
+	if f.Records[1].Noise != 0 {
+		t.Errorf("missing noise column should be 0, got %d", f.Records[1].Noise)
+	}
+}
+
+func TestReadTabSSIDWithSpaces(t *testing.T) {
+	in := "100\taa:bb\tcoffee shop wifi\t6\t-55\t-92\n"
+	f, err := Read(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records[0].SSID != "coffee shop wifi" {
+		t.Errorf("SSID = %q", f.Records[0].SSID)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"too few fields", "100\taa:bb\tnet\t6\n"},
+		{"bad timestamp", "abc\taa:bb\tnet\t6\t-55\n"},
+		{"negative timestamp", "-5\taa:bb\tnet\t6\t-55\n"},
+		{"empty bssid", "100\t\tnet\t6\t-55\n"},
+		{"bad channel", "100\taa:bb\tnet\tx\t-55\n"},
+		{"bad rssi", "100\taa:bb\tnet\t6\tstrong\n"},
+		{"positive rssi", "100\taa:bb\tnet\t6\t20\n"},
+		{"rssi too low", "100\taa:bb\tnet\t6\t-150\n"},
+		{"bad noise", "100\taa:bb\tnet\t6\t-55\tloud\n"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.in), "x")
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a ParseError", c.name, err)
+		} else if pe.Line != 1 {
+			t.Errorf("%s: line = %d", c.name, pe.Line)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	if _, err := Read(strings.NewReader("# only comments\n"), "x"); err != ErrNoRecords {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig, err := Read(strings.NewReader(sample), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Location != orig.Location {
+		t.Errorf("Location = %q", back.Location)
+	}
+	if len(back.Records) != len(orig.Records) {
+		t.Fatalf("record count %d != %d", len(back.Records), len(orig.Records))
+	}
+	for i := range orig.Records {
+		if back.Records[i] != orig.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, back.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestScans(t *testing.T) {
+	f, _ := Read(strings.NewReader(sample), "x")
+	scans := f.Scans()
+	if len(scans) != 2 {
+		t.Fatalf("got %d scans, want 2", len(scans))
+	}
+	if len(scans[0]) != 2 || len(scans[1]) != 1 {
+		t.Errorf("scan sizes %d, %d", len(scans[0]), len(scans[1]))
+	}
+	// Time ordering even when input is shuffled.
+	shuffled := "300\ta\tn\t1\t-50\t0\n100\tb\tn\t1\t-51\t0\n200\tc\tn\t1\t-52\t0\n"
+	f2, _ := Read(strings.NewReader(shuffled), "x")
+	scans = f2.Scans()
+	if scans[0][0].BSSID != "b" || scans[1][0].BSSID != "c" || scans[2][0].BSSID != "a" {
+		t.Error("scans not time-ordered")
+	}
+}
+
+func TestBSSIDsAndRSSIsFor(t *testing.T) {
+	f, _ := Read(strings.NewReader(sample), "x")
+	ids := f.BSSIDs()
+	if len(ids) != 2 || ids[0] != "00:02:2d:0a:0b:0c" || ids[1] != "00:02:2d:0a:0b:0d" {
+		t.Errorf("BSSIDs = %v", ids)
+	}
+	rs := f.RSSIsFor("00:02:2d:0a:0b:0c")
+	if len(rs) != 2 || rs[0] != -61 || rs[1] != -62 {
+		t.Errorf("RSSIsFor = %v", rs)
+	}
+	if got := f.RSSIsFor("nope"); got != nil {
+		t.Errorf("unknown BSSID = %v", got)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	f, _ := Read(strings.NewReader(sample), "x")
+	if got := f.Duration(); got != 1007 {
+		t.Errorf("Duration = %d, want 1007", got)
+	}
+	empty := &File{}
+	if empty.Duration() != 0 {
+		t.Error("empty duration not 0")
+	}
+}
