@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race ## full CI gate
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench: ## hot-path localization benchmarks (see BENCH_hotpath.json)
+	$(GO) test -run '^$$' -bench 'BenchmarkProbabilisticLargeMap$$|BenchmarkProbabilisticLocalize$$|BenchmarkHistogramLocalize$$|BenchmarkKNNSweep/k=3$$|BenchmarkBatchLocalize/workers=4$$|BenchmarkServerLocate$$' -benchmem -benchtime=2s .

@@ -169,6 +169,7 @@ func BenchmarkProbabilisticLocalize(b *testing.B) {
 	f := fixture(b)
 	ml := localize.NewMaxLikelihood(f.db)
 	obs := observations(f, 64, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ml.Locate(obs[i%len(obs)]); err != nil {
@@ -186,6 +187,7 @@ func BenchmarkHistogramLocalize(b *testing.B) {
 	if _, err := h.Locate(obs[0]); err != nil { // build caches
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Locate(obs[i%len(obs)]); err != nil {
@@ -205,6 +207,7 @@ func BenchmarkGeometricLocalize(b *testing.B) {
 		b.Fatal(err)
 	}
 	obs := observations(f, 64, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.Locate(obs[i%len(obs)]); err != nil {
@@ -220,6 +223,7 @@ func BenchmarkKNNSweep(b *testing.B) {
 	for _, k := range []int{1, 2, 3, 4, 5, 6} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			knn := localize.NewKNN(f.db, k)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := knn.Locate(obs[i%len(obs)]); err != nil {
 					b.Fatal(err)
@@ -392,6 +396,7 @@ func BenchmarkBatchLocalize(b *testing.B) {
 	obs := observations(f, 256, 10)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := localize.Batch(ml, obs, workers)
 				for j := range res {
@@ -412,6 +417,7 @@ func BenchmarkSectorLocalize(b *testing.B) {
 	if _, err := sec.Locate(obs[0]); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sec.Locate(obs[i%len(obs)]); err != nil {
@@ -463,6 +469,7 @@ func BenchmarkServerLocate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resp, err := http.Post(ts.URL+"/locate", "application/json", bytes.NewReader(payload))
@@ -502,6 +509,7 @@ func BenchmarkProbabilisticLargeMap(b *testing.B) {
 		obs[i] = localize.ObservationFromRecords(
 			sc.Capture(scen.TestPoints[i%len(scen.TestPoints)], 10, 0))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ml.Locate(obs[i%len(obs)]); err != nil {

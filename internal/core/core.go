@@ -66,7 +66,11 @@ type BuildConfig struct {
 }
 
 // BuildLocator constructs a registered algorithm over a training
-// database.
+// database. The returned locator is warmed: compiled radio maps,
+// histogram tables and identifying codes are built here, once, so
+// every consumer — the HTTP server, localize.Batch fanouts, the CLI
+// tools and the experiment harness — serves its first query at full
+// speed.
 func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Locator, error) {
 	if db == nil {
 		return nil, errors.New("core: nil training database")
@@ -79,30 +83,31 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 	if k <= 0 {
 		k = 3
 	}
+	var loc localize.Locator
 	switch name {
 	case AlgoProbabilistic:
 		ml := localize.NewMaxLikelihood(db)
 		ml.FloorRSSI = floor
-		return ml, nil
+		loc = ml
 	case AlgoHistogram:
 		h := localize.NewHistogram(db)
 		h.FloorRSSI = floor
-		return h, nil
+		loc = h
 	case AlgoSector:
-		return localize.NewSector(db), nil
+		loc = localize.NewSector(db)
 	case AlgoNNSS:
 		nn := localize.NewKNN(db, 1)
 		nn.FloorRSSI = floor
-		return nn, nil
+		loc = nn
 	case AlgoKNN:
 		knn := localize.NewKNN(db, k)
 		knn.FloorRSSI = floor
-		return knn, nil
+		loc = knn
 	case AlgoWKNN:
 		w := localize.NewKNN(db, k)
 		w.Weighted = true
 		w.FloorRSSI = floor
-		return w, nil
+		loc = w
 	case AlgoGeometric, AlgoGeometricLS, AlgoHybrid:
 		if len(cfg.APPositions) == 0 {
 			return nil, fmt.Errorf("core: algorithm %q needs AP positions", name)
@@ -118,12 +123,23 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 		if name == AlgoHybrid {
 			ml := localize.NewMaxLikelihood(db)
 			ml.FloorRSSI = floor
-			return localize.NewHybrid(ml, g)
+			h, err := localize.NewHybrid(ml, g)
+			if err != nil {
+				return nil, err
+			}
+			loc = h
+		} else {
+			loc = g
 		}
-		return g, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, Algorithms())
 	}
+	if w, ok := loc.(localize.Warmer); ok {
+		if err := w.Warm(); err != nil {
+			return nil, fmt.Errorf("core: warming %s: %w", name, err)
+		}
+	}
+	return loc, nil
 }
 
 // Service is a trained, ready-to-answer location service — the output

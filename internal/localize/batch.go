@@ -16,10 +16,9 @@ type BatchResult struct {
 // the server-side shape of the toolkit, where one trained service
 // answers a building's worth of clients. workers ≤ 0 uses GOMAXPROCS.
 // Results preserve input order. The locator must be safe for
-// concurrent Locate calls; every localizer in this package is, after
-// any lazy caches are built (Histogram builds its cache on first use,
-// so prime it with one call before fanning out — Batch does this
-// automatically when it sees more than one worker).
+// concurrent Locate calls; every localizer in this package is — lazy
+// caches (compiled radio maps, histogram tables, codes) build under
+// sync.Once, so no priming is needed before fanning out.
 func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 	out := make([]BatchResult, len(observations))
 	if len(observations) == 0 {
@@ -32,13 +31,6 @@ func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 		workers = len(observations)
 	}
 	if workers > 1 {
-		// Prime lazy caches single-threaded so concurrent Locate calls
-		// are read-only.
-		est, err := loc.Locate(observations[0])
-		out[0] = BatchResult{Estimate: est, Err: err}
-		if len(observations) == 1 {
-			return out
-		}
 		var wg sync.WaitGroup
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -51,7 +43,7 @@ func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 				}
 			}()
 		}
-		for i := 1; i < len(observations); i++ {
+		for i := range observations {
 			jobs <- i
 		}
 		close(jobs)

@@ -2,6 +2,7 @@ package localize
 
 import (
 	"math"
+	"sync"
 
 	"indoorloc/internal/geom"
 	"indoorloc/internal/stats"
@@ -59,13 +60,84 @@ func posteriorMean(cs []Candidate) geom.Point {
 	return mean.Scale(1 / sum)
 }
 
-// buildHists populates the Histogram localizer's per ⟨entry, AP⟩
-// histogram cache.
-func (h *Histogram) buildHists(lo, hi float64, bins int) error {
-	h.hists = make(map[string]map[string]*stats.Histogram, h.DB.Len())
-	for name, e := range h.DB.Entries {
-		m := make(map[string]*stats.Histogram, len(e.PerAP))
-		for bssid, s := range e.PerAP {
+// scratch holds the per-Locate working buffers — interned observation
+// columns and values plus per-column precomputed terms — pooled so the
+// hot path allocates nothing beyond the returned candidate slice.
+type scratch struct {
+	cols []int32
+	vals []float64
+	aux  []float64
+	bins []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// histTables is the Histogram localizer's compiled scoring state: per
+// ⟨entry, AP⟩ log bin probabilities in one flat cell-major slice
+// (entry-major cells, bins within a cell), plus the per-entry
+// all-at-floor baseline.
+type histTables struct {
+	bins      int
+	lo, width float64
+	// floorBin is the bin index of the floor substitution level.
+	floorBin int
+	// uniform is the log probability an empty histogram assigns any bin
+	// after Laplace smoothing — the "heard an AP this entry never
+	// trained" term.
+	uniform float64
+	// logProb[cell*bins+k] is the smoothed log probability of bin k at
+	// the cell; rows of untrained cells stay zero and are never read.
+	logProb []float64
+	// base[i] sums the floor-bin log probabilities over entry i's
+	// trained cells.
+	base []float64
+}
+
+// bin replicates stats.Histogram.Bin over the table bounds.
+func (t *histTables) bin(x float64) int {
+	i := int(math.Floor((x - t.lo) / t.width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= t.bins {
+		i = t.bins - 1
+	}
+	return i
+}
+
+// buildTables compiles the radio map and the per-⟨entry, AP⟩
+// log-probability tables from the raw training samples.
+func (h *Histogram) buildTables() error {
+	bins := h.Bins
+	lo, hi := h.RangeLo, h.RangeHi
+	if bins <= 0 {
+		bins = 70
+		lo, hi = -100, -30
+	}
+	if hi <= lo {
+		lo, hi = -100, -30
+	}
+	c := h.DB.Compile(h.FloorRSSI, stats.MinSigma)
+	nAP := len(c.BSSIDs)
+	t := &histTables{
+		bins:    bins,
+		lo:      lo,
+		width:   (hi - lo) / float64(bins),
+		uniform: logf(1 / float64(bins)),
+		logProb: make([]float64, len(c.Names)*nAP*bins),
+		base:    make([]float64, len(c.Names)),
+	}
+	t.floorBin = t.bin(h.FloorRSSI)
+	for i, name := range c.Names {
+		e := h.DB.Entries[name]
+		for j, b := range c.BSSIDs {
+			s, ok := e.PerAP[b]
+			if !ok {
+				continue
+			}
 			hist, err := stats.NewHistogram(lo, hi, bins)
 			if err != nil {
 				return err
@@ -73,9 +145,14 @@ func (h *Histogram) buildHists(lo, hi float64, bins int) error {
 			for _, v := range s.Samples {
 				hist.Add(v)
 			}
-			m[bssid] = hist
+			row := (i*nAP + j) * bins
+			total := float64(hist.Total()) + float64(bins)
+			for k, count := range hist.Counts {
+				t.logProb[row+k] = logf((float64(count) + 1) / total)
+			}
+			t.base[i] += t.logProb[row+t.floorBin]
 		}
-		h.hists[name] = m
 	}
+	h.compiled, h.tables = c, t
 	return nil
 }

@@ -35,6 +35,10 @@ func NewHybrid(prob *MaxLikelihood, geo *Geometric) (*Hybrid, error) {
 // Name implements Locator.
 func (h *Hybrid) Name() string { return "hybrid" }
 
+// Warm implements Warmer: it compiles the probabilistic side's radio
+// map eagerly (the geometric side has no lazy caches).
+func (h *Hybrid) Warm() error { return h.Prob.Warm() }
+
 // Locate implements Locator. Symbolic fields come from the
 // probabilistic side; when the geometric side fails (too few APs) the
 // probabilistic answer stands alone, and vice versa is an error

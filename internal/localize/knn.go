@@ -3,6 +3,7 @@ package localize
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"indoorloc/internal/geom"
 	"indoorloc/internal/trainingdb"
@@ -13,6 +14,12 @@ import (
 // vector by Euclidean distance in dB; the estimate is the centroid of
 // the K closest training points (K=1 is classic NNSS). Weighted mode
 // scales each neighbour by the inverse of its signal distance.
+//
+// Distances are computed against a compiled radio map built on first
+// use: each entry's squared distance starts from the precomputed
+// all-at-floor baseline and only the heard columns are corrected. The
+// database and the K/Floor configuration must not change after the
+// first Locate or Warm call.
 type KNN struct {
 	DB *trainingdb.DB
 	// K is the neighbour count; zero means 1.
@@ -21,6 +28,9 @@ type KNN struct {
 	Weighted bool
 	// FloorRSSI substitutes for APs missing on either side. Typical -95.
 	FloorRSSI float64
+
+	compileOnce sync.Once
+	compiled    *trainingdb.Compiled
 }
 
 // NewKNN returns a K-nearest-neighbour localizer.
@@ -46,9 +56,24 @@ func (k *KNN) kVal() int {
 	return k.K
 }
 
+// Warm implements Warmer: it compiles the radio map eagerly.
+func (k *KNN) Warm() error {
+	if k.DB == nil || k.DB.Len() == 0 {
+		return errors.New("localize: KNN has no training database")
+	}
+	k.compileOnce.Do(func() {
+		// The spread parameter is irrelevant to signal distances; only
+		// the floor level matters here.
+		k.compiled = k.DB.Compile(k.FloorRSSI, 4)
+	})
+	return nil
+}
+
 // SignalDistance returns the Euclidean distance in dB between an
 // observation and a training entry over the database's AP universe,
-// substituting floor for missing readings.
+// substituting floor for missing readings. This is the map-walking
+// reference definition; Locate computes the same distances against the
+// compiled radio map.
 func (k *KNN) SignalDistance(obs Observation, e *trainingdb.Entry) float64 {
 	sum := 0.0
 	for _, b := range k.DB.BSSIDs {
@@ -74,24 +99,36 @@ func (k *KNN) Locate(obs Observation) (Estimate, error) {
 	if err := validateObservation(obs); err != nil {
 		return Estimate{}, err
 	}
-	if k.DB == nil || k.DB.Len() == 0 {
-		return Estimate{}, errors.New("localize: KNN has no training database")
+	if err := k.Warm(); err != nil {
+		return Estimate{}, err
 	}
-	overlap := false
-	for _, b := range k.DB.BSSIDs {
-		if _, ok := obs[b]; ok {
-			overlap = true
-			break
-		}
-	}
-	if !overlap {
+	c := k.compiled
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.cols, sc.vals = c.Intern(obs, sc.cols[:0], sc.vals[:0])
+	cols, vals := sc.cols, sc.vals
+	if len(cols) == 0 {
 		return Estimate{}, ErrNoOverlap
 	}
-	candidates := make([]Candidate, 0, k.DB.Len())
-	for _, name := range k.DB.Names() {
-		e := k.DB.Entries[name]
-		d := k.SignalDistance(obs, e)
-		candidates = append(candidates, Candidate{Name: name, Pos: e.Pos, Score: -d})
+	nAP := len(c.BSSIDs)
+	candidates := make([]Candidate, len(c.Names))
+	for i := range c.Names {
+		// Baseline assumes every column reads the floor; each heard
+		// column replaces its floor term with the observed one. Mean
+		// holds the floor level for untrained cells, so one load covers
+		// both cases.
+		sum := c.SignalBase[i]
+		base := i * nAP
+		for h, j := range cols {
+			t := c.Mean[base+int(j)]
+			dv := vals[h] - t
+			df := c.FloorRSSI - t
+			sum += dv*dv - df*df
+		}
+		if sum < 0 {
+			sum = 0 // guard the sqrt against rounding on near-exact matches
+		}
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: -math.Sqrt(sum)}
 	}
 	rankCandidates(candidates)
 	kk := k.kVal()

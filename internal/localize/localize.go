@@ -21,7 +21,9 @@ package localize
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"indoorloc/internal/geom"
 	"indoorloc/internal/wiscan"
@@ -93,6 +95,18 @@ type Locator interface {
 	Name() string
 }
 
+// Warmer is implemented by locators with lazily-built internal caches
+// — compiled radio maps, histogram tables, identifying codes. Warm
+// builds them eagerly so their cost lands at a chosen time (service
+// startup) instead of on the first query; it is safe to call
+// concurrently and more than once. Every cache is also built lazily on
+// first Locate under sync.Once, so calling Warm is never required for
+// correctness. A locator's database and configuration must not change
+// after the first Warm or Locate call.
+type Warmer interface {
+	Warm() error
+}
+
 // Errors shared by the localizers.
 var (
 	// ErrNoOverlap means the observation shares no AP with the model.
@@ -104,12 +118,17 @@ var (
 )
 
 // rankCandidates sorts best-first with a deterministic name tiebreak.
+// slices.SortFunc keeps the hot path allocation-free where sort.Slice
+// boxed the slice and built a reflect-based swapper.
 func rankCandidates(cs []Candidate) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].Score != cs[j].Score {
-			return cs[i].Score > cs[j].Score
+	slices.SortFunc(cs, func(a, b Candidate) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
 		}
-		return cs[i].Name < cs[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 }
 

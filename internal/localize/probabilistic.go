@@ -2,6 +2,7 @@ package localize
 
 import (
 	"errors"
+	"sync"
 
 	"indoorloc/internal/stats"
 	"indoorloc/internal/trainingdb"
@@ -18,6 +19,13 @@ import (
 // estimate; like the paper, the method "does not return the coordinate
 // values of the observed location, but returns the most approximate
 // training location instead".
+//
+// Scoring runs against a compiled radio map (trainingdb.Compiled)
+// built on first use: each entry starts from its precomputed
+// "heard nothing" baseline and only the observation's heard columns
+// are corrected, so one Locate is O(entries × heard APs) over flat
+// matrices with no map lookups. The database and the Floor/MinOverlap
+// configuration must not change after the first Locate or Warm call.
 type MaxLikelihood struct {
 	DB *trainingdb.DB
 	// FloorRSSI substitutes for APs present on one side (observation or
@@ -36,6 +44,9 @@ type MaxLikelihood struct {
 	// posterior-weighted mean over all training points. Name still
 	// reports the argmax, so the paper's validity metric is unaffected.
 	ExpectedPosition bool
+
+	compileOnce sync.Once
+	compiled    *trainingdb.Compiled
 }
 
 // NewMaxLikelihood returns a MaxLikelihood with the standard floor
@@ -47,56 +58,64 @@ func NewMaxLikelihood(db *trainingdb.DB) *MaxLikelihood {
 // Name implements Locator.
 func (m *MaxLikelihood) Name() string { return "probabilistic-ml" }
 
+// Warm implements Warmer: it compiles the radio map eagerly.
+func (m *MaxLikelihood) Warm() error {
+	if m.DB == nil || m.DB.Len() == 0 {
+		return errors.New("localize: MaxLikelihood has no training database")
+	}
+	m.compileOnce.Do(func() {
+		m.compiled = m.DB.Compile(m.FloorRSSI, m.FloorSigma)
+	})
+	return nil
+}
+
 // Locate implements Locator.
 func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 	if err := validateObservation(obs); err != nil {
 		return Estimate{}, err
 	}
-	if m.DB == nil || m.DB.Len() == 0 {
-		return Estimate{}, errors.New("localize: MaxLikelihood has no training database")
+	if err := m.Warm(); err != nil {
+		return Estimate{}, err
 	}
+	c := m.compiled
 	minOverlap := m.MinOverlap
 	if minOverlap <= 0 {
 		minOverlap = 1
 	}
-	overlap := 0
-	known := make(map[string]bool, len(m.DB.BSSIDs))
-	for _, b := range m.DB.BSSIDs {
-		known[b] = true
-	}
-	for b := range obs {
-		if known[b] {
-			overlap++
-		}
-	}
-	if overlap < minOverlap {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.cols, sc.vals = c.Intern(obs, sc.cols[:0], sc.vals[:0])
+	cols, vals := sc.cols, sc.vals
+	if len(cols) < minOverlap {
 		return Estimate{}, ErrNoOverlap
 	}
-	floorSigma := m.FloorSigma
-	if floorSigma < stats.MinSigma {
-		floorSigma = stats.MinSigma
+	// The "heard an AP this entry never trained" term depends only on
+	// the observation — precompute it once per heard column.
+	aux := sc.aux[:0]
+	for _, v := range vals {
+		aux = append(aux, stats.LogGaussianPDF(v, c.FloorRSSI, c.FloorSigma))
 	}
-	candidates := make([]Candidate, 0, m.DB.Len())
-	for _, name := range m.DB.Names() {
-		e := m.DB.Entries[name]
-		ll := 0.0
-		// Score over the union of APs: observed-and-trained pairs use
-		// the trained Gaussian; mismatches use the floor model, which
-		// penalises hearing an AP the training point never heard (and
-		// vice versa) — absence is evidence too.
-		for _, b := range m.DB.BSSIDs {
-			s, trained := e.PerAP[b]
-			o, heard := obs[b]
-			switch {
-			case trained && heard:
-				ll += stats.LogGaussianPDF(o, s.Mean, s.StdDev)
-			case trained && !heard:
-				ll += stats.LogGaussianPDF(m.FloorRSSI, s.Mean, s.StdDev)
-			case !trained && heard:
-				ll += stats.LogGaussianPDF(o, m.FloorRSSI, floorSigma)
+	sc.aux = aux
+	// Score over the union of APs, as the map-based loop did: each
+	// entry starts at its precomputed all-unheard baseline; heard
+	// columns swap the floor term for the trained Gaussian (or add the
+	// observation-side floor term when the entry never heard the AP) —
+	// absence is evidence too.
+	nAP := len(c.BSSIDs)
+	candidates := make([]Candidate, len(c.Names))
+	for i := range c.Names {
+		ll := c.UnheardLL[i]
+		base := i * nAP
+		for h, j := range cols {
+			cell := base + int(j)
+			if c.Trained[cell] {
+				d := (vals[h] - c.Mean[cell]) / c.Sigma[cell]
+				ll += -d*d/2 + c.LogNorm[cell] - c.FloorLL[cell]
+			} else {
+				ll += aux[h]
 			}
 		}
-		candidates = append(candidates, Candidate{Name: name, Pos: e.Pos, Score: ll})
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
 	}
 	rankCandidates(candidates)
 	best := candidates[0]
@@ -120,6 +139,11 @@ func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 // combined across APs in log space with a uniform prior over training
 // points. The posterior over training points is exposed through the
 // candidate scores.
+//
+// Scoring runs against flat per-⟨entry, AP⟩ log-probability tables
+// compiled from the raw samples on first use (Warm builds them
+// eagerly). The database and the Bins/Range/Floor configuration must
+// not change after the first Locate or Warm call.
 type Histogram struct {
 	DB *trainingdb.DB
 	// Bins is the histogram resolution in whole-dB bins over
@@ -129,9 +153,10 @@ type Histogram struct {
 	// FloorRSSI substitutes for unheard APs, as in MaxLikelihood.
 	FloorRSSI float64
 
-	// hists caches per ⟨entry, AP⟩ histograms, built on first use. The
-	// database must not change after the first Locate call.
-	hists map[string]map[string]*stats.Histogram
+	warmOnce sync.Once
+	warmErr  error
+	compiled *trainingdb.Compiled
+	tables   *histTables
 }
 
 // NewHistogram returns a Histogram localizer with 1-dB bins over the
@@ -143,57 +168,58 @@ func NewHistogram(db *trainingdb.DB) *Histogram {
 // Name implements Locator.
 func (h *Histogram) Name() string { return "probabilistic-histogram" }
 
+// Warm implements Warmer: it compiles the radio map and the
+// log-probability tables eagerly.
+func (h *Histogram) Warm() error {
+	if h.DB == nil || h.DB.Len() == 0 {
+		return errors.New("localize: Histogram has no training database")
+	}
+	h.warmOnce.Do(func() { h.warmErr = h.buildTables() })
+	return h.warmErr
+}
+
 // Locate implements Locator.
 func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 	if err := validateObservation(obs); err != nil {
 		return Estimate{}, err
 	}
-	if h.DB == nil || h.DB.Len() == 0 {
-		return Estimate{}, errors.New("localize: Histogram has no training database")
+	if err := h.Warm(); err != nil {
+		return Estimate{}, err
 	}
-	bins := h.Bins
-	lo, hi := h.RangeLo, h.RangeHi
-	if bins <= 0 {
-		bins = 70
-		lo, hi = -100, -30
-	}
-	if hi <= lo {
-		lo, hi = -100, -30
-	}
-	overlap := false
-	for _, b := range h.DB.BSSIDs {
-		if _, ok := obs[b]; ok {
-			overlap = true
-			break
-		}
-	}
-	if !overlap {
+	c, t := h.compiled, h.tables
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.cols, sc.vals = c.Intern(obs, sc.cols[:0], sc.vals[:0])
+	cols, vals := sc.cols, sc.vals
+	if len(cols) == 0 {
 		return Estimate{}, ErrNoOverlap
 	}
-	if h.hists == nil {
-		if err := h.buildHists(lo, hi, bins); err != nil {
-			return Estimate{}, err
-		}
+	// Bin each heard level once; the bin depends only on the
+	// observation, not the entry.
+	binIdx := sc.bins[:0]
+	for _, v := range vals {
+		binIdx = append(binIdx, int32(t.bin(v)))
 	}
-	// An AP heard now but never seen at some entry scores against an
-	// empty histogram — uniform after Laplace smoothing.
-	uniform := logf(1 / float64(bins))
-	candidates := make([]Candidate, 0, h.DB.Len())
-	for _, name := range h.DB.Names() {
-		ll := 0.0
-		for _, b := range h.DB.BSSIDs {
-			hist, trained := h.hists[name][b]
-			o, heard := obs[b]
-			switch {
-			case trained && heard:
-				ll += logf(hist.Prob(o))
-			case trained && !heard:
-				ll += logf(hist.Prob(h.FloorRSSI))
-			case !trained && heard:
-				ll += uniform
+	sc.bins = binIdx
+	nAP := len(c.BSSIDs)
+	bins := t.bins
+	candidates := make([]Candidate, len(c.Names))
+	for i := range c.Names {
+		// Baseline: every trained AP scored at the floor level; heard
+		// columns swap in the observed bin (trained) or the uniform
+		// smoothed mass of an empty histogram (untrained).
+		ll := t.base[i]
+		base := i * nAP
+		for h2, j := range cols {
+			cell := base + int(j)
+			if c.Trained[cell] {
+				row := cell * bins
+				ll += t.logProb[row+int(binIdx[h2])] - t.logProb[row+t.floorBin]
+			} else {
+				ll += t.uniform
 			}
 		}
-		candidates = append(candidates, Candidate{Name: name, Pos: h.DB.Entries[name].Pos, Score: ll})
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
 	}
 	rankCandidates(candidates)
 	// Normalise scores into a posterior for the candidates (softmax of

@@ -2,7 +2,7 @@ package localize
 
 import (
 	"errors"
-	"sort"
+	"sync"
 
 	"indoorloc/internal/trainingdb"
 )
@@ -19,6 +19,10 @@ import (
 // practice means either many APs or aggressive receiver floors; with
 // the paper's four house-wide audible APs it degrades gracefully to
 // "everything matches", making it a useful lower-bound baseline.
+//
+// Codes are derived from a compiled radio map on first use; the
+// database and AudibleFraction must not change after the first Locate
+// or Warm call.
 type Sector struct {
 	DB *trainingdb.DB
 	// AudibleFraction is the fraction of a location's training sweeps
@@ -26,7 +30,9 @@ type Sector struct {
 	// code. Zero means 0.5.
 	AudibleFraction float64
 
-	codes map[string]uint64 // cached per-entry codes as BSSID bitmasks
+	warmOnce sync.Once
+	compiled *trainingdb.Compiled
+	codes    []uint64 // per-entry codes as BSSID-column bitmasks
 }
 
 // NewSector returns a Sector localizer over the database.
@@ -35,18 +41,19 @@ func NewSector(db *trainingdb.DB) *Sector { return &Sector{DB: db} }
 // Name implements Locator.
 func (s *Sector) Name() string { return "sector-code" }
 
-// code builds the observed bitmask over the database's AP universe.
-func (s *Sector) observedCode(obs Observation) uint64 {
-	var code uint64
-	for i, b := range s.DB.BSSIDs {
-		if i >= 64 {
-			break // identifying codes beyond 64 APs are out of scope
-		}
-		if _, ok := obs[b]; ok {
-			code |= 1 << uint(i)
-		}
+// Warm implements Warmer: it compiles the radio map and derives the
+// per-entry codes eagerly.
+func (s *Sector) Warm() error {
+	if s.DB == nil || s.DB.Len() == 0 {
+		return errors.New("localize: Sector has no training database")
 	}
-	return code
+	s.warmOnce.Do(func() {
+		// The floor parameters only matter to likelihood scorers; codes
+		// use sample counts alone.
+		s.compiled = s.DB.Compile(-95, 4)
+		s.buildCodes()
+	})
+	return nil
 }
 
 // buildCodes derives each training location's code: an AP is in the
@@ -59,28 +66,32 @@ func (s *Sector) buildCodes() {
 	if frac <= 0 {
 		frac = 0.5
 	}
-	s.codes = make(map[string]uint64, s.DB.Len())
-	for name, e := range s.DB.Entries {
+	c := s.compiled
+	nAP := len(c.BSSIDs)
+	s.codes = make([]uint64, len(c.Names))
+	for i := range c.Names {
+		base := i * nAP
 		maxN := 0
-		for _, st := range e.PerAP {
-			if st.N > maxN {
-				maxN = st.N
+		for j := 0; j < nAP; j++ {
+			if n := c.N[base+j]; n > maxN {
+				maxN = n
 			}
+		}
+		lim := nAP
+		if lim > 64 {
+			lim = 64 // identifying codes beyond 64 APs are out of scope
 		}
 		var code uint64
-		for i, b := range s.DB.BSSIDs {
-			if i >= 64 {
-				break
-			}
-			st, ok := e.PerAP[b]
-			if !ok {
+		for j := 0; j < lim; j++ {
+			cell := base + j
+			if !c.Trained[cell] {
 				continue
 			}
-			if maxN == 0 || float64(st.N) >= frac*float64(maxN) {
-				code |= 1 << uint(i)
+			if maxN == 0 || float64(c.N[cell]) >= frac*float64(maxN) {
+				code |= 1 << uint(j)
 			}
 		}
-		s.codes[name] = code
+		s.codes[i] = code
 	}
 }
 
@@ -103,60 +114,54 @@ func (s *Sector) Locate(obs Observation) (Estimate, error) {
 	if err := validateObservation(obs); err != nil {
 		return Estimate{}, err
 	}
-	if s.DB == nil || s.DB.Len() == 0 {
-		return Estimate{}, errors.New("localize: Sector has no training database")
+	if err := s.Warm(); err != nil {
+		return Estimate{}, err
 	}
-	overlap := false
-	for _, b := range s.DB.BSSIDs {
-		if _, ok := obs[b]; ok {
-			overlap = true
-			break
-		}
-	}
-	if !overlap {
+	c := s.compiled
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.cols, sc.vals = c.Intern(obs, sc.cols[:0], sc.vals[:0])
+	cols := sc.cols
+	if len(cols) == 0 {
 		return Estimate{}, ErrNoOverlap
 	}
-	if s.codes == nil {
-		s.buildCodes()
-	}
-	observed := s.observedCode(obs)
-	candidates := make([]Candidate, 0, s.DB.Len())
-	best := 1 << 30
-	for _, name := range s.DB.Names() {
-		d := hamming(observed, s.codes[name])
-		if d < best {
-			best = d
+	var observed uint64
+	for _, j := range cols {
+		if j < 64 {
+			observed |= 1 << uint(j)
 		}
-		candidates = append(candidates, Candidate{
-			Name:  name,
-			Pos:   s.DB.Entries[name].Pos,
-			Score: -float64(d),
-		})
+	}
+	candidates := make([]Candidate, len(c.Names))
+	for i := range c.Names {
+		candidates[i] = Candidate{
+			Name:  c.Names[i],
+			Pos:   c.Pos[i],
+			Score: -float64(hamming(observed, s.codes[i])),
+		}
 	}
 	rankCandidates(candidates)
 	// All minimum-distance locations vote; their centroid is the
-	// estimate.
-	var winners []Candidate
-	for _, c := range candidates {
-		if int(-c.Score) == best {
-			winners = append(winners, c)
-		}
-	}
-	sort.Slice(winners, func(i, j int) bool { return winners[i].Name < winners[j].Name })
+	// estimate. After ranking they are exactly the leading run of equal
+	// scores, already in name order.
+	best := candidates[0].Score
 	var x, y float64
-	for _, c := range winners {
-		x += c.Pos.X
-		y += c.Pos.Y
+	n := 0
+	for _, cand := range candidates {
+		if cand.Score != best {
+			break
+		}
+		x += cand.Pos.X
+		y += cand.Pos.Y
+		n++
 	}
-	n := float64(len(winners))
 	est := Estimate{
-		Score:      -float64(best),
+		Score:      best,
 		Candidates: candidates,
 	}
-	est.Pos.X, est.Pos.Y = x/n, y/n
-	if len(winners) == 1 {
-		est.Name = winners[0].Name
-		est.Pos = winners[0].Pos
+	est.Pos.X, est.Pos.Y = x/float64(n), y/float64(n)
+	if n == 1 {
+		est.Name = candidates[0].Name
+		est.Pos = candidates[0].Pos
 	}
 	return est, nil
 }

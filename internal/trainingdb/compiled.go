@@ -1,0 +1,174 @@
+package trainingdb
+
+import (
+	"math"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/stats"
+)
+
+// Compiled is a dense, read-only view of a DB built for the
+// localization hot path. Where the DB stores per-entry statistics in
+// string-keyed maps, the compiled view interns every BSSID to a dense
+// column index and lays the per-⟨entry, AP⟩ statistics out in flat
+// entry-major matrices, so a scoring loop is a linear scan with zero
+// map lookups, zero sorting, and zero per-call log/sqrt work for the
+// terms that do not depend on the observation.
+//
+// Radio-map systems (RADAR and its descendants) assume exactly this
+// representation: the radio map is a matrix scanned per query, not a
+// hash-map walk. The toolkit's Locator implementations compile the DB
+// once — lazily on first Locate or eagerly via their Warm method — and
+// score every subsequent observation against the matrices.
+//
+// A Compiled view is immutable after construction and therefore safe
+// for unsynchronised concurrent reads. It is a snapshot: mutating the
+// source DB (Merge, PruneAPs, RemoveEntry) does not update it.
+type Compiled struct {
+	// FloorRSSI and FloorSigma are the floor-model parameters the view
+	// was compiled with: the substitute level and spread for APs present
+	// on one side (observation or training entry) but not the other.
+	// FloorSigma is clamped to stats.MinSigma.
+	FloorRSSI  float64
+	FloorSigma float64
+
+	// Names holds the entry names, sorted; Pos is parallel to it.
+	Names []string
+	Pos   []geom.Point
+	// BSSIDs is the sorted AP universe; column j of every matrix row is
+	// BSSIDs[j].
+	BSSIDs []string
+
+	// The matrices below are flat and entry-major: the cell for entry i
+	// and AP column j is at index i*len(BSSIDs)+j.
+
+	// Trained reports whether the entry heard the AP during training.
+	Trained []bool
+	// N is the per-cell training sample count (0 when untrained).
+	N []int
+	// Mean is the trained mean RSSI; untrained cells hold FloorRSSI so
+	// signal-distance loops read one value without branching.
+	Mean []float64
+	// Sigma is the trained standard deviation clamped to
+	// stats.MinSigma; untrained cells hold FloorSigma.
+	Sigma []float64
+	// LogNorm is the Gaussian log-normalisation term −log σ − ½·log 2π,
+	// precomputed so the per-observation likelihood is one subtraction,
+	// one multiply and one add per cell.
+	LogNorm []float64
+	// FloorLL is the precomputed floor-model log-likelihood
+	// LogGaussianPDF(FloorRSSI, Mean, Sigma) for trained cells — the
+	// "trained but not heard" score — and 0 for untrained cells.
+	FloorLL []float64
+
+	// UnheardLL is the per-entry log-likelihood of hearing nothing at
+	// all: the sum of FloorLL over the entry's trained cells. Scoring an
+	// observation starts from this baseline and corrects only the heard
+	// columns, making the scan O(entries × heard APs) instead of
+	// O(entries × universe).
+	UnheardLL []float64
+	// SignalBase is the per-entry squared signal distance of the
+	// all-floor observation: the sum of (FloorRSSI−Mean)² over trained
+	// cells. The kNN family applies per-heard-column corrections to it.
+	SignalBase []float64
+
+	apIndex map[string]int
+}
+
+// Compile builds the dense view of the database under the given
+// floor-model parameters. floorSigma below stats.MinSigma is raised to
+// it. The view snapshots the DB: later DB mutations are not reflected.
+func (db *DB) Compile(floorRSSI, floorSigma float64) *Compiled {
+	if floorSigma < stats.MinSigma {
+		floorSigma = stats.MinSigma
+	}
+	names := db.Names()
+	nE, nAP := len(names), len(db.BSSIDs)
+	c := &Compiled{
+		FloorRSSI:  floorRSSI,
+		FloorSigma: floorSigma,
+		Names:      append([]string(nil), names...),
+		Pos:        make([]geom.Point, nE),
+		BSSIDs:     append([]string(nil), db.BSSIDs...),
+		Trained:    make([]bool, nE*nAP),
+		N:          make([]int, nE*nAP),
+		Mean:       make([]float64, nE*nAP),
+		Sigma:      make([]float64, nE*nAP),
+		LogNorm:    make([]float64, nE*nAP),
+		FloorLL:    make([]float64, nE*nAP),
+		UnheardLL:  make([]float64, nE),
+		SignalBase: make([]float64, nE),
+		apIndex:    make(map[string]int, nAP),
+	}
+	for j, b := range c.BSSIDs {
+		c.apIndex[b] = j
+	}
+	halfLog2Pi := 0.5 * math.Log(2*math.Pi)
+	for i, name := range c.Names {
+		e := db.Entries[name]
+		c.Pos[i] = e.Pos
+		base := i * nAP
+		for j, b := range c.BSSIDs {
+			cell := base + j
+			s, ok := e.PerAP[b]
+			if !ok {
+				c.Mean[cell] = floorRSSI
+				c.Sigma[cell] = floorSigma
+				continue
+			}
+			sigma := s.StdDev
+			if sigma < stats.MinSigma {
+				sigma = stats.MinSigma
+			}
+			c.Trained[cell] = true
+			c.N[cell] = s.N
+			c.Mean[cell] = s.Mean
+			c.Sigma[cell] = sigma
+			c.LogNorm[cell] = -math.Log(sigma) - halfLog2Pi
+			c.FloorLL[cell] = stats.LogGaussianPDF(floorRSSI, s.Mean, s.StdDev)
+			c.UnheardLL[i] += c.FloorLL[cell]
+			d := floorRSSI - s.Mean
+			c.SignalBase[i] += d * d
+		}
+	}
+	return c
+}
+
+// NumEntries returns the number of training entries in the view.
+func (c *Compiled) NumEntries() int { return len(c.Names) }
+
+// NumAPs returns the width of the matrices (the AP universe size).
+func (c *Compiled) NumAPs() int { return len(c.BSSIDs) }
+
+// APIndex returns the dense column for a BSSID, false when the AP was
+// never seen in training.
+func (c *Compiled) APIndex(bssid string) (int, bool) {
+	j, ok := c.apIndex[bssid]
+	return j, ok
+}
+
+// Intern maps an observation (BSSID → RSSI) onto the dense columns,
+// appending to the caller-supplied scratch slices (pass nil or
+// length-zero slices; reusing them across calls avoids allocation).
+// BSSIDs outside the training universe are dropped, matching how the
+// map-based scorers ignored them. The returned pairs are sorted by
+// column so scans are deterministic regardless of map iteration order.
+func (c *Compiled) Intern(obs map[string]float64, cols []int32, vals []float64) ([]int32, []float64) {
+	for b, v := range obs {
+		if j, ok := c.apIndex[b]; ok {
+			cols = append(cols, int32(j))
+			vals = append(vals, v)
+		}
+	}
+	// Insertion sort of the parallel pair; heard-AP counts are small.
+	for i := 1; i < len(cols); i++ {
+		cj, vj := cols[i], vals[i]
+		k := i - 1
+		for k >= 0 && cols[k] > cj {
+			cols[k+1], vals[k+1] = cols[k], vals[k]
+			k--
+		}
+		cols[k+1], vals[k+1] = cj, vj
+	}
+	return cols, vals
+}

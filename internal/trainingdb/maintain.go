@@ -36,6 +36,7 @@ func (db *DB) RemoveEntry(name string) bool {
 		return false
 	}
 	delete(db.Entries, name)
+	db.invalidateNames()
 	db.rebuildBSSIDs()
 	return true
 }

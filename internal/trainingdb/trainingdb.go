@@ -18,6 +18,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 
 	"indoorloc/internal/geom"
 	"indoorloc/internal/locmap"
@@ -70,6 +71,13 @@ type DB struct {
 	// BSSIDs lists every BSSID observed anywhere during training,
 	// sorted, defining the canonical AP ordering for signal vectors.
 	BSSIDs []string
+
+	// namesMu guards names, the lazily-built sorted-name cache.
+	// Mutators that add or remove entries (Merge, RemoveEntry) call
+	// invalidateNames; gob skips unexported fields, so a loaded DB
+	// simply rebuilds the cache on first use.
+	namesMu sync.Mutex
+	names   []string
 }
 
 // Options controls Generate.
@@ -139,14 +147,28 @@ func Generate(c *wiscan.Collection, m *locmap.Map, opts Options) (*DB, []string,
 	return db, skipped, nil
 }
 
-// Names returns the training location names, sorted.
+// Names returns the training location names, sorted. The slice is
+// cached (sorting every call was pure overhead on the localization hot
+// path) and shared between callers: treat it as read-only.
 func (db *DB) Names() []string {
-	out := make([]string, 0, len(db.Entries))
-	for n := range db.Entries {
-		out = append(out, n)
+	db.namesMu.Lock()
+	defer db.namesMu.Unlock()
+	if db.names == nil {
+		db.names = make([]string, 0, len(db.Entries))
+		for n := range db.Entries {
+			db.names = append(db.names, n)
+		}
+		sort.Strings(db.names)
 	}
-	sort.Strings(out)
-	return out
+	return db.names
+}
+
+// invalidateNames drops the sorted-name cache after the entry set
+// changes.
+func (db *DB) invalidateNames() {
+	db.namesMu.Lock()
+	db.names = nil
+	db.namesMu.Unlock()
 }
 
 // Len returns the number of training locations.
@@ -190,6 +212,7 @@ func (db *DB) Merge(other *DB) error {
 		}
 		db.Entries[name] = e
 	}
+	db.invalidateNames()
 	set := make(map[string]bool, len(db.BSSIDs)+len(other.BSSIDs))
 	for _, b := range db.BSSIDs {
 		set[b] = true
