@@ -517,3 +517,142 @@ func BenchmarkProbabilisticLargeMap(b *testing.B) {
 		}
 	}
 }
+
+// syntheticLargeDB fabricates a campus-scale radio map — far past the
+// paper's 30-point house — directly from statistics, so the benchmark
+// measures scoring, not simulation. Each entry hears a contiguous
+// window of APs, giving the overlap structure of a real corridor
+// survey.
+func syntheticLargeDB(entries, aps, heardPerEntry int, seed int64) *trainingdb.DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &trainingdb.DB{Entries: make(map[string]*trainingdb.Entry, entries)}
+	db.BSSIDs = make([]string, aps)
+	for a := range db.BSSIDs {
+		db.BSSIDs[a] = fmt.Sprintf("ca:fe:00:00:%02x:%02x", a/256, a%256)
+	}
+	cols := (entries + 39) / 40
+	for e := 0; e < entries; e++ {
+		name := fmt.Sprintf("pt-%04d", e)
+		ent := &trainingdb.Entry{
+			Name:  name,
+			Pos:   geom.Pt(float64(e%cols)*5, float64(e/cols)*5),
+			PerAP: make(map[string]*trainingdb.APStats, heardPerEntry),
+		}
+		first := (e * 7) % (aps - heardPerEntry + 1)
+		for a := first; a < first+heardPerEntry; a++ {
+			ent.PerAP[db.BSSIDs[a]] = &trainingdb.APStats{
+				BSSID:  db.BSSIDs[a],
+				N:      20,
+				Mean:   -45 - rng.Float64()*40,
+				StdDev: 2 + rng.Float64()*4,
+			}
+		}
+		db.Entries[name] = ent
+	}
+	return db
+}
+
+// syntheticObservations draws observations compatible with
+// syntheticLargeDB: signal vectors near a random entry's means.
+func syntheticObservations(db *trainingdb.DB, n int, seed int64) []localize.Observation {
+	rng := rand.New(rand.NewSource(seed))
+	names := db.Names()
+	out := make([]localize.Observation, n)
+	for i := range out {
+		ent := db.Entries[names[rng.Intn(len(names))]]
+		obs := make(localize.Observation, len(ent.PerAP))
+		for bssid, st := range ent.PerAP {
+			obs[bssid] = st.Mean + rng.NormFloat64()*st.StdDev
+		}
+		out[i] = obs
+	}
+	return out
+}
+
+// BenchmarkShardedLargeMap is experiment A7: one maximum-likelihood
+// query over a 3000-entry, 64-AP synthetic campus map, single-threaded
+// versus sharded across the worker pool. The sharded case forces
+// Cutover=1 so the comparison isolates the fan-out itself; speedup
+// tracks available cores (GOMAXPROCS), so run it with ≥4 CPUs to see
+// the serving-scale effect.
+func BenchmarkShardedLargeMap(b *testing.B) {
+	db := syntheticLargeDB(3000, 64, 16, 20)
+	obs := syntheticObservations(db, 32, 21)
+	cases := []struct {
+		name     string
+		sharding *localize.ShardedScorer
+	}{
+		{"single", &localize.ShardedScorer{Shards: 1}},
+		{"sharded", &localize.ShardedScorer{Cutover: 1}}, // Shards=0: one per CPU
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			ml := localize.NewMaxLikelihood(db)
+			ml.Sharding = c.sharding
+			if _, err := ml.Locate(obs[0]); err != nil { // compile the map
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.Locate(obs[i%len(obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerLocateBatch is experiment A8: 64 observations through
+// the serving pipeline, as one /locate/batch request against 64
+// repeated /locate round trips. Per-observation cost and allocations
+// are what the arena + streaming fan-out exist to shrink; divide ns/op
+// and allocs/op by 64 to compare per observation.
+func BenchmarkServerLocateBatch(b *testing.B) {
+	f := fixture(b)
+	loc := localize.NewMaxLikelihood(f.db)
+	svc := &core.Service{DB: f.db, Locator: loc, Names: f.lm}
+	srv, err := server.New(svc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const batch = 64
+	obs := observations(f, batch, 13)
+	batchPayload, err := json.Marshal(map[string]any{"observations": obs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	singles := make([][]byte, batch)
+	for i, o := range obs {
+		if singles[i], err = json.Marshal(map[string]any{"observation": o}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	post := func(b *testing.B, url string, payload []byte) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.Run("batch=64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL+"/locate/batch", batchPayload)
+		}
+	})
+	b.Run("repeated-single=64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, payload := range singles {
+				post(b, ts.URL+"/locate", payload)
+			}
+		}
+	})
+}

@@ -7,9 +7,17 @@
 //
 //	locserved -db train.tdb -listen :8080
 //	locserved -db train.tdb -algo geometric -plan house.plan -listen 127.0.0.1:9000
+//	locserved -db big.tdb -shards 8 -shard-cutover 512 -batch-max 1024
 //
 // Endpoints: GET /healthz /algorithms /locations, POST /locate,
-// POST/DELETE /track/{client}. See internal/server for the schema.
+// POST /locate/batch, POST/DELETE /track/{client}. See internal/server
+// for the schema.
+//
+// The serving knobs: -shards splits one query's radio-map scan across
+// CPUs on large maps (0 = one shard per CPU), -shard-cutover sets the
+// map size below which a scan stays single-threaded (0 = the package
+// default; small maps gain nothing from fan-out), and -batch-max caps
+// the observations accepted by one /locate/batch request.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 
 	"indoorloc/internal/core"
 	"indoorloc/internal/floorplan"
+	"indoorloc/internal/localize"
 	"indoorloc/internal/locmap"
 	"indoorloc/internal/server"
 	"indoorloc/internal/trainingdb"
@@ -45,6 +54,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		algo     = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
 		planPath = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
 		listen   = fs.String("listen", "127.0.0.1:8080", "listen address")
+		shards   = fs.Int("shards", 0, "row shards per radio-map scan (0 = one per CPU)")
+		cutover  = fs.Int("shard-cutover", 0,
+			fmt.Sprintf("min training entries before a scan shards (0 = %d)", localize.DefaultShardCutover))
+		batchMax = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,11 +65,14 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *dbPath == "" {
 		return errors.New("need -db FILE")
 	}
+	if *batchMax <= 0 {
+		return errors.New("-batch-max must be positive")
+	}
 	db, err := trainingdb.LoadFile(*dbPath)
 	if err != nil {
 		return err
 	}
-	cfg := core.BuildConfig{}
+	cfg := core.BuildConfig{Shards: *shards, ShardCutover: *cutover}
 	var names *locmap.Map
 	if *planPath != "" {
 		plan, err := floorplan.LoadFile(*planPath)
@@ -88,6 +104,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	srv.MaxBatch = *batchMax
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

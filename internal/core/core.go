@@ -63,6 +63,14 @@ type BuildConfig struct {
 	FloorRSSI float64
 	// K overrides the neighbour count for knn/wknn; zero means 3.
 	K int
+	// Shards and ShardCutover tune the localize.ShardedScorer behind
+	// the radio-map scanners (probabilistic, histogram, nnss/knn/wknn,
+	// hybrid): Shards is the per-query fan-out width (zero means one
+	// shard per CPU) and ShardCutover the minimum entry count before a
+	// scan leaves the single-thread fast path (zero means
+	// localize.DefaultShardCutover).
+	Shards       int
+	ShardCutover int
 }
 
 // BuildLocator constructs a registered algorithm over a training
@@ -83,30 +91,38 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 	if k <= 0 {
 		k = 3
 	}
+	// One scorer is shared by every scanner the locator composes; the
+	// zero-config value keeps the package defaults.
+	sharding := &localize.ShardedScorer{Shards: cfg.Shards, Cutover: cfg.ShardCutover}
 	var loc localize.Locator
 	switch name {
 	case AlgoProbabilistic:
 		ml := localize.NewMaxLikelihood(db)
 		ml.FloorRSSI = floor
+		ml.Sharding = sharding
 		loc = ml
 	case AlgoHistogram:
 		h := localize.NewHistogram(db)
 		h.FloorRSSI = floor
+		h.Sharding = sharding
 		loc = h
 	case AlgoSector:
 		loc = localize.NewSector(db)
 	case AlgoNNSS:
 		nn := localize.NewKNN(db, 1)
 		nn.FloorRSSI = floor
+		nn.Sharding = sharding
 		loc = nn
 	case AlgoKNN:
 		knn := localize.NewKNN(db, k)
 		knn.FloorRSSI = floor
+		knn.Sharding = sharding
 		loc = knn
 	case AlgoWKNN:
 		w := localize.NewKNN(db, k)
 		w.Weighted = true
 		w.FloorRSSI = floor
+		w.Sharding = sharding
 		loc = w
 	case AlgoGeometric, AlgoGeometricLS, AlgoHybrid:
 		if len(cfg.APPositions) == 0 {
@@ -123,6 +139,7 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 		if name == AlgoHybrid {
 			ml := localize.NewMaxLikelihood(db)
 			ml.FloorRSSI = floor
+			ml.Sharding = sharding
 			h, err := localize.NewHybrid(ml, g)
 			if err != nil {
 				return nil, err

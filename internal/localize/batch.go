@@ -12,13 +12,17 @@ type BatchResult struct {
 	Err      error
 }
 
-// Batch localizes many observations concurrently over a worker pool —
-// the server-side shape of the toolkit, where one trained service
-// answers a building's worth of clients. workers ≤ 0 uses GOMAXPROCS.
-// Results preserve input order. The locator must be safe for
-// concurrent Locate calls; every localizer in this package is — lazy
-// caches (compiled radio maps, histogram tables, codes) build under
-// sync.Once, so no priming is needed before fanning out.
+// Batch localizes many observations concurrently — the server-side
+// shape of the toolkit, where one trained service answers a building's
+// worth of clients. workers ≤ 0 selects the streaming mode: the fan-out
+// feeds the shared scoring pool directly (see BatchInto) instead of
+// spawning goroutines, bounded at one in-flight observation per CPU.
+// An explicit workers > 1 spawns that many goroutines for the call,
+// preserving a caller-chosen parallelism bound. Results preserve input
+// order. The locator must be safe for concurrent Locate calls; every
+// localizer in this package is — lazy caches (compiled radio maps,
+// histogram tables, codes) build under sync.Once, so no priming is
+// needed before fanning out.
 func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 	out := make([]BatchResult, len(observations))
 	if len(observations) == 0 {
@@ -26,6 +30,10 @@ func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if workers > 1 {
+			BatchInto(loc, observations, out)
+			return out
+		}
 	}
 	if workers > len(observations) {
 		workers = len(observations)
@@ -55,4 +63,56 @@ func Batch(loc Locator, observations []Observation, workers int) []BatchResult {
 		out[i] = BatchResult{Estimate: est, Err: err}
 	}
 	return out
+}
+
+// batchRun is the shared state of one BatchInto call; jobs carry only
+// an index range into it, so the whole fan-out costs a handful of
+// allocations regardless of batch size.
+type batchRun struct {
+	loc Locator
+	obs []Observation
+	out []BatchResult
+}
+
+// locateRange localizes observations [lo, hi) into the output slice.
+func (r *batchRun) locateRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		est, err := r.loc.Locate(r.obs[i])
+		r.out[i] = BatchResult{Estimate: est, Err: err}
+	}
+}
+
+// BatchInto is Batch's streaming mode, built for serving loops that
+// localize batch after batch: results land in the caller-owned out
+// slice (which must hold at least len(observations) results), and each
+// observation is offered to the shared scoring pool as one job — no
+// per-call goroutines, no per-observation closures. The caller's
+// goroutine localizes whatever the pool cannot take immediately, so a
+// saturated pool degrades to inline execution rather than queueing,
+// and nesting — a pooled observation job whose Locate shards its own
+// scan — cannot deadlock. Results preserve input order; out[i] is
+// valid when BatchInto returns.
+func BatchInto(loc Locator, observations []Observation, out []BatchResult) {
+	n := len(observations)
+	if n == 0 {
+		return
+	}
+	run := &batchRun{loc: loc, obs: observations, out: out[:n]}
+	if n == 1 {
+		run.locateRange(0, 1)
+		return
+	}
+	ensureScorePool()
+	fn := run.locateRange
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		if !trySubmit(scoreJob{fn: fn, lo: i, hi: i + 1, wg: &wg}) {
+			fn(i, i+1)
+			wg.Done()
+		}
+	}
+	// The caller always localizes the last observation itself.
+	fn(n-1, n)
+	wg.Wait()
 }

@@ -456,6 +456,145 @@ func TestCompiledMatchesMapBased(t *testing.T) {
 	}
 }
 
+// compareBitIdentical demands exact equality — no tolerance. The
+// sharded scan computes each entry from the same precomputed baseline
+// with the same operation order as the single-thread scan; only the
+// assignment of entries to goroutines differs, so every float must
+// match to the last bit.
+func compareBitIdentical(t *testing.T, tag string, got Estimate, gotErr error, want Estimate, wantErr error) {
+	t.Helper()
+	if gotErr != wantErr {
+		t.Fatalf("%s: error mismatch: sharded %v, single-thread %v", tag, gotErr, wantErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	if got.Name != want.Name || got.Pos != want.Pos || got.Score != want.Score {
+		t.Fatalf("%s: estimate (%q, %v, %v), single-thread (%q, %v, %v)",
+			tag, got.Name, got.Pos, got.Score, want.Name, want.Pos, want.Score)
+	}
+	if len(got.Candidates) != len(want.Candidates) {
+		t.Fatalf("%s: %d candidates, single-thread %d", tag, len(got.Candidates), len(want.Candidates))
+	}
+	for i := range got.Candidates {
+		if got.Candidates[i] != want.Candidates[i] {
+			t.Fatalf("%s: candidate %d = %+v, single-thread %+v",
+				tag, i, got.Candidates[i], want.Candidates[i])
+		}
+	}
+}
+
+// TestShardedMatchesSingleThread is the sharding equivalence property:
+// over randomized databases, forcing the scan through the worker pool
+// must return bit-identical estimates — best entry, position, score
+// and full candidate ranking — to the single-thread compiled path, for
+// every scanner wired through ShardedScorer.
+func TestShardedMatchesSingleThread(t *testing.T) {
+	single := &ShardedScorer{Shards: 1}
+	forced := &ShardedScorer{Shards: 5, Cutover: 1}
+	for seed := int64(100); seed < 106; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nEntries := 50 + rng.Intn(400)
+		nAPs := 3 + rng.Intn(20)
+		db := randomTrainDB(rng, nEntries, nAPs, 0.3+rng.Float64()*0.6)
+		if len(db.BSSIDs) == 0 {
+			continue
+		}
+
+		type pair struct {
+			name            string
+			sharded, serial Locator
+		}
+		mlS := NewMaxLikelihood(db)
+		mlS.Sharding = forced
+		ml1 := NewMaxLikelihood(db)
+		ml1.Sharding = single
+		histS := NewHistogram(db)
+		histS.Sharding = forced
+		hist1 := NewHistogram(db)
+		hist1.Sharding = single
+		knnS := NewKNN(db, 4)
+		knnS.Sharding = forced
+		knn1 := NewKNN(db, 4)
+		knn1.Sharding = single
+		wknnS := &KNN{DB: db, K: 3, Weighted: true, FloorRSSI: -95, Sharding: forced}
+		wknn1 := &KNN{DB: db, K: 3, Weighted: true, FloorRSSI: -95, Sharding: single}
+		pairs := []pair{
+			{"ml", mlS, ml1},
+			{"histogram", histS, hist1},
+			{"knn", knnS, knn1},
+			{"wknn", wknnS, wknn1},
+		}
+
+		for trial := 0; trial < 8; trial++ {
+			obs := randomObs(rng, db, 0.1+rng.Float64()*0.8)
+			if len(obs) == 0 {
+				continue
+			}
+			for _, p := range pairs {
+				got, gotErr := p.sharded.Locate(obs)
+				want, wantErr := p.serial.Locate(obs)
+				tag := fmt.Sprintf("seed %d trial %d %s", seed, trial, p.name)
+				compareBitIdentical(t, tag, got, gotErr, want, wantErr)
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentLocates hammers one sharded locator from many
+// goroutines — the serving shape where batch fan-out and shard fan-out
+// share the pool — and checks every answer against the single-thread
+// path. Run under -race in CI.
+func TestShardedConcurrentLocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := randomTrainDB(rng, 120, 10, 0.6)
+	ml := NewMaxLikelihood(db)
+	ml.Sharding = &ShardedScorer{Shards: 4, Cutover: 1}
+	serial := NewMaxLikelihood(db)
+	serial.Sharding = &ShardedScorer{Shards: 1}
+
+	type job struct {
+		obs  Observation
+		want Estimate
+	}
+	var jobs []job
+	for len(jobs) < 24 {
+		obs := randomObs(rng, db, 0.7)
+		if len(obs) == 0 {
+			continue
+		}
+		want, err := serial.Locate(obs)
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, job{obs, want})
+	}
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			for rep := 0; rep < 8; rep++ {
+				j := jobs[(g+rep)%len(jobs)]
+				got, err := ml.Locate(j.obs)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got.Name != j.want.Name || got.Score != j.want.Score {
+					done <- fmt.Errorf("goroutine %d: (%q, %v) want (%q, %v)",
+						g, got.Name, got.Score, j.want.Name, j.want.Score)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestCompiledNoOverlapParity pins the error paths: observations with
 // only unknown BSSIDs fail identically through both paths.
 func TestCompiledNoOverlapParity(t *testing.T) {

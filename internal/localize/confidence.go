@@ -2,7 +2,7 @@ package localize
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // ConfidenceRadius estimates how far the true position may plausibly
@@ -37,41 +37,44 @@ func ConfidenceRadius(est Estimate, fraction float64) float64 {
 		}
 		sum += c.Score
 	}
-	weights := make([]float64, len(est.Candidates))
-	if normalised && math.Abs(sum-1) < 1e-6 {
-		for i, c := range est.Candidates {
-			weights[i] = c.Score
-		}
-	} else {
-		// Softmax of log-likelihoods (candidates are ranked best-first,
-		// so the max is the first score).
-		max := est.Candidates[0].Score
-		total := 0.0
-		for i, c := range est.Candidates {
-			weights[i] = math.Exp(c.Score - max)
-			total += weights[i]
-		}
-		if total == 0 {
-			return 0
-		}
-		for i := range weights {
-			weights[i] /= total
-		}
-	}
-	// Accumulate mass outward from est.Pos.
+	normalised = normalised && math.Abs(sum-1) < 1e-6
+	// Accumulate mass outward from est.Pos. Weights stay unnormalised
+	// (the threshold scales by their total instead), and distance and
+	// weight share one slice, so the serving hot path pays a single
+	// allocation here.
 	type massAt struct {
 		dist float64
 		w    float64
 	}
 	ms := make([]massAt, len(est.Candidates))
+	total := 0.0
 	for i, c := range est.Candidates {
-		ms[i] = massAt{dist: est.Pos.Dist(c.Pos), w: weights[i]}
+		w := c.Score
+		if !normalised {
+			// Softmax of log-likelihoods (candidates are ranked
+			// best-first, so the max is the first score).
+			w = math.Exp(c.Score - est.Candidates[0].Score)
+		}
+		ms[i] = massAt{dist: est.Pos.Dist(c.Pos), w: w}
+		total += w
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].dist < ms[j].dist })
+	if total == 0 {
+		return 0
+	}
+	slices.SortFunc(ms, func(a, b massAt) int {
+		switch {
+		case a.dist < b.dist:
+			return -1
+		case a.dist > b.dist:
+			return 1
+		}
+		return 0
+	})
 	acc := 0.0
+	threshold := (fraction - 1e-12) * total
 	for _, m := range ms {
 		acc += m.w
-		if acc >= fraction-1e-12 {
+		if acc >= threshold {
 			return m.dist
 		}
 	}

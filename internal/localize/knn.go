@@ -28,6 +28,8 @@ type KNN struct {
 	Weighted bool
 	// FloorRSSI substitutes for APs missing on either side. Typical -95.
 	FloorRSSI float64
+	// Sharding tunes the large-map scan fan-out, as in MaxLikelihood.
+	Sharding *ShardedScorer
 
 	compileOnce sync.Once
 	compiled    *trainingdb.Compiled
@@ -110,25 +112,14 @@ func (k *KNN) Locate(obs Observation) (Estimate, error) {
 	if len(cols) == 0 {
 		return Estimate{}, ErrNoOverlap
 	}
-	nAP := len(c.BSSIDs)
-	candidates := make([]Candidate, len(c.Names))
-	for i := range c.Names {
-		// Baseline assumes every column reads the floor; each heard
-		// column replaces its floor term with the observed one. Mean
-		// holds the floor level for untrained cells, so one load covers
-		// both cases.
-		sum := c.SignalBase[i]
-		base := i * nAP
-		for h, j := range cols {
-			t := c.Mean[base+int(j)]
-			dv := vals[h] - t
-			df := c.FloorRSSI - t
-			sum += dv*dv - df*df
-		}
-		if sum < 0 {
-			sum = 0 // guard the sqrt against rounding on near-exact matches
-		}
-		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: -math.Sqrt(sum)}
+	n := len(c.Names)
+	candidates := make([]Candidate, n)
+	if k.Sharding.Parallel(n) {
+		k.Sharding.Scan(n, func(lo, hi int) {
+			k.scoreRange(c, cols, vals, candidates, lo, hi)
+		})
+	} else {
+		k.scoreRange(c, cols, vals, candidates, 0, n)
 	}
 	rankCandidates(candidates)
 	kk := k.kVal()
@@ -162,4 +153,27 @@ func (k *KNN) Locate(obs Observation) (Estimate, error) {
 		Score:      top[0].Score,
 		Candidates: candidates,
 	}, nil
+}
+
+// scoreRange computes the signal distances for entries [lo, hi). The
+// baseline assumes every column reads the floor; each heard column
+// replaces its floor term with the observed one. Mean holds the floor
+// level for untrained cells, so one load covers both cases. Shard
+// ranges are disjoint, so concurrent calls never race.
+func (k *KNN) scoreRange(c *trainingdb.Compiled, cols []int32, vals []float64, candidates []Candidate, lo, hi int) {
+	nAP := len(c.BSSIDs)
+	for i := lo; i < hi; i++ {
+		sum := c.SignalBase[i]
+		base := i * nAP
+		for h, j := range cols {
+			t := c.Mean[base+int(j)]
+			dv := vals[h] - t
+			df := c.FloorRSSI - t
+			sum += dv*dv - df*df
+		}
+		if sum < 0 {
+			sum = 0 // guard the sqrt against rounding on near-exact matches
+		}
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: -math.Sqrt(sum)}
+	}
 }

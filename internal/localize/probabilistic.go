@@ -44,6 +44,10 @@ type MaxLikelihood struct {
 	// posterior-weighted mean over all training points. Name still
 	// reports the argmax, so the paper's validity metric is unaffected.
 	ExpectedPosition bool
+	// Sharding tunes how a single Locate fans the entry scan over the
+	// worker pool on large maps; nil uses the package defaults (one
+	// shard per CPU, DefaultShardCutover entries).
+	Sharding *ShardedScorer
 
 	compileOnce sync.Once
 	compiled    *trainingdb.Compiled
@@ -96,26 +100,17 @@ func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 		aux = append(aux, stats.LogGaussianPDF(v, c.FloorRSSI, c.FloorSigma))
 	}
 	sc.aux = aux
-	// Score over the union of APs, as the map-based loop did: each
-	// entry starts at its precomputed all-unheard baseline; heard
-	// columns swap the floor term for the trained Gaussian (or add the
-	// observation-side floor term when the entry never heard the AP) —
-	// absence is evidence too.
-	nAP := len(c.BSSIDs)
-	candidates := make([]Candidate, len(c.Names))
-	for i := range c.Names {
-		ll := c.UnheardLL[i]
-		base := i * nAP
-		for h, j := range cols {
-			cell := base + int(j)
-			if c.Trained[cell] {
-				d := (vals[h] - c.Mean[cell]) / c.Sigma[cell]
-				ll += -d*d/2 + c.LogNorm[cell] - c.FloorLL[cell]
-			} else {
-				ll += aux[h]
-			}
-		}
-		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
+	// Score over the union of APs, as the map-based loop did. Large
+	// maps shard the scan over the worker pool; below the cutover the
+	// direct call keeps the single-query path allocation-lean.
+	n := len(c.Names)
+	candidates := make([]Candidate, n)
+	if m.Sharding.Parallel(n) {
+		m.Sharding.Scan(n, func(lo, hi int) {
+			m.scoreRange(c, cols, vals, aux, candidates, lo, hi)
+		})
+	} else {
+		m.scoreRange(c, cols, vals, aux, candidates, 0, n)
 	}
 	rankCandidates(candidates)
 	best := candidates[0]
@@ -129,6 +124,29 @@ func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 		est.Pos = posteriorMean(candidates)
 	}
 	return est, nil
+}
+
+// scoreRange scores entries [lo, hi): each starts at its precomputed
+// all-unheard baseline; heard columns swap the floor term for the
+// trained Gaussian (or add the observation-side floor term when the
+// entry never heard the AP) — absence is evidence too. Ranges are
+// disjoint across shards, so concurrent calls never race.
+func (m *MaxLikelihood) scoreRange(c *trainingdb.Compiled, cols []int32, vals, aux []float64, candidates []Candidate, lo, hi int) {
+	nAP := len(c.BSSIDs)
+	for i := lo; i < hi; i++ {
+		ll := c.UnheardLL[i]
+		base := i * nAP
+		for h, j := range cols {
+			cell := base + int(j)
+			if c.Trained[cell] {
+				d := (vals[h] - c.Mean[cell]) / c.Sigma[cell]
+				ll += -d*d/2 + c.LogNorm[cell] - c.FloorLL[cell]
+			} else {
+				ll += aux[h]
+			}
+		}
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
+	}
 }
 
 // Histogram is the Bayesian histogram-matching localizer the paper
@@ -152,6 +170,8 @@ type Histogram struct {
 	RangeLo, RangeHi float64
 	// FloorRSSI substitutes for unheard APs, as in MaxLikelihood.
 	FloorRSSI float64
+	// Sharding tunes the large-map scan fan-out, as in MaxLikelihood.
+	Sharding *ShardedScorer
 
 	warmOnce sync.Once
 	warmErr  error
@@ -201,13 +221,37 @@ func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 		binIdx = append(binIdx, int32(t.bin(v)))
 	}
 	sc.bins = binIdx
+	n := len(c.Names)
+	candidates := make([]Candidate, n)
+	if h.Sharding.Parallel(n) {
+		h.Sharding.Scan(n, func(lo, hi int) {
+			h.scoreRange(c, t, cols, binIdx, candidates, lo, hi)
+		})
+	} else {
+		h.scoreRange(c, t, cols, binIdx, candidates, 0, n)
+	}
+	rankCandidates(candidates)
+	// Normalise scores into a posterior for the candidates (softmax of
+	// log-likelihoods with uniform prior).
+	normalizePosterior(candidates)
+	best := candidates[0]
+	return Estimate{
+		Pos:        best.Pos,
+		Name:       best.Name,
+		Score:      best.Score,
+		Candidates: candidates,
+	}, nil
+}
+
+// scoreRange scores entries [lo, hi). Baseline: every trained AP
+// scored at the floor level; heard columns swap in the observed bin
+// (trained) or the uniform smoothed mass of an empty histogram
+// (untrained). Shard ranges are disjoint, so concurrent calls never
+// race.
+func (h *Histogram) scoreRange(c *trainingdb.Compiled, t *histTables, cols []int32, binIdx []int32, candidates []Candidate, lo, hi int) {
 	nAP := len(c.BSSIDs)
 	bins := t.bins
-	candidates := make([]Candidate, len(c.Names))
-	for i := range c.Names {
-		// Baseline: every trained AP scored at the floor level; heard
-		// columns swap in the observed bin (trained) or the uniform
-		// smoothed mass of an empty histogram (untrained).
+	for i := lo; i < hi; i++ {
 		ll := t.base[i]
 		base := i * nAP
 		for h2, j := range cols {
@@ -221,15 +265,4 @@ func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 		}
 		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
 	}
-	rankCandidates(candidates)
-	// Normalise scores into a posterior for the candidates (softmax of
-	// log-likelihoods with uniform prior).
-	normalizePosterior(candidates)
-	best := candidates[0]
-	return Estimate{
-		Pos:        best.Pos,
-		Name:       best.Name,
-		Score:      best.Score,
-		Candidates: candidates,
-	}, nil
 }

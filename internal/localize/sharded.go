@@ -1,0 +1,146 @@
+package localize
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultShardCutover is the entry count below which a scan stays on
+// the calling goroutine. The per-shard dispatch cost (one channel
+// handoff plus WaitGroup accounting) is on the order of a microsecond;
+// below a few hundred entries the whole scan costs about the same, so
+// splitting it would only add latency. The paper-house map (30 points)
+// and the office wing (117) stay single-threaded; building-scale maps
+// fan out.
+const DefaultShardCutover = 256
+
+// ShardedScorer fans one entry scan over row shards of the compiled
+// radio map, executed by a bounded package-level worker pool sized to
+// GOMAXPROCS. It is the level-1 throughput knob of the serving path:
+// a single Locate over a building-scale map uses every core instead of
+// one, while small maps keep the single-thread fast path.
+//
+// The zero value (and a nil pointer) is ready to use: one shard per
+// CPU, DefaultShardCutover entries before a scan splits. Scoring
+// shards never enqueue further work, and a scan that finds the pool
+// saturated runs its shards inline, so nesting Scan under BatchInto —
+// or under another Scan — cannot deadlock: offloading is strictly
+// opportunistic.
+//
+// A ShardedScorer carries configuration only; it is safe for
+// concurrent use and must not be mutated after its first Scan.
+type ShardedScorer struct {
+	// Shards is the number of row shards one scan splits into; ≤ 0
+	// means one per CPU (GOMAXPROCS).
+	Shards int
+	// Cutover is the minimum entry count before a scan shards; ≤ 0
+	// means DefaultShardCutover. Set 1 to force sharding (tests).
+	Cutover int
+}
+
+// config resolves the effective shard count and cutover, tolerating a
+// nil receiver.
+func (s *ShardedScorer) config() (shards, cutover int) {
+	if s != nil {
+		shards, cutover = s.Shards, s.Cutover
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if cutover <= 0 {
+		cutover = DefaultShardCutover
+	}
+	return shards, cutover
+}
+
+// Parallel reports whether a scan over n entries will shard. Scorers
+// check it first and keep their zero-allocation direct call when it
+// returns false, paying the closure capture only on the fan-out path.
+func (s *ShardedScorer) Parallel(n int) bool {
+	shards, cutover := s.config()
+	return shards > 1 && n >= cutover
+}
+
+// Scan runs fn over the half-open entry ranges that partition [0, n).
+// Below the cutover (or with one shard) that is a single direct call
+// on the caller's goroutine; otherwise the ranges are offered to the
+// worker pool, the caller executes the last shard itself, and Scan
+// returns once every shard has run. fn must be safe for concurrent
+// invocation on disjoint ranges; writes it makes are visible to the
+// caller when Scan returns.
+func (s *ShardedScorer) Scan(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	shards, _ := s.config()
+	if !s.Parallel(n) {
+		fn(0, n)
+		return
+	}
+	if shards > n {
+		shards = n
+	}
+	ensureScorePool()
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi >= n {
+			// The caller always contributes the final shard, so progress
+			// never depends on a pool worker being free.
+			fn(lo, n)
+			break
+		}
+		wg.Add(1)
+		select {
+		case scoreJobs <- scoreJob{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Pool saturated — the cores are already busy scoring, so
+			// run the shard here instead of queueing behind them.
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// scoreJob is one unit of pool work: run fn over [lo, hi) and check in.
+type scoreJob struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	scorePoolOnce sync.Once
+	scoreJobs     chan scoreJob
+)
+
+// ensureScorePool starts the package-level workers on first use. The
+// channel is unbuffered on purpose: a handoff succeeds only when a
+// worker is parked and ready, so "no worker free" degrades to inline
+// execution at the submit site instead of queue buildup.
+func ensureScorePool() {
+	scorePoolOnce.Do(func() {
+		scoreJobs = make(chan scoreJob)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for j := range scoreJobs {
+					j.fn(j.lo, j.hi)
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// trySubmit offers one job to the pool without blocking; the caller
+// runs it inline when no worker is free.
+func trySubmit(j scoreJob) bool {
+	select {
+	case scoreJobs <- j:
+		return true
+	default:
+		return false
+	}
+}

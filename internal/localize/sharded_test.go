@@ -1,0 +1,173 @@
+package localize
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScanPartition checks that Scan visits every entry exactly once
+// for a spread of sizes and shard counts, including shards > n and
+// deliberately tiny cutovers.
+func TestScanPartition(t *testing.T) {
+	cases := []struct {
+		n, shards, cutover int
+	}{
+		{0, 4, 1},
+		{1, 4, 1},
+		{5, 4, 1},
+		{7, 16, 1},
+		{64, 3, 1},
+		{1000, 8, 1},
+		{100, 4, 1000}, // below cutover: single direct call
+		{100, 1, 1},    // one shard: single direct call
+	}
+	for _, c := range cases {
+		s := &ShardedScorer{Shards: c.shards, Cutover: c.cutover}
+		counts := make([]int32, c.n)
+		var calls atomic.Int32
+		s.Scan(c.n, func(lo, hi int) {
+			calls.Add(1)
+			if lo < 0 || hi > c.n || lo > hi {
+				t.Errorf("n=%d shards=%d: bad range [%d, %d)", c.n, c.shards, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, got := range counts {
+			if got != 1 {
+				t.Fatalf("n=%d shards=%d cutover=%d: entry %d scored %d times",
+					c.n, c.shards, c.cutover, i, got)
+			}
+		}
+		if !s.Parallel(c.n) && c.n > 0 && calls.Load() != 1 {
+			t.Errorf("n=%d shards=%d cutover=%d: single-thread path made %d calls",
+				c.n, c.shards, c.cutover, calls.Load())
+		}
+	}
+}
+
+// TestScanNilScorerDefaults pins the nil-receiver contract: a nil
+// *ShardedScorer scans with the package defaults.
+func TestScanNilScorerDefaults(t *testing.T) {
+	var s *ShardedScorer
+	if s.Parallel(DefaultShardCutover - 1) {
+		t.Error("nil scorer parallel below the default cutover")
+	}
+	n := DefaultShardCutover
+	counts := make([]int32, n)
+	s.Scan(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, got := range counts {
+		if got != 1 {
+			t.Fatalf("entry %d scored %d times", i, got)
+		}
+	}
+}
+
+// TestScanNested drives scans from inside pool workers and from many
+// goroutines at once: the opportunistic-offload design must neither
+// deadlock nor lose entries when the pool is saturated.
+func TestScanNested(t *testing.T) {
+	outer := &ShardedScorer{Shards: 4, Cutover: 1}
+	inner := &ShardedScorer{Shards: 4, Cutover: 1}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				var total atomic.Int64
+				outer.Scan(32, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						inner.Scan(16, func(ilo, ihi int) {
+							total.Add(int64(ihi - ilo))
+						})
+					}
+				})
+				if got := total.Load(); got != 32*16 {
+					t.Errorf("nested scan covered %d inner entries, want %d", got, 32*16)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatchIntoMatchesSequential checks the streaming fan-out returns
+// the same estimates and errors as the serial loop, in order.
+func TestBatchIntoMatchesSequential(t *testing.T) {
+	loc, obs := batchFixture(t)
+	obs[3] = Observation{}                  // empty → error
+	obs[11] = Observation{"gh:os:t": -50.0} // no overlap → error
+	seq := Batch(loc, obs, 1)
+	out := make([]BatchResult, len(obs))
+	BatchInto(loc, obs, out)
+	for i := range seq {
+		if (seq[i].Err == nil) != (out[i].Err == nil) {
+			t.Fatalf("obs %d: err %v vs %v", i, seq[i].Err, out[i].Err)
+		}
+		if seq[i].Err != nil {
+			if seq[i].Err != out[i].Err {
+				t.Fatalf("obs %d: err %v vs %v", i, seq[i].Err, out[i].Err)
+			}
+			continue
+		}
+		if seq[i].Estimate.Name != out[i].Estimate.Name ||
+			seq[i].Estimate.Pos != out[i].Estimate.Pos ||
+			seq[i].Estimate.Score != out[i].Estimate.Score {
+			t.Fatalf("obs %d: %+v vs %+v", i, seq[i].Estimate, out[i].Estimate)
+		}
+	}
+}
+
+// TestBatchIntoDegenerate pins the edge cases: empty input is a no-op,
+// a one-element batch runs inline, and an oversized out slice is left
+// untouched beyond len(observations).
+func TestBatchIntoDegenerate(t *testing.T) {
+	loc, obs := batchFixture(t)
+	BatchInto(loc, nil, nil) // must not panic
+	out := make([]BatchResult, 4)
+	BatchInto(loc, obs[:1], out)
+	if out[0].Err != nil {
+		t.Errorf("single observation failed: %v", out[0].Err)
+	}
+	if out[1].Err != nil || out[1].Estimate.Candidates != nil || out[1].Estimate.Name != "" {
+		t.Error("BatchInto wrote past len(observations)")
+	}
+}
+
+// TestBatchIntoShardedLocator runs the streaming batch over a locator
+// whose own scans shard — the nesting the serving path exercises —
+// under -race in CI.
+func TestBatchIntoShardedLocator(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := randomTrainDB(rng, 40, 12, 0.6)
+	ml := NewMaxLikelihood(db)
+	ml.Sharding = &ShardedScorer{Shards: 4, Cutover: 1}
+	var obs []Observation
+	for len(obs) < 48 {
+		o := randomObs(rng, db, 0.7)
+		if len(o) > 0 {
+			obs = append(obs, o)
+		}
+	}
+	out := make([]BatchResult, len(obs))
+	BatchInto(ml, obs, out)
+	want := Batch(ml, obs, 1)
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("obs %d: %v", i, out[i].Err)
+		}
+		if out[i].Estimate.Name != want[i].Estimate.Name {
+			t.Fatalf("obs %d: %q vs %q", i, out[i].Estimate.Name, want[i].Estimate.Name)
+		}
+	}
+}

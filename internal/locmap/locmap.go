@@ -88,12 +88,17 @@ func (m *Map) SortedNames() []string {
 // map. Ties break toward the lexically smaller name so the result is
 // deterministic.
 func (m *Map) Nearest(p geom.Point) (string, geom.Point, bool) {
+	// Scans insertion order with an explicit lexical tie-break rather
+	// than sorting a fresh name slice: this sits on the per-observation
+	// serving path, where the copy-and-sort was the map's only
+	// allocation.
 	bestName := ""
 	var bestPt geom.Point
 	best := math.Inf(1)
-	for _, name := range m.SortedNames() {
+	for _, name := range m.order {
 		q := m.points[name]
-		if d := p.DistSq(q); d < best {
+		d := p.DistSq(q)
+		if d < best || (d == best && (bestName == "" || name < bestName)) {
 			best = d
 			bestName = name
 			bestPt = q

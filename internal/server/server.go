@@ -9,6 +9,7 @@
 //	GET  /algorithms         → the registry names
 //	GET  /locations          → the training locations and coordinates
 //	POST /locate             → localize one observation
+//	POST /locate/batch       → localize many observations in one call
 //	POST /track/{client}     → stateful tracking: filtered per client
 //	DELETE /track/{client}   → forget a client's track
 //
@@ -21,14 +22,31 @@
 //	{"records": [{"time_millis":1, "bssid":"aa:bb", "rssi":-61}, ...]}
 //
 // and returns the estimate, the symbolic name, and a confidence
-// radius. All handlers are safe for concurrent use.
+// radius.
+//
+// /locate/batch accepts many averaged observations at once
+//
+//	{"observations": [{"aa:bb:...": -61.5, ...}, ...]}
+//
+// and returns one result per observation in input order; a result is
+// either the /locate answer shape or {"error": "..."} — one bad
+// observation never fails its batchmates. The batch path is the
+// high-throughput shape of the service: the fan-out feeds the shared
+// scoring pool directly and the request runs out of a pooled arena
+// (decode buffers, observation maps, response encoder), so the
+// per-observation allocation cost is a small constant instead of a
+// full request's worth of garbage. All handlers are safe for
+// concurrent use.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -39,15 +57,39 @@ import (
 	"indoorloc/internal/wiscan"
 )
 
+// DefaultMaxBatch is the observation cap New sets on /locate/batch.
+const DefaultMaxBatch = 4096
+
+// maxBatchBody bounds the /locate/batch request body. A full
+// DefaultMaxBatch of dense observations is well under a megabyte;
+// 8 MiB leaves generous headroom without letting one client pin
+// arbitrary memory.
+const maxBatchBody = 8 << 20
+
 // Server wraps a trained core.Service as an http.Handler.
 type Server struct {
 	svc *core.Service
 	mux *http.ServeMux
 
-	mu       sync.Mutex
-	trackers map[string]*track.Tracker
+	// MaxBatch caps the observations accepted by one /locate/batch
+	// request (larger batches are refused with 413). New sets
+	// DefaultMaxBatch; adjust before serving.
+	MaxBatch int
+
+	// trackers maps client → *clientTrack. Each client carries its own
+	// lock, so one slow client's filter update never serializes the
+	// others' /track traffic.
+	trackers sync.Map
 	// newFilter builds the per-client tracking filter.
 	newFilter func() filter.PositionFilter
+}
+
+// clientTrack is one client's tracking state plus the lock that
+// serializes updates to it. Filters are stateful and order-dependent,
+// so same-client requests still serialize — but only with each other.
+type clientTrack struct {
+	mu sync.Mutex
+	tr *track.Tracker
 }
 
 // New builds a server over a trained service. filterFactory supplies
@@ -64,7 +106,7 @@ func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server
 	}
 	s := &Server{
 		svc:       svc,
-		trackers:  make(map[string]*track.Tracker),
+		MaxBatch:  DefaultMaxBatch,
 		newFilter: filterFactory,
 	}
 	mux := http.NewServeMux()
@@ -72,6 +114,7 @@ func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server
 	mux.HandleFunc("/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/locations", s.handleLocations)
 	mux.HandleFunc("/locate", s.handleLocate)
+	mux.HandleFunc("/locate/batch", s.handleLocateBatch)
 	mux.HandleFunc("/track/", s.handleTrack)
 	s.mux = mux
 	return s, nil
@@ -230,6 +273,349 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchResponse is the /locate/batch response body. The algorithm is
+// stated once; results are per observation, in input order.
+type batchResponse struct {
+	Algorithm string      `json:"algorithm"`
+	Count     int         `json:"count"`
+	Results   []batchItem `json:"results"`
+}
+
+// batchItem is one observation's answer: the /locate response fields,
+// or an error string for observations that failed to localize.
+type batchItem struct {
+	X                float64 `json:"x"`
+	Y                float64 `json:"y"`
+	Location         string  `json:"location,omitempty"`
+	NearestName      string  `json:"nearest_name,omitempty"`
+	Room             string  `json:"room,omitempty"`
+	ConfidenceRadius float64 `json:"confidence_radius_ft"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// errBatchTooLarge distinguishes the 413 case from plain bad input.
+var errBatchTooLarge = errors.New("too many observations in batch")
+
+// batchArena is the reusable request-scoped state of one /locate/batch
+// call: the decode buffer, the observation maps (cleared and refilled
+// in place), the fan-out results, the response items, and an encoder
+// bound to a reusable output buffer. Pooled so a serving loop's
+// per-observation allocations are the decoder's key strings and the
+// scorer's candidate slice, not a fresh copy of all of this.
+type batchArena struct {
+	body    bytes.Buffer
+	obs     []localize.Observation
+	results []localize.BatchResult
+	items   []batchItem
+	out     bytes.Buffer
+	enc     *json.Encoder
+	// keys interns BSSID strings across requests: a fleet of clients
+	// reports the same access points over and over, so after warm-up
+	// the decoder stops allocating key strings entirely. Bounded to
+	// keep a hostile client from growing it without limit.
+	keys map[string]string
+}
+
+// maxInternedKeys bounds one arena's BSSID intern table.
+const maxInternedKeys = 4096
+
+var batchArenaPool = sync.Pool{New: func() any {
+	a := &batchArena{keys: make(map[string]string)}
+	a.enc = json.NewEncoder(&a.out)
+	return a
+}}
+
+// intern returns raw as a string, reusing a previously allocated copy
+// when one exists. The map lookup on a []byte key does not allocate.
+func (a *batchArena) intern(raw []byte) string {
+	if s, ok := a.keys[string(raw)]; ok {
+		return s
+	}
+	s := string(raw)
+	if len(a.keys) < maxInternedKeys {
+		a.keys[s] = s
+	}
+	return s
+}
+
+// decodeObservations reads the request body into the arena and parses
+// {"observations": [...]}, decoding each element into a reused
+// observation map. It returns the observation count.
+//
+// A hand-rolled scanner handles the canonical shape — flat objects of
+// plain string keys and numbers — without encoding/json's per-value
+// boxing; anything it does not recognise (escaped keys, non-numeric
+// values, malformed syntax) falls back to the token-based decoder,
+// which produces the user-facing errors.
+func (a *batchArena) decodeObservations(body io.Reader, max int) (int, error) {
+	a.body.Reset()
+	if _, err := a.body.ReadFrom(io.LimitReader(body, maxBatchBody+1)); err != nil {
+		return 0, fmt.Errorf("reading request body: %w", err)
+	}
+	if a.body.Len() > maxBatchBody {
+		return 0, errBatchTooLarge
+	}
+	if n, err, ok := a.decodeFast(max); ok {
+		return n, err
+	}
+	return a.decodeSlow(max)
+}
+
+// skipSpace advances past JSON whitespace.
+func skipSpace(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// simpleString parses a JSON string with no escapes starting at b[i]
+// (which must be '"'), returning the raw bytes between the quotes.
+func simpleString(b []byte, i int) (raw []byte, next int, ok bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, i, false
+	}
+	for j := i + 1; j < len(b); j++ {
+		switch {
+		case b[j] == '"':
+			return b[i+1 : j], j + 1, true
+		case b[j] == '\\' || b[j] < 0x20:
+			return nil, i, false
+		}
+	}
+	return nil, i, false
+}
+
+// number parses a JSON number starting at b[i].
+func number(b []byte, i int) (v float64, next int, ok bool) {
+	j := i
+	for j < len(b) {
+		switch c := b[j]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			j++
+		default:
+			goto done
+		}
+	}
+done:
+	if j == i {
+		return 0, i, false
+	}
+	v, err := strconv.ParseFloat(string(b[i:j]), 64)
+	if err != nil {
+		return 0, i, false
+	}
+	return v, j, true
+}
+
+// decodeFast is the allocation-lean scanner for the canonical batch
+// shape. ok=false means "shape not recognised, retry with decodeSlow";
+// when ok=true, n and err are the final answer.
+func (a *batchArena) decodeFast(max int) (n int, err error, ok bool) {
+	b := a.body.Bytes()
+	i := skipSpace(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return 0, nil, false
+	}
+	key, i, sok := simpleString(b, skipSpace(b, i+1))
+	if !sok || string(key) != "observations" {
+		return 0, nil, false
+	}
+	i = skipSpace(b, i)
+	if i >= len(b) || b[i] != ':' {
+		return 0, nil, false
+	}
+	i = skipSpace(b, i+1)
+	if i >= len(b) || b[i] != '[' {
+		return 0, nil, false
+	}
+	i = skipSpace(b, i+1)
+	for i < len(b) && b[i] != ']' {
+		if n >= max {
+			return 0, errBatchTooLarge, true
+		}
+		if b[i] != '{' {
+			return 0, nil, false
+		}
+		if n == len(a.obs) {
+			a.obs = append(a.obs, make(localize.Observation, 8))
+		}
+		m := a.obs[n]
+		clear(m)
+		i = skipSpace(b, i+1)
+		for i < len(b) && b[i] != '}' {
+			raw, j, sok := simpleString(b, i)
+			if !sok {
+				return 0, nil, false
+			}
+			j = skipSpace(b, j)
+			if j >= len(b) || b[j] != ':' {
+				return 0, nil, false
+			}
+			v, j, nok := number(b, skipSpace(b, j+1))
+			if !nok {
+				return 0, nil, false
+			}
+			m[a.intern(raw)] = v
+			i = skipSpace(b, j)
+			if i < len(b) && b[i] == ',' {
+				i = skipSpace(b, i+1)
+				if i >= len(b) || b[i] == '}' { // trailing comma
+					return 0, nil, false
+				}
+			} else if i >= len(b) || b[i] != '}' {
+				return 0, nil, false
+			}
+		}
+		if i >= len(b) {
+			return 0, nil, false
+		}
+		n++
+		i = skipSpace(b, i+1)
+		if i < len(b) && b[i] == ',' {
+			i = skipSpace(b, i+1)
+			if i >= len(b) || b[i] == ']' { // trailing comma
+				return 0, nil, false
+			}
+		} else if i >= len(b) || b[i] != ']' {
+			return 0, nil, false
+		}
+	}
+	if i >= len(b) {
+		return 0, nil, false
+	}
+	i = skipSpace(b, i+1) // past ']'
+	if i >= len(b) || b[i] != '}' {
+		return 0, nil, false
+	}
+	if skipSpace(b, i+1) != len(b) {
+		return 0, nil, false
+	}
+	return n, nil, true
+}
+
+// decodeSlow walks the buffered body token by token with
+// encoding/json. It accepts everything JSON allows (escaped keys,
+// whitespace oddities) and is the source of the decode error messages.
+func (a *batchArena) decodeSlow(max int) (int, error) {
+	dec := json.NewDecoder(bytes.NewReader(a.body.Bytes()))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return 0, errors.New("bad request body: want a JSON object")
+	}
+	n := 0
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return 0, fmt.Errorf("bad request body: %w", err)
+		}
+		key, _ := keyTok.(string)
+		if key != "observations" {
+			return 0, fmt.Errorf("bad request body: unknown field %q", key)
+		}
+		if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+			return 0, errors.New("bad request body: observations must be an array")
+		}
+		for dec.More() {
+			if n >= max {
+				return 0, errBatchTooLarge
+			}
+			if n == len(a.obs) {
+				a.obs = append(a.obs, make(localize.Observation, 8))
+			}
+			m := a.obs[n]
+			clear(m)
+			if err := dec.Decode(&m); err != nil {
+				return 0, fmt.Errorf("bad observation %d: %w", n, err)
+			}
+			n++
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			return 0, fmt.Errorf("bad request body: %w", err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume '}'
+		return 0, fmt.Errorf("bad request body: %w", err)
+	}
+	return n, nil
+}
+
+func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	max := s.MaxBatch
+	if max <= 0 {
+		max = DefaultMaxBatch
+	}
+	a := batchArenaPool.Get().(*batchArena)
+	defer batchArenaPool.Put(a)
+	n, err := a.decodeObservations(r.Body, max)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("%w (max %d)", err, max)
+		}
+		writeError(w, status, err)
+		return
+	}
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: need at least one observation"))
+		return
+	}
+	for len(a.results) < n {
+		a.results = append(a.results, localize.BatchResult{})
+	}
+	results := a.results[:n]
+	localize.BatchInto(s.svc.Locator, a.obs[:n], results)
+	items := a.items[:0]
+	for i := range results {
+		var item batchItem
+		if err := results[i].Err; err != nil {
+			item.Error = err.Error()
+		} else {
+			est := results[i].Estimate
+			item.X, item.Y = est.Pos.X, est.Pos.Y
+			item.Location = est.Name
+			item.ConfidenceRadius = localize.ConfidenceRadius(est, 0.9)
+			if s.svc.Names != nil {
+				if name, _, ok := s.svc.Names.Nearest(est.Pos); ok {
+					item.NearestName = name
+				}
+			}
+			for _, room := range s.svc.Rooms {
+				if room.Poly.Contains(est.Pos) {
+					item.Room = room.Name
+					break
+				}
+			}
+		}
+		items = append(items, item)
+	}
+	a.items = items
+	// Drop the candidate slices before pooling the arena so one big
+	// batch does not pin its estimates across unrelated requests.
+	clear(results)
+	a.out.Reset()
+	if err := a.enc.Encode(batchResponse{
+		Algorithm: s.svc.Locator.Name(),
+		Count:     n,
+		Results:   items,
+	}); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(a.out.Bytes())
+}
+
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	client := strings.TrimPrefix(r.URL.Path, "/track/")
 	if client == "" || strings.Contains(client, "/") {
@@ -238,11 +624,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodDelete:
-		s.mu.Lock()
-		_, existed := s.trackers[client]
-		delete(s.trackers, client)
-		s.mu.Unlock()
-		if !existed {
+		if _, existed := s.trackers.LoadAndDelete(client); !existed {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no track for %q", client))
 			return
 		}
@@ -258,21 +640,30 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		// Per-client filter state is serialised under the lock; the
-		// heavy Locate above ran outside it.
-		s.mu.Lock()
-		tr, ok := s.trackers[client]
+		// Per-client filter state is serialised under the client's own
+		// lock; the heavy Locate above ran outside it, and other
+		// clients' updates proceed in parallel. A DELETE racing this
+		// update may orphan the slot after we fetched it — the update
+		// then lands on state the next POST will rebuild, which is the
+		// same outcome as the DELETE arriving a moment later.
+		slotAny, ok := s.trackers.Load(client)
 		if !ok {
-			tr, err = track.New(s.svc.Locator, s.newFilter())
+			slotAny, _ = s.trackers.LoadOrStore(client, &clientTrack{})
+		}
+		slot := slotAny.(*clientTrack)
+		slot.mu.Lock()
+		if slot.tr == nil {
+			tr, err := track.New(s.svc.Locator, s.newFilter())
 			if err != nil {
-				s.mu.Unlock()
+				slot.mu.Unlock()
+				s.trackers.Delete(client)
 				writeError(w, http.StatusInternalServerError, err)
 				return
 			}
-			s.trackers[client] = tr
+			slot.tr = tr
 		}
-		pos := tr.Filter.Update(est.Pos)
-		s.mu.Unlock()
+		pos := slot.tr.Filter.Update(est.Pos)
+		slot.mu.Unlock()
 		resp := locateResponse{
 			X:                pos.X,
 			Y:                pos.Y,
@@ -299,7 +690,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 
 // ActiveTracks returns the number of clients with tracking state.
 func (s *Server) ActiveTracks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.trackers)
+	n := 0
+	s.trackers.Range(func(_, _ any) bool { n++; return true })
+	return n
 }
