@@ -8,19 +8,24 @@ package indoorloc_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"indoorloc/internal/compositor"
 	"indoorloc/internal/core"
 	"indoorloc/internal/filter"
 	"indoorloc/internal/floorplan"
 	"indoorloc/internal/geom"
+	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
 	"indoorloc/internal/locmap"
 	"indoorloc/internal/regress"
@@ -655,4 +660,183 @@ func BenchmarkServerLocateBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// liveRebuilder is the ingest benchmarks' Rebuilder: the same
+// probabilistic-locator-plus-regenerated-name-map recipe locserved
+// uses, so rebuild cost in the numbers matches production.
+func liveRebuilder(db *trainingdb.DB) (*core.Service, error) {
+	loc, err := core.BuildLocator(core.AlgoProbabilistic, db, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	names := locmap.New()
+	for _, name := range db.Names() {
+		if err := names.Add(name, db.Entries[name].Pos); err != nil {
+			return nil, err
+		}
+	}
+	return &core.Service{DB: db, Locator: loc, Names: names}, nil
+}
+
+// BenchmarkIngestReport is experiment A9a: the accept path of one
+// training report — admission, WAL journal, queue hand-off — with the
+// compactor folding concurrently. The fsync variant prices the
+// stronger power-loss durability.
+func BenchmarkIngestReport(b *testing.B) {
+	f := fixture(b)
+	report := ingest.Report{
+		Pos: &ingest.ReportPos{X: 10, Y: 10},
+		Observation: map[string]float64{
+			"00:02:2d:00:00:0a": -52, "00:02:2d:00:00:0b": -60,
+			"00:02:2d:00:00:0c": -68, "00:02:2d:00:00:0d": -71,
+		},
+	}
+	for _, sync := range []bool{false, true} {
+		name := "buffered"
+		if sync {
+			name = "fsync"
+		}
+		b.Run(name, func(b *testing.B) {
+			mgr, err := ingest.NewManager(f.db.Snapshot(), liveRebuilder, ingest.Config{
+				WALPath:         filepath.Join(b.TempDir(), "bench.wal"),
+				SyncEveryAppend: sync,
+				QueueDepth:      8192,
+				FlushReports:    1 << 30, // submit cost only; swaps are priced separately
+				FlushInterval:   time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for {
+					err := mgr.Submit(report)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ingest.ErrQueueFull) {
+						b.Fatal(err)
+					}
+					runtime.Gosched() // let the compactor drain
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotSwap is experiment A9b: the full hot-swap — freeze
+// the master database, rebuild the locator and name map, publish
+// through the registry — at the paper-house scale and at campus scale.
+// This is the cost the compactor pays off the serving path; readers
+// pay one atomic pointer load regardless.
+func BenchmarkSnapshotSwap(b *testing.B) {
+	cases := []struct {
+		name string
+		db   *trainingdb.DB
+	}{
+		{"house-30pt", fixture(b).db.Snapshot()},
+		{"campus-3000pt", syntheticLargeDB(3000, 64, 16, 22)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			svc, err := liveRebuilder(c.db.Snapshot())
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg, err := core.StaticSnapshot(svc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frozen := c.db.Snapshot()
+				svc, err := liveRebuilder(frozen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg.Publish(&core.Snapshot{
+					Generation: frozen.Generation(),
+					Service:    svc,
+					BuiltAt:    time.Now(),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkServerLocateUnderIngest is experiment A9c: the batch=64
+// serving round trip while a writer streams training reports and the
+// compactor swaps snapshots every 32 folds. Compare against
+// BenchmarkServerLocateBatch/batch=64 — the gap is the price readers
+// pay for live training (it should be near zero: swaps cost readers
+// one pointer load).
+func BenchmarkServerLocateUnderIngest(b *testing.B) {
+	f := fixture(b)
+	mgr, err := ingest.NewManager(f.db.Snapshot(), liveRebuilder, ingest.Config{
+		WALPath:       filepath.Join(b.TempDir(), "bench.wal"),
+		QueueDepth:    8192,
+		FlushReports:  32,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := server.NewLive(mgr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const batch = 64
+	payload, err := json.Marshal(map[string]any{"observations": observations(f, batch, 13)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := ingest.Report{
+		Pos:         &ingest.ReportPos{X: 12, Y: 8},
+		Observation: map[string]float64{"00:02:2d:00:00:0a": -55, "00:02:2d:00:00:0b": -63},
+	}
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		// ~1000 reports/s — a heavy but plausible crowdsourcing load.
+		// An unthrottled writer would just measure CPU contention.
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				mgr.Submit(report)
+			}
+		}
+	}()
+	defer func() { close(stop); writer.Wait() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/locate/batch", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	// Calibration runs (N=1) are too short for the 1 ms cadence to fire;
+	// only a real window with zero swaps means the bench measured nothing.
+	if b.N >= 100 && mgr.Stats().Swaps == 0 {
+		b.Log("warning: no swaps happened during the bench window")
+	}
 }

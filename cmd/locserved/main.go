@@ -8,16 +8,27 @@
 //	locserved -db train.tdb -listen :8080
 //	locserved -db train.tdb -algo geometric -plan house.plan -listen 127.0.0.1:9000
 //	locserved -db big.tdb -shards 8 -shard-cutover 512 -batch-max 1024
+//	locserved -db train.tdb -train-wal reports.wal -train-flush-count 128
 //
 // Endpoints: GET /healthz /algorithms /locations, POST /locate,
-// POST /locate/batch, POST/DELETE /track/{client}. See internal/server
-// for the schema.
+// POST /locate/batch, POST/DELETE /track/{client}, and — with
+// -train-wal — POST /train/report. See internal/server for the schema.
 //
 // The serving knobs: -shards splits one query's radio-map scan across
 // CPUs on large maps (0 = one shard per CPU), -shard-cutover sets the
 // map size below which a scan stays single-threaded (0 = the package
 // default; small maps gain nothing from fan-out), and -batch-max caps
 // the observations accepted by one /locate/batch request.
+//
+// The live-training knobs (all gated on -train-wal, which names the
+// durable report journal): -train-queue bounds the accepted-but-
+// unfolded backlog (a full queue answers 429 + Retry-After),
+// -train-flush-count and -train-flush-interval set the radio-map
+// recompile cadence, -train-snap-radius folds coordinate-only reports
+// into an existing training point within that many feet, and
+// -train-sync fsyncs the journal on every accepted batch. On startup
+// the journal is replayed, so a crash or restart loses no accepted
+// report.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 
 	"indoorloc/internal/core"
 	"indoorloc/internal/floorplan"
+	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
 	"indoorloc/internal/locmap"
 	"indoorloc/internal/server"
@@ -58,6 +70,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		cutover  = fs.Int("shard-cutover", 0,
 			fmt.Sprintf("min training entries before a scan shards (0 = %d)", localize.DefaultShardCutover))
 		batchMax = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
+
+		trainWAL   = fs.String("train-wal", "", "report journal path; enables live training via POST /train/report")
+		trainQueue = fs.Int("train-queue", 0, "bounded ingest queue depth (0 = 1024)")
+		trainCount = fs.Int("train-flush-count", 0, "reports folded before a radio-map recompile (0 = 256)")
+		trainIvl   = fs.Duration("train-flush-interval", 0, "max time folded reports wait for a recompile (0 = 2s)")
+		trainSnap  = fs.Float64("train-snap-radius", 0, "feet within which coordinate reports fold into an existing entry (0 = 10)")
+		trainSync  = fs.Bool("train-sync", false, "fsync the report journal on every accepted batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,12 +87,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *batchMax <= 0 {
 		return errors.New("-batch-max must be positive")
 	}
+	if *trainWAL == "" && (*trainQueue != 0 || *trainCount != 0 || *trainIvl != 0 || *trainSnap != 0 || *trainSync) {
+		return errors.New("-train-* flags need -train-wal FILE")
+	}
+	if *trainQueue < 0 || *trainCount < 0 || *trainIvl < 0 || *trainSnap < 0 {
+		return errors.New("-train-* values must be non-negative")
+	}
 	db, err := trainingdb.LoadFile(*dbPath)
 	if err != nil {
 		return err
 	}
 	cfg := core.BuildConfig{Shards: *shards, ShardCutover: *cutover}
-	var names *locmap.Map
+	var planNames *locmap.Map
 	if *planPath != "" {
 		plan, err := floorplan.LoadFile(*planPath)
 		if err != nil {
@@ -83,34 +108,72 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if err != nil {
 			return err
 		}
-		if names, err = plan.LocationMap(); err != nil {
+		if planNames, err = plan.LocationMap(); err != nil {
 			return err
 		}
 	}
-	if names == nil {
-		// Resolve names against the training locations themselves.
-		names = locmap.New()
-		for _, name := range db.Names() {
-			if err := names.Add(name, db.Entries[name].Pos); err != nil {
-				return err
+	// rebuild turns a frozen database into a warmed serving state: the
+	// locator compiled from exactly that entry set, plus name
+	// resolution covering it (the plan's names when given, else the
+	// training locations themselves — including any entries live
+	// training founded).
+	rebuild := func(db *trainingdb.DB) (*core.Service, error) {
+		locator, err := core.BuildLocator(*algo, db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		names := planNames
+		if names == nil {
+			names = locmap.New()
+			for _, name := range db.Names() {
+				if err := names.Add(name, db.Entries[name].Pos); err != nil {
+					return nil, err
+				}
 			}
 		}
+		return &core.Service{DB: db, Locator: locator, Names: names}, nil
 	}
-	locator, err := core.BuildLocator(*algo, db, cfg)
-	if err != nil {
-		return err
-	}
-	srv, err := server.New(&core.Service{DB: db, Locator: locator, Names: names}, nil)
-	if err != nil {
-		return err
+
+	var srv *server.Server
+	var mgr *ingest.Manager
+	if *trainWAL != "" {
+		mgr, err = ingest.NewManager(db, rebuild, ingest.Config{
+			WALPath:         *trainWAL,
+			SyncEveryAppend: *trainSync,
+			QueueDepth:      *trainQueue,
+			FlushReports:    *trainCount,
+			FlushInterval:   *trainIvl,
+			SnapRadius:      *trainSnap,
+		})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		if srv, err = server.NewLive(mgr, nil); err != nil {
+			return err
+		}
+	} else {
+		svc, err := rebuild(db)
+		if err != nil {
+			return err
+		}
+		if srv, err = server.New(svc, nil); err != nil {
+			return err
+		}
 	}
 	srv.MaxBatch = *batchMax
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "locserved: %s algorithm over %d locations, listening on %s\n",
-		locator.Name(), db.Len(), ln.Addr())
+	snap := srv.Snapshot()
+	mode := "static map"
+	if mgr != nil {
+		st := mgr.Stats()
+		mode = fmt.Sprintf("live training via %s (%d replayed)", *trainWAL, st.Replayed)
+	}
+	fmt.Fprintf(out, "locserved: %s algorithm over %d locations (%s), listening on %s\n",
+		snap.Service.Locator.Name(), snap.Service.DB.Len(), mode, ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

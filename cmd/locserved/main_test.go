@@ -76,6 +76,81 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeLiveEndToEnd boots locserved with a WAL, trains it over
+// HTTP, then boots a second instance on the same journal and checks
+// every accepted report survived the "restart".
+func TestServeLiveEndToEnd(t *testing.T) {
+	dbPath := makeDB(t)
+	walPath := filepath.Join(t.TempDir(), "reports.wal")
+	start := func() string {
+		t.Helper()
+		ready := make(chan string, 1)
+		errCh := make(chan error, 1)
+		var out bytes.Buffer
+		go func() {
+			errCh <- run([]string{
+				"-db", dbPath, "-listen", "127.0.0.1:0",
+				"-train-wal", walPath, "-train-flush-count", "1",
+			}, &out, ready)
+		}()
+		select {
+		case addr := <-ready:
+			return addr
+		case err := <-errCh:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		return ""
+	}
+	addr := start()
+	reports := []string{
+		`{"pos":{"x":1,"y":1},"observation":{"00:02:2d:00:00:0a":-50}}`,
+		`{"reports":[{"pos":{"x":30,"y":12},"observation":{"00:02:2d:00:00:0b":-60}},{"pos":{"x":4,"y":20},"observation":{"00:02:2d:00:00:0c":-66}}]}`,
+	}
+	for _, body := range reports {
+		resp, err := http.Post("http://"+addr+"/train/report", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("train/report: %d", resp.StatusCode)
+		}
+	}
+	ingestStats := func(addr string) map[string]any {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		ing, ok := body["ingest"].(map[string]any)
+		if !ok {
+			t.Fatalf("healthz has no ingest section: %v", body)
+		}
+		return ing
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ingestStats(addr)["folded"].(float64) < 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := ingestStats(addr)["folded"].(float64); got != 3 {
+		t.Fatalf("folded %v want 3", got)
+	}
+
+	// "Restart": a second instance over the same journal must replay
+	// every accepted report — zero loss.
+	addr2 := start()
+	if got := ingestStats(addr2)["replayed"].(float64); got != 3 {
+		t.Errorf("replayed %v want 3 after restart", got)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out, nil); err == nil {
@@ -93,5 +168,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-db", dbPath, "-listen", "256.0.0.1:0"}, &out, nil); err == nil {
 		t.Error("bad listen address accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-train-queue", "16"}, &out, nil); err == nil {
+		t.Error("-train-queue without -train-wal accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-train-wal", "w", "-train-flush-count", "-1"}, &out, nil); err == nil {
+		t.Error("negative -train-flush-count accepted")
 	}
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
+)
+
+type fixedLocator struct{ name string }
+
+func (f *fixedLocator) Locate(localize.Observation) (localize.Estimate, error) {
+	return localize.Estimate{Pos: geom.Point{X: 1, Y: 1}, Name: f.name}, nil
+}
+func (f *fixedLocator) Name() string { return f.name }
+
+func TestSnapshotRegistryValidation(t *testing.T) {
+	if _, err := NewSnapshotRegistry(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if _, err := NewSnapshotRegistry(&Snapshot{Service: &Service{}}); err == nil {
+		t.Error("snapshot without locator accepted")
+	}
+	if _, err := StaticSnapshot(nil); err == nil {
+		t.Error("nil service accepted")
+	}
+}
+
+func TestStaticSnapshot(t *testing.T) {
+	svc := &Service{Locator: &fixedLocator{name: "a"}}
+	reg, err := StaticSnapshot(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Current()
+	if snap.Service != svc || snap.Generation != 0 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.BuiltAt.IsZero() {
+		t.Error("BuiltAt not stamped")
+	}
+}
+
+// TestPublishIsAtomic hammers Current from many readers while a writer
+// publishes complete snapshots; every read must observe a snapshot
+// whose generation matches its service — never a mix.
+func TestPublishIsAtomic(t *testing.T) {
+	mk := func(gen uint64) *Snapshot {
+		return &Snapshot{
+			Generation: gen,
+			Service:    &Service{Locator: &fixedLocator{name: string(rune('a' + gen%26))}},
+			BuiltAt:    time.Now(),
+		}
+	}
+	reg, err := NewSnapshotRegistry(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Current()
+				want := string(rune('a' + snap.Generation%26))
+				if got := snap.Service.Locator.Name(); got != want {
+					t.Errorf("torn snapshot: generation %d with locator %q", snap.Generation, got)
+					return
+				}
+			}
+		}()
+	}
+	for gen := uint64(1); gen <= 2000; gen++ {
+		reg.Publish(mk(gen))
+	}
+	close(stop)
+	wg.Wait()
+	if got := reg.Current().Generation; got != 2000 {
+		t.Errorf("final generation %d", got)
+	}
+}

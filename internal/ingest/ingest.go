@@ -1,0 +1,413 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/trainingdb"
+)
+
+// Report is one crowdsourced fingerprint: an observation map (BSSID →
+// mean RSSI in dBm) tagged with where it was taken — a named training
+// location, a plan-frame coordinate, or both (the name wins for
+// existing locations; a new name needs the coordinate).
+type Report struct {
+	// Name is the training-location tag; empty for coordinate-only
+	// reports.
+	Name string `json:"name,omitempty"`
+	// Pos is the plan-frame position, when the reporter knows it.
+	Pos *ReportPos `json:"pos,omitempty"`
+	// Observation is the signal vector, one mean RSSI per audible AP.
+	Observation map[string]float64 `json:"observation"`
+}
+
+// ReportPos is a report's plan-frame coordinate.
+type ReportPos struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Validate applies the acceptance rules a report must pass before it
+// is journaled: a non-empty observation with RSSI levels in the
+// plausible range, and at least one of name or position.
+func (r *Report) Validate() error {
+	if len(r.Observation) == 0 {
+		return errors.New("report needs a non-empty observation")
+	}
+	if r.Name == "" && r.Pos == nil {
+		return errors.New("report needs a location name or a position")
+	}
+	for b, v := range r.Observation {
+		if b == "" {
+			return errors.New("observation has an empty BSSID")
+		}
+		if v > 0 || v < -120 {
+			return fmt.Errorf("observation %s has RSSI %v outside [-120, 0]", b, v)
+		}
+	}
+	return nil
+}
+
+// Config tunes the pipeline. The zero value is usable: defaults are
+// filled in by NewManager.
+type Config struct {
+	// WALPath is the report journal; required.
+	WALPath string
+	// SyncEveryAppend fsyncs the WAL on every accepted batch. Off by
+	// default: flush-to-OS already survives process death, and fsync per
+	// report caps throughput at disk latency.
+	SyncEveryAppend bool
+	// QueueDepth bounds the accepted-but-unfolded backlog; a full queue
+	// rejects submissions with ErrQueueFull (the HTTP layer turns that
+	// into 429 + Retry-After). Zero means 1024.
+	QueueDepth int
+	// FlushReports triggers a recompile-and-swap after this many folded
+	// reports. Zero means 256.
+	FlushReports int
+	// FlushInterval triggers a swap when reports have been folded but
+	// the count trigger has not fired. Zero means 2s.
+	FlushInterval time.Duration
+	// SnapRadius folds a coordinate-only report into the nearest
+	// existing training entry when it lies within this many plan-frame
+	// feet; farther reports found a new entry at their coordinate. Zero
+	// means 10.
+	SnapRadius float64
+	// RetryAfter is the backoff advertised with ErrQueueFull. Zero
+	// means 1s.
+	RetryAfter time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.FlushReports == 0 {
+		c.FlushReports = 256
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 2 * time.Second
+	}
+	if c.SnapRadius == 0 {
+		c.SnapRadius = 10
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue cannot
+// take the reports; the caller should back off for RetryAfter.
+var ErrQueueFull = errors.New("ingest: report queue full")
+
+// ErrInvalidReport wraps Validate failures surfaced by Submit, so the
+// HTTP layer can answer 400 for bad reports and 500 for I/O trouble.
+var ErrInvalidReport = errors.New("invalid report")
+
+// Rebuilder turns a frozen database snapshot into a warmed serving
+// state: it builds the locator (compiling the radio map) and the
+// name/room resolution for exactly that entry set. It runs on the
+// compactor goroutine — off the serving path — and must not retain or
+// mutate db beyond building the service.
+type Rebuilder func(db *trainingdb.DB) (*core.Service, error)
+
+// Stats is a point-in-time counter snapshot for telemetry (/healthz).
+type Stats struct {
+	// Accepted counts reports journaled and queued.
+	Accepted uint64 `json:"accepted"`
+	// RejectedFull counts reports refused with ErrQueueFull.
+	RejectedFull uint64 `json:"rejected_queue_full"`
+	// Folded counts reports folded into the master database.
+	Folded uint64 `json:"folded"`
+	// Dropped counts reports that could not be folded (a new name with
+	// no coordinate).
+	Dropped uint64 `json:"dropped"`
+	// Queued is the current accepted-but-unfolded backlog.
+	Queued int `json:"queued"`
+	// Swaps counts published snapshots (the initial build excluded).
+	Swaps uint64 `json:"swaps"`
+	// SwapErrors counts rebuilds that failed; the previous snapshot
+	// keeps serving.
+	SwapErrors uint64 `json:"swap_errors"`
+	// Replayed counts reports recovered from the WAL at startup.
+	Replayed int `json:"replayed"`
+	// LastSwap is when the current snapshot was published (zero before
+	// the first swap).
+	LastSwap time.Time `json:"last_swap"`
+}
+
+// Manager owns the live pipeline: the WAL, the bounded queue, the
+// master database (exclusively owned by the compactor goroutine after
+// Start), the copy-on-write bookkeeping, and the snapshot registry the
+// server reads from.
+type Manager struct {
+	cfg     Config
+	wal     *WAL
+	rebuild Rebuilder
+	reg     *core.SnapshotRegistry
+
+	// master is the compactor's private, always-current database.
+	// published marks entries shared with the latest snapshot; the
+	// compactor clones them before folding into them.
+	master    *trainingdb.DB
+	published map[string]bool
+
+	// slots is the admission semaphore and queue the report buffer:
+	// Submit acquires a slot (non-blocking; failure is backpressure),
+	// journals, then enqueues — so the send can never block. The
+	// compactor releases the slot after dequeueing.
+	slots chan struct{}
+	queue chan Report
+
+	stop chan struct{}
+	done chan struct{}
+
+	accepted     atomic.Uint64
+	rejectedFull atomic.Uint64
+	folded       atomic.Uint64
+	dropped      atomic.Uint64
+	swaps        atomic.Uint64
+	swapErrors   atomic.Uint64
+	replayed     int
+	lastSwap     atomic.Int64 // UnixNano; 0 = never
+}
+
+// NewManager opens (and replays) the WAL, folds every recovered report
+// into db, publishes the initial snapshot through a fresh registry,
+// and starts the compactor. db must not be used by the caller
+// afterwards — the manager owns it. Close releases the WAL and stops
+// the compactor.
+func NewManager(db *trainingdb.DB, rebuild Rebuilder, cfg Config) (*Manager, error) {
+	if db == nil {
+		return nil, errors.New("ingest: nil training database")
+	}
+	if rebuild == nil {
+		return nil, errors.New("ingest: nil rebuilder")
+	}
+	if cfg.WALPath == "" {
+		return nil, errors.New("ingest: Config.WALPath required")
+	}
+	cfg.fillDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		rebuild:   rebuild,
+		master:    db,
+		published: make(map[string]bool, db.Len()),
+		slots:     make(chan struct{}, cfg.QueueDepth),
+		queue:     make(chan Report, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	wal, recovered, dropped, err := OpenWAL(cfg.WALPath, cfg.SyncEveryAppend)
+	if err != nil {
+		return nil, err
+	}
+	m.wal = wal
+	m.replayed = len(recovered)
+	_ = dropped // torn-tail records were never acknowledged; nothing to recover
+	for i := range recovered {
+		m.fold(recovered[i])
+	}
+	snap, err := m.buildSnapshot()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("ingest: initial snapshot: %w", err)
+	}
+	if m.reg, err = core.NewSnapshotRegistry(snap); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	go m.compact()
+	return m, nil
+}
+
+// Registry returns the snapshot registry the manager publishes to.
+func (m *Manager) Registry() *core.SnapshotRegistry { return m.reg }
+
+// RetryAfter is the backoff the HTTP layer advertises on ErrQueueFull.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Submit validates, journals and queues the reports, all-or-nothing.
+// It returns ErrQueueFull when the bounded queue cannot take the whole
+// batch — nothing is journaled in that case, so a client retry cannot
+// duplicate reports. On nil return every report is durable in the WAL
+// and will be folded by the compactor.
+func (m *Manager) Submit(reports ...Report) error {
+	if len(reports) == 0 {
+		return fmt.Errorf("ingest: %w: empty submission", ErrInvalidReport)
+	}
+	for i := range reports {
+		if err := reports[i].Validate(); err != nil {
+			return fmt.Errorf("ingest: %w %d: %w", ErrInvalidReport, i, err)
+		}
+	}
+	// Admission: grab one slot per report before touching the WAL, so
+	// acknowledged reports always fit in the queue and a full queue
+	// costs nothing durable.
+	for i := range reports {
+		select {
+		case m.slots <- struct{}{}:
+		default:
+			for ; i > 0; i-- {
+				<-m.slots
+			}
+			m.rejectedFull.Add(uint64(len(reports)))
+			return ErrQueueFull
+		}
+	}
+	if err := m.wal.Append(reports...); err != nil {
+		for range reports {
+			<-m.slots
+		}
+		return err
+	}
+	for i := range reports {
+		m.queue <- reports[i] // cannot block: slots bound occupancy
+	}
+	m.accepted.Add(uint64(len(reports)))
+	return nil
+}
+
+// compact is the background loop: fold queued reports into the master
+// database and, on the count or interval cadence, recompile and
+// publish a fresh snapshot. All master/published access happens here
+// (plus NewManager before the goroutine starts), so the mutable state
+// needs no locks.
+func (m *Manager) compact() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.FlushInterval)
+	defer ticker.Stop()
+	pending := 0
+	for {
+		select {
+		case r := <-m.queue:
+			<-m.slots
+			m.fold(r)
+			pending++
+			if pending >= m.cfg.FlushReports {
+				m.swap()
+				pending = 0
+			}
+		case <-ticker.C:
+			if pending > 0 {
+				m.swap()
+				pending = 0
+			}
+		case <-m.stop:
+			// Drain what is already queued so a clean shutdown folds
+			// everything it acknowledged; the WAL covers a crash.
+			for {
+				select {
+				case r := <-m.queue:
+					<-m.slots
+					m.fold(r)
+					pending++
+				default:
+					if pending > 0 {
+						m.swap()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// fold applies one report to the master database under the
+// copy-on-write discipline. Resolution order: an existing name wins
+// (its surveyed coordinate is authoritative); a known coordinate snaps
+// to the nearest entry within SnapRadius; otherwise the report founds
+// a new entry — named, or auto-named from its coordinate.
+func (m *Manager) fold(r Report) {
+	name := r.Name
+	var pos geom.Point
+	if r.Pos != nil {
+		pos = geom.Point{X: r.Pos.X, Y: r.Pos.Y}
+	}
+	if name == "" {
+		if e, ok := m.master.NearestEntry(pos); ok && e.Pos.Dist(pos) <= m.cfg.SnapRadius {
+			name, pos = e.Name, e.Pos
+		} else {
+			name = fmt.Sprintf("xy:%.1f,%.1f", pos.X, pos.Y)
+		}
+	} else if e, ok := m.master.Entries[name]; ok {
+		pos = e.Pos
+	} else if r.Pos == nil {
+		// A name the database has never seen and no coordinate to found
+		// it at: undecidable, count and drop.
+		m.dropped.Add(1)
+		return
+	}
+	if m.published[name] {
+		if e := m.master.Entries[name]; e != nil {
+			m.master.Entries[name] = e.Clone()
+		}
+		delete(m.published, name)
+	}
+	m.master.Fold(name, pos, r.Observation)
+	m.folded.Add(1)
+}
+
+// buildSnapshot freezes the master database and rebuilds the serving
+// state from it. Every entry in the frozen view is marked published,
+// so the next fold into it clones first.
+func (m *Manager) buildSnapshot() (*core.Snapshot, error) {
+	frozen := m.master.Snapshot()
+	svc, err := m.rebuild(frozen)
+	if err != nil {
+		return nil, err
+	}
+	for name := range frozen.Entries {
+		m.published[name] = true
+	}
+	return &core.Snapshot{Generation: frozen.Generation(), Service: svc, BuiltAt: time.Now()}, nil
+}
+
+// swap recompiles and publishes. A failed rebuild (e.g. a geometric
+// fit that no longer converges) keeps the previous snapshot serving
+// and is only counted — live training must never take the service
+// down.
+func (m *Manager) swap() {
+	snap, err := m.buildSnapshot()
+	if err != nil {
+		m.swapErrors.Add(1)
+		return
+	}
+	m.reg.Publish(snap)
+	m.swaps.Add(1)
+	m.lastSwap.Store(snap.BuiltAt.UnixNano())
+}
+
+// Stats returns the current telemetry counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Accepted:     m.accepted.Load(),
+		RejectedFull: m.rejectedFull.Load(),
+		Folded:       m.folded.Load(),
+		Dropped:      m.dropped.Load(),
+		Queued:       len(m.queue),
+		Swaps:        m.swaps.Load(),
+		SwapErrors:   m.swapErrors.Load(),
+		Replayed:     m.replayed,
+	}
+	if ns := m.lastSwap.Load(); ns != 0 {
+		s.LastSwap = time.Unix(0, ns)
+	}
+	return s
+}
+
+// Close stops the compactor (folding and publishing anything already
+// queued) and closes the WAL. The registry keeps serving its last
+// snapshot.
+func (m *Manager) Close() error {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	return m.wal.Close()
+}

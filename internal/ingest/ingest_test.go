@@ -1,0 +1,300 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/locmap"
+	"indoorloc/internal/trainingdb"
+)
+
+// testDB builds a small synthetic training database: a 3x3 grid of
+// entries named g<i>, 20 ft apart, each hearing two APs.
+func testDB() *trainingdb.DB {
+	db := &trainingdb.DB{Entries: make(map[string]*trainingdb.Entry)}
+	for i := 0; i < 9; i++ {
+		name := fmt.Sprintf("g%d", i)
+		pos := geom.Point{X: float64(i%3) * 20, Y: float64(i/3) * 20}
+		e := &trainingdb.Entry{Name: name, Pos: pos, PerAP: make(map[string]*trainingdb.APStats)}
+		for ap := 0; ap < 2; ap++ {
+			s := &trainingdb.APStats{BSSID: fmt.Sprintf("ap%d", ap)}
+			for k := 0; k < 5; k++ {
+				s.AddSample(-50 - float64(i) - 3*float64(ap) - float64(k%2))
+			}
+			e.PerAP[s.BSSID] = s
+		}
+		db.Entries[name] = e
+	}
+	db.BSSIDs = []string{"ap0", "ap1"}
+	return db
+}
+
+// testRebuilder mirrors locserved's: probabilistic locator plus a name
+// map regenerated from the entry set.
+func testRebuilder(db *trainingdb.DB) (*core.Service, error) {
+	locator, err := core.BuildLocator(core.AlgoProbabilistic, db, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	names := locmap.New()
+	for _, name := range db.Names() {
+		if err := names.Add(name, db.Entries[name].Pos); err != nil {
+			return nil, err
+		}
+	}
+	return &core.Service{DB: db, Locator: locator, Names: names}, nil
+}
+
+func newTestManager(t *testing.T, path string, cfg Config) *Manager {
+	t.Helper()
+	cfg.WALPath = path
+	m, err := NewManager(testDB(), testRebuilder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSubmitFoldsAndSwaps(t *testing.T) {
+	m := newTestManager(t, filepath.Join(t.TempDir(), "w.wal"), Config{
+		FlushReports: 2, FlushInterval: time.Hour, // count-triggered swaps only
+	})
+	gen0 := m.Registry().Current().Generation
+	err := m.Submit(
+		Report{Name: "g0", Observation: map[string]float64{"ap0": -49}},
+		Report{Name: "g0", Observation: map[string]float64{"ap0": -51, "apNEW": -77}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "count-triggered swap", func() bool { return m.Stats().Swaps >= 1 })
+	snap := m.Registry().Current()
+	if snap.Generation <= gen0 {
+		t.Errorf("generation did not advance: %d -> %d", gen0, snap.Generation)
+	}
+	db := snap.Service.DB
+	if s := db.Entries["g0"].PerAP["ap0"]; s.N != 7 {
+		t.Errorf("g0/ap0 N=%d want 7 (5 trained + 2 folded)", s.N)
+	}
+	if _, ok := db.Entries["g0"].PerAP["apNEW"]; !ok {
+		t.Error("new AP not folded")
+	}
+	st := m.Stats()
+	if st.Accepted != 2 || st.Folded != 2 || st.Dropped != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.LastSwap.IsZero() {
+		t.Error("LastSwap still zero after swap")
+	}
+}
+
+func TestIntervalTriggeredSwap(t *testing.T) {
+	m := newTestManager(t, filepath.Join(t.TempDir(), "w.wal"), Config{
+		FlushReports: 1 << 30, FlushInterval: 10 * time.Millisecond,
+	})
+	if err := m.Submit(Report{Name: "g1", Observation: map[string]float64{"ap1": -60}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "interval-triggered swap", func() bool { return m.Stats().Swaps >= 1 })
+}
+
+func TestNewEntryAndSnapRadius(t *testing.T) {
+	m := newTestManager(t, filepath.Join(t.TempDir(), "w.wal"), Config{
+		FlushReports: 1, FlushInterval: time.Hour, SnapRadius: 5,
+	})
+	// Within 5 ft of g0 at (0,0): snaps to g0.
+	if err := m.Submit(Report{Pos: &ReportPos{X: 3, Y: 0}, Observation: map[string]float64{"ap0": -48}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "snap fold", func() bool { return m.Stats().Swaps >= 1 })
+	db := m.Registry().Current().Service.DB
+	if s := db.Entries["g0"].PerAP["ap0"]; s.N != 6 {
+		t.Errorf("snap: g0/ap0 N=%d want 6", s.N)
+	}
+	// Far from everything: founds a coordinate-named entry.
+	if err := m.Submit(Report{Pos: &ReportPos{X: 200, Y: 200}, Observation: map[string]float64{"ap0": -90}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "new coordinate entry", func() bool {
+		_, ok := m.Registry().Current().Service.DB.Entries["xy:200.0,200.0"]
+		return ok
+	})
+	// Named new location with a coordinate: founded under that name,
+	// and resolvable through the snapshot's name map.
+	if err := m.Submit(Report{Name: "annex", Pos: &ReportPos{X: -40, Y: -40}, Observation: map[string]float64{"ap1": -85}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "named new entry", func() bool {
+		snap := m.Registry().Current()
+		if _, ok := snap.Service.DB.Entries["annex"]; !ok {
+			return false
+		}
+		_, ok := snap.Service.Names.Lookup("annex")
+		return ok
+	})
+	// Unknown name without a coordinate: accepted (it is valid on its
+	// face) but dropped at fold time.
+	if err := m.Submit(Report{Name: "nowhere", Observation: map[string]float64{"ap0": -70}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "undecidable report dropped", func() bool { return m.Stats().Dropped == 1 })
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newTestManager(t, filepath.Join(t.TempDir(), "w.wal"), Config{})
+	cases := []Report{
+		{},
+		{Name: "g0"},
+		{Observation: map[string]float64{"ap0": -50}},
+		{Name: "g0", Observation: map[string]float64{"ap0": +10}},
+		{Name: "g0", Observation: map[string]float64{"": -50}},
+	}
+	for i, r := range cases {
+		if err := m.Submit(r); !errors.Is(err, ErrInvalidReport) {
+			t.Errorf("case %d: err %v, want ErrInvalidReport", i, err)
+		}
+	}
+	if err := m.Submit(); !errors.Is(err, ErrInvalidReport) {
+		t.Error("empty submission accepted")
+	}
+	if st := m.Stats(); st.Accepted != 0 {
+		t.Errorf("invalid reports counted as accepted: %+v", st)
+	}
+}
+
+// TestBackpressure fills the bounded queue and checks Submit answers
+// ErrQueueFull all-or-nothing, with nothing journaled for the
+// rejected batch.
+func TestBackpressure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.wal")
+	cfg := Config{WALPath: path, QueueDepth: 4, FlushReports: 1 << 30, FlushInterval: time.Hour}
+	cfg.fillDefaults()
+	m, err := NewManager(testDB(), testRebuilder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Stall the compactor by feeding it nothing — it only wakes for
+	// queue/ticker — and fill the admission slots synchronously.
+	r := Report{Name: "g0", Observation: map[string]float64{"ap0": -50}}
+	accepted := 0
+	for i := 0; i < 64 && accepted < 4; i++ {
+		if err := m.Submit(r); err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+	}
+	// The compactor drains concurrently, so we may land short of a
+	// provably full queue only if folding outpaces submission; batch
+	// submission of more than the depth is deterministically too big.
+	batch := make([]Report, 5)
+	for i := range batch {
+		batch[i] = r
+	}
+	if err := m.Submit(batch...); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overdeep batch: err %v, want ErrQueueFull", err)
+	}
+	st := m.Stats()
+	if st.RejectedFull == 0 {
+		t.Error("no rejections counted")
+	}
+	// All-or-nothing: the WAL holds exactly the accepted reports.
+	m.Close()
+	_, replayed, _, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != int(st.Accepted) {
+		t.Errorf("WAL holds %d records, accepted %d — rejected reports leaked into the journal",
+			len(replayed), st.Accepted)
+	}
+}
+
+// TestRestartReplaysAcceptedReports is the kill-and-restart property:
+// everything acknowledged before the "crash" is folded after reopen,
+// even though the manager never swapped.
+func TestRestartReplaysAcceptedReports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.wal")
+	cfg := Config{WALPath: path, FlushReports: 1 << 30, FlushInterval: time.Hour}
+	m, err := NewManager(testDB(), testRebuilder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Submit(Report{Name: "g4", Observation: map[string]float64{"ap0": -60 - float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash: close the WAL out from under the manager
+	// without letting the compactor publish. (Close drains, which is
+	// the graceful path; a real kill simply leaves the WAL as the only
+	// record — which is exactly what the fresh manager below sees.)
+	m.wal.Close()
+
+	m2, err := NewManager(testDB(), testRebuilder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	st := m2.Stats()
+	if st.Replayed != 10 || st.Folded != 10 {
+		t.Fatalf("after restart: replayed %d folded %d, want 10/10", st.Replayed, st.Folded)
+	}
+	// The initial snapshot already contains the replayed evidence.
+	db := m2.Registry().Current().Service.DB
+	if s := db.Entries["g4"].PerAP["ap0"]; s.N != 15 {
+		t.Errorf("g4/ap0 N=%d want 15 (5 trained + 10 replayed)", s.N)
+	}
+	if m.Close() == nil {
+		t.Log("first manager close tolerated closed WAL") // drain hits closed WAL only on append, fine
+	}
+}
+
+// TestSnapshotIsolation verifies the published snapshot never changes
+// under continued folding — the copy-on-write contract seen from the
+// outside.
+func TestSnapshotIsolation(t *testing.T) {
+	m := newTestManager(t, filepath.Join(t.TempDir(), "w.wal"), Config{
+		FlushReports: 1, FlushInterval: time.Hour,
+	})
+	if err := m.Submit(Report{Name: "g0", Observation: map[string]float64{"ap0": -40}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first swap", func() bool { return m.Stats().Swaps >= 1 })
+	snap := m.Registry().Current()
+	before := *snap.Service.DB.Entries["g0"].PerAP["ap0"]
+	for i := 0; i < 5; i++ {
+		if err := m.Submit(Report{Name: "g0", Observation: map[string]float64{"ap0": -41}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "later swaps", func() bool { return m.Stats().Swaps >= 6 })
+	after := snap.Service.DB.Entries["g0"].PerAP["ap0"]
+	if after.N != before.N || after.Mean != before.Mean {
+		t.Errorf("published snapshot mutated: %+v -> %+v", before, *after)
+	}
+	// The current snapshot did move on.
+	if cur := m.Registry().Current().Service.DB.Entries["g0"].PerAP["ap0"]; cur.N != before.N+5 {
+		t.Errorf("current snapshot N=%d want %d", cur.N, before.N+5)
+	}
+}

@@ -1,0 +1,232 @@
+// Package ingest is the live training pipeline: it accepts
+// crowdsourced fingerprint reports, journals them to an append-only
+// write-ahead log, buffers them in a bounded queue with explicit
+// backpressure, and folds them into the training database in a
+// background compactor that periodically recompiles the radio map and
+// publishes it through an atomic snapshot registry — so a static
+// reproduction of the paper's one-shot Training Database Generator
+// becomes a continuously learning service that never blocks or
+// corrupts the localization hot path.
+//
+// # WAL format
+//
+// The log is a 8-byte magic header ("ILOCWAL1") followed by records:
+//
+//	uint32 payload length (little endian)
+//	uint32 CRC-32 (IEEE) of the payload
+//	payload — the report as compact JSON
+//
+// Records are append-only and individually checksummed. On open the
+// tail is scanned: a partial final record (torn write from a crash) or
+// a checksum mismatch marks the end of the trusted prefix; the file is
+// truncated there and appending resumes. Every report acknowledged to
+// a client is flushed to the log before the acknowledgement, so a
+// kill-and-restart replays every accepted report.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// walMagic starts every log file; it guards against replaying a
+// foreign file as fingerprint reports.
+const walMagic = "ILOCWAL1"
+
+// maxWALRecord bounds one record's payload. A report is a location tag
+// plus one reading per audible AP — even a pathological 10k-AP report
+// is far under this; anything larger on replay is corruption, not
+// data.
+const maxWALRecord = 1 << 20
+
+// WAL is the append-only report journal. Append is safe for
+// concurrent use; Open replays and positions the file for appending.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	sync bool
+	path string
+	// frame is the reusable 8-byte length+CRC header buffer.
+	frame [8]byte
+	// records counts appended + replayed records (telemetry only).
+	records int
+}
+
+// OpenWAL opens (creating if needed) the log at path, replays every
+// intact record into reports, and returns the WAL positioned to
+// append. dropped counts trailing records discarded as torn or
+// corrupt — the file is truncated to the last intact record, so the
+// damage never propagates into future appends. syncEach makes every
+// append fsync (durable against power loss, not just process death).
+func OpenWAL(path string, syncEach bool) (w *WAL, reports []Report, dropped int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("ingest: open wal: %w", err)
+	}
+	reports, goodOff, dropped, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if goodOff == 0 {
+		// Fresh (or empty) file: write the magic.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("ingest: reset wal: %w", err)
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("ingest: init wal: %w", err)
+		}
+		goodOff = int64(len(walMagic))
+	} else if dropped > 0 {
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("ingest: truncate damaged wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("ingest: seek wal: %w", err)
+	}
+	w = &WAL{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEach, path: path}
+	w.records = len(reports)
+	return w, reports, dropped, nil
+}
+
+// replay scans the log from the start, returning the intact reports,
+// the offset just past the last intact record, and how many trailing
+// records were dropped as torn or corrupt. A file shorter than the
+// magic (including empty) replays as zero records at offset zero. A
+// wrong magic is a hard error: the file is not a WAL and truncating it
+// would destroy someone else's data.
+func replay(f *os.File) (reports []Report, goodOff int64, dropped int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, fmt.Errorf("ingest: seek wal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, 0, nil // empty or sub-magic file: treat as fresh
+		}
+		return nil, 0, 0, fmt.Errorf("ingest: read wal magic: %w", err)
+	}
+	if string(magic) != walMagic {
+		return nil, 0, 0, fmt.Errorf("ingest: %s is not a report WAL (bad magic %q)", f.Name(), magic)
+	}
+	goodOff = int64(len(walMagic))
+	var frame [8]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return reports, goodOff, dropped, nil // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return reports, goodOff, dropped + 1, nil // torn header
+			}
+			return nil, 0, 0, fmt.Errorf("ingest: read wal record header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxWALRecord {
+			return reports, goodOff, dropped + 1, nil // insane length: corrupt tail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return reports, goodOff, dropped + 1, nil // torn payload
+			}
+			return nil, 0, 0, fmt.Errorf("ingest: read wal payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return reports, goodOff, dropped + 1, nil // checksum mismatch: reject
+		}
+		var r Report
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return reports, goodOff, dropped + 1, nil // undecodable: reject
+		}
+		reports = append(reports, r)
+		goodOff += int64(8 + int(length))
+	}
+}
+
+// Append journals the reports, flushing them to the operating system
+// (and to stable storage when the WAL was opened with syncEach) before
+// returning. A batch is one lock acquisition and one flush; either all
+// of its records reach the log or the error aborts the acknowledgement.
+func (w *WAL) Append(reports ...Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("ingest: wal closed")
+	}
+	for i := range reports {
+		payload, err := json.Marshal(&reports[i])
+		if err != nil {
+			return fmt.Errorf("ingest: encode report: %w", err)
+		}
+		if len(payload) > maxWALRecord {
+			return fmt.Errorf("ingest: report exceeds max WAL record (%d > %d bytes)", len(payload), maxWALRecord)
+		}
+		binary.LittleEndian.PutUint32(w.frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(w.frame[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := w.bw.Write(w.frame[:]); err != nil {
+			return fmt.Errorf("ingest: append wal: %w", err)
+		}
+		if _, err := w.bw.Write(payload); err != nil {
+			return fmt.Errorf("ingest: append wal: %w", err)
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("ingest: flush wal: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: sync wal: %w", err)
+		}
+	}
+	w.records += len(reports)
+	return nil
+}
+
+// Records returns how many records the WAL holds (replayed at open
+// plus appended since).
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Path returns the log file's path.
+func (w *WAL) Path() string { return w.path }
+
+// Close flushes and closes the log. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -5,13 +5,14 @@
 //
 // # API
 //
-//	GET  /healthz            → 200 {"status":"ok", ...}
+//	GET  /healthz            → 200 {"status":"ok", ...snapshot metadata...}
 //	GET  /algorithms         → the registry names
 //	GET  /locations          → the training locations and coordinates
 //	POST /locate             → localize one observation
 //	POST /locate/batch       → localize many observations in one call
 //	POST /track/{client}     → stateful tracking: filtered per client
 //	DELETE /track/{client}   → forget a client's track
+//	POST /train/report       → live training: submit fingerprint reports
 //
 // /locate accepts either an averaged observation
 //
@@ -37,6 +38,28 @@
 // per-observation allocation cost is a small constant instead of a
 // full request's worth of garbage. All handlers are safe for
 // concurrent use.
+//
+// # Consistency model
+//
+// Handlers answer from an immutable core.Snapshot loaded once per
+// request from a core.SnapshotRegistry (one atomic pointer load).
+// A static server (New) wraps its service in a forever-current
+// snapshot; a live server (NewLive) reads whatever snapshot the ingest
+// compactor last published. Because the estimate, the symbolic name
+// and the room all resolve against the one snapshot the request
+// loaded, a hot swap mid-request can never produce a torn answer —
+// in-flight requests finish on the old world, new requests see the new
+// one.
+//
+// /train/report accepts a single report
+//
+//	{"name":"room D22", "observation":{"aa:bb:...":-61.5, ...}}
+//	{"pos":{"x":12.5,"y":40}, "observation":{...}}
+//
+// or a batch {"reports":[...]}; accepted reports are journaled to the
+// write-ahead log before the 202 acknowledgement. When the bounded
+// ingest queue is full the server answers 429 with a Retry-After
+// header — explicit backpressure instead of unbounded buffering.
 package server
 
 import (
@@ -49,9 +72,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"indoorloc/internal/core"
 	"indoorloc/internal/filter"
+	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
 	"indoorloc/internal/track"
 	"indoorloc/internal/wiscan"
@@ -66,10 +91,15 @@ const DefaultMaxBatch = 4096
 // arbitrary memory.
 const maxBatchBody = 8 << 20
 
-// Server wraps a trained core.Service as an http.Handler.
+// Server wraps a trained location service as an http.Handler. It
+// serves every request from the snapshot current at the request's
+// start, so a live hot-swap never tears an in-flight answer.
 type Server struct {
-	svc *core.Service
+	reg *core.SnapshotRegistry
 	mux *http.ServeMux
+	// ing is the live training pipeline; nil for a static server (no
+	// /train/report endpoint, static /healthz counters).
+	ing *ingest.Manager
 
 	// MaxBatch caps the observations accepted by one /locate/batch
 	// request (larger batches are refused with 413). New sets
@@ -92,20 +122,38 @@ type clientTrack struct {
 	tr *track.Tracker
 }
 
-// New builds a server over a trained service. filterFactory supplies
-// the per-client tracking filter for /track; nil uses a Kalman filter
-// with defaults.
+// New builds a static server over a trained service: the service is
+// wrapped as the registry's one forever-current snapshot. filterFactory
+// supplies the per-client tracking filter for /track; nil uses a
+// Kalman filter with defaults.
 func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server, error) {
-	if svc == nil || svc.Locator == nil {
+	reg, err := core.StaticSnapshot(svc)
+	if err != nil {
 		return nil, errors.New("server: nil service")
 	}
+	return newServer(reg, nil, filterFactory)
+}
+
+// NewLive builds a server over a live ingest pipeline: requests are
+// answered from the manager's latest published snapshot, POST
+// /train/report feeds the pipeline, and /healthz carries the ingest
+// counters.
+func NewLive(mgr *ingest.Manager, filterFactory func() filter.PositionFilter) (*Server, error) {
+	if mgr == nil {
+		return nil, errors.New("server: nil ingest manager")
+	}
+	return newServer(mgr.Registry(), mgr, filterFactory)
+}
+
+func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory func() filter.PositionFilter) (*Server, error) {
 	if filterFactory == nil {
 		filterFactory = func() filter.PositionFilter {
 			return &filter.Kalman{Dt: 1, ProcessNoise: 0.6, MeasurementNoise: 7}
 		}
 	}
 	s := &Server{
-		svc:       svc,
+		reg:       reg,
+		ing:       mgr,
 		MaxBatch:  DefaultMaxBatch,
 		newFilter: filterFactory,
 	}
@@ -116,9 +164,21 @@ func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server
 	mux.HandleFunc("/locate", s.handleLocate)
 	mux.HandleFunc("/locate/batch", s.handleLocateBatch)
 	mux.HandleFunc("/track/", s.handleTrack)
+	if mgr != nil {
+		mux.HandleFunc("/train/report", s.handleTrainReport)
+	}
 	s.mux = mux
 	return s, nil
 }
+
+// current returns the snapshot this request serves from. Load it once
+// per request; every lookup the answer needs must come from the same
+// snapshot.
+func (s *Server) current() *core.Snapshot { return s.reg.Current() }
+
+// Snapshot returns the snapshot currently being served — what a
+// request arriving now would answer from.
+func (s *Server) Snapshot() *core.Snapshot { return s.current() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -170,12 +230,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"algorithm": s.svc.Locator.Name(),
-		"locations": s.svc.DB.Len(),
-		"aps":       len(s.svc.DB.BSSIDs),
-	})
+	snap := s.current()
+	svc := snap.Service
+	body := map[string]any{
+		"status":     "ok",
+		"algorithm":  svc.Locator.Name(),
+		"locations":  svc.DB.Len(),
+		"aps":        len(svc.DB.BSSIDs),
+		"generation": snap.Generation,
+		"built_at":   snap.BuiltAt.UTC().Format(time.RFC3339Nano),
+	}
+	if s.ing != nil {
+		st := s.ing.Stats()
+		body["ingest"] = st
+		if !st.LastSwap.IsZero() {
+			body["last_swap"] = st.LastSwap.UTC().Format(time.RFC3339Nano)
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -196,9 +268,10 @@ func (s *Server) handleLocations(w http.ResponseWriter, r *http.Request) {
 		X    float64 `json:"x"`
 		Y    float64 `json:"y"`
 	}
-	out := make([]loc, 0, s.svc.DB.Len())
-	for _, name := range s.svc.DB.Names() {
-		e := s.svc.DB.Entries[name]
+	db := s.current().Service.DB
+	out := make([]loc, 0, db.Len())
+	for _, name := range db.Names() {
+		e := db.Entries[name]
 		out = append(out, loc{Name: name, X: e.Pos.X, Y: e.Pos.Y})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -257,7 +330,8 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.svc.Locate(obs)
+	svc := s.current().Service
+	res, err := svc.Locate(obs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -269,7 +343,7 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		NearestName:      res.NearestName,
 		Room:             res.Room,
 		ConfidenceRadius: localize.ConfidenceRadius(res.Estimate, 0.9),
-		Algorithm:        s.svc.Locator.Name(),
+		Algorithm:        svc.Locator.Name(),
 	})
 }
 
@@ -569,11 +643,14 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch: need at least one observation"))
 		return
 	}
+	// One snapshot answers the whole batch: the fan-out, the name and
+	// room lookups, and the reported algorithm all come from it.
+	svc := s.current().Service
 	for len(a.results) < n {
 		a.results = append(a.results, localize.BatchResult{})
 	}
 	results := a.results[:n]
-	localize.BatchInto(s.svc.Locator, a.obs[:n], results)
+	localize.BatchInto(svc.Locator, a.obs[:n], results)
 	items := a.items[:0]
 	for i := range results {
 		var item batchItem
@@ -584,12 +661,12 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 			item.X, item.Y = est.Pos.X, est.Pos.Y
 			item.Location = est.Name
 			item.ConfidenceRadius = localize.ConfidenceRadius(est, 0.9)
-			if s.svc.Names != nil {
-				if name, _, ok := s.svc.Names.Nearest(est.Pos); ok {
+			if svc.Names != nil {
+				if name, _, ok := svc.Names.Nearest(est.Pos); ok {
 					item.NearestName = name
 				}
 			}
-			for _, room := range s.svc.Rooms {
+			for _, room := range svc.Rooms {
 				if room.Poly.Contains(est.Pos) {
 					item.Room = room.Name
 					break
@@ -604,7 +681,7 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	clear(results)
 	a.out.Reset()
 	if err := a.enc.Encode(batchResponse{
-		Algorithm: s.svc.Locator.Name(),
+		Algorithm: svc.Locator.Name(),
 		Count:     n,
 		Results:   items,
 	}); err != nil {
@@ -635,7 +712,8 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		est, err := s.svc.Locator.Locate(obs)
+		svc := s.current().Service
+		est, err := svc.Locator.Locate(obs)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -653,7 +731,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		slot := slotAny.(*clientTrack)
 		slot.mu.Lock()
 		if slot.tr == nil {
-			tr, err := track.New(s.svc.Locator, s.newFilter())
+			tr, err := track.New(svc.Locator, s.newFilter())
 			if err != nil {
 				slot.mu.Unlock()
 				s.trackers.Delete(client)
@@ -669,14 +747,14 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 			Y:                pos.Y,
 			Location:         est.Name,
 			ConfidenceRadius: localize.ConfidenceRadius(est, 0.9),
-			Algorithm:        s.svc.Locator.Name(),
+			Algorithm:        svc.Locator.Name(),
 		}
-		if s.svc.Names != nil {
-			if name, _, ok := s.svc.Names.Nearest(pos); ok {
+		if svc.Names != nil {
+			if name, _, ok := svc.Names.Nearest(pos); ok {
 				resp.NearestName = name
 			}
 		}
-		for _, room := range s.svc.Rooms {
+		for _, room := range svc.Rooms {
 			if room.Poly.Contains(pos) {
 				resp.Room = room.Name
 				break
@@ -686,6 +764,64 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST or DELETE"))
 	}
+}
+
+// trainRequest is the /train/report body: either one report's fields
+// inline or a batch under "reports".
+type trainRequest struct {
+	ingest.Report
+	Reports []ingest.Report `json:"reports,omitempty"`
+}
+
+// maxTrainBody bounds the /train/report request body, mirroring the
+// batch-locate bound.
+const maxTrainBody = 8 << 20
+
+func (s *Server) handleTrainReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req trainRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxTrainBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	reports := req.Reports
+	single := len(req.Report.Observation) > 0 || req.Report.Name != "" || req.Report.Pos != nil
+	switch {
+	case single && len(reports) > 0:
+		writeError(w, http.StatusBadRequest, errors.New("give one report or reports, not both"))
+		return
+	case single:
+		reports = []ingest.Report{req.Report}
+	case len(reports) == 0:
+		writeError(w, http.StatusBadRequest, errors.New("empty request: need a report or reports"))
+		return
+	}
+	if err := s.ing.Submit(reports...); err != nil {
+		if errors.Is(err, ingest.ErrQueueFull) {
+			// The backpressure contract: nothing was journaled, the
+			// client should retry the whole batch after the advertised
+			// backoff.
+			secs := int(s.ing.RetryAfter().Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		if errors.Is(err, ingest.ErrInvalidReport) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(reports)})
 }
 
 // ActiveTracks returns the number of clients with tracking state.

@@ -23,8 +23,14 @@ import (
 //
 // A Compiled view is immutable after construction and therefore safe
 // for unsynchronised concurrent reads. It is a snapshot: mutating the
-// source DB (Merge, PruneAPs, RemoveEntry) does not update it.
+// source DB (Merge, PruneAPs, RemoveEntry, Fold) does not update it.
+// The view records the DB generation it was compiled from; Stale
+// detects mutation-after-build, and the ingest compactor recompiles
+// and hot-swaps a fresh view whenever the generation moves.
 type Compiled struct {
+	// Generation is the source DB's mutation counter at compile time.
+	Generation uint64
+
 	// FloorRSSI and FloorSigma are the floor-model parameters the view
 	// was compiled with: the substitute level and spread for APs present
 	// on one side (observation or training entry) but not the other.
@@ -85,6 +91,7 @@ func (db *DB) Compile(floorRSSI, floorSigma float64) *Compiled {
 	names := db.Names()
 	nE, nAP := len(names), len(db.BSSIDs)
 	c := &Compiled{
+		Generation: db.gen,
 		FloorRSSI:  floorRSSI,
 		FloorSigma: floorSigma,
 		Names:      append([]string(nil), names...),
@@ -133,6 +140,14 @@ func (db *DB) Compile(floorRSSI, floorSigma float64) *Compiled {
 	}
 	return c
 }
+
+// Stale reports whether db has mutated since the view was compiled —
+// the view still serves the old matrices, so answers drawn from it no
+// longer reflect the database. Locators bind to the generation current
+// at their first Warm/Locate; a deployment that mutates the DB
+// afterwards must rebuild them (the ingest compactor's hot-swap path)
+// rather than keep serving the stale view.
+func (c *Compiled) Stale(db *DB) bool { return c.Generation != db.Generation() }
 
 // NumEntries returns the number of training entries in the view.
 func (c *Compiled) NumEntries() int { return len(c.Names) }

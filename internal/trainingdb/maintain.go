@@ -25,6 +25,7 @@ func (db *DB) PruneAPs(minSamples int) int {
 		}
 	}
 	db.rebuildBSSIDs()
+	db.bumpGeneration()
 	return removed
 }
 
@@ -38,6 +39,7 @@ func (db *DB) RemoveEntry(name string) bool {
 	delete(db.Entries, name)
 	db.invalidateNames()
 	db.rebuildBSSIDs()
+	db.bumpGeneration()
 	return true
 }
 

@@ -78,7 +78,26 @@ type DB struct {
 	// simply rebuilds the cache on first use.
 	namesMu sync.Mutex
 	names   []string
+
+	// gen counts mutations (Merge, PruneAPs, RemoveEntry, Fold). A
+	// Compiled view records the generation it was built from, so
+	// consumers can detect that a view has gone stale instead of
+	// silently serving matrices compiled from an older entry set. Gob
+	// skips unexported fields: a freshly loaded DB starts at generation
+	// zero, which is correct — nothing compiled from it exists yet.
+	gen uint64
 }
+
+// Generation returns the DB's mutation counter. It starts at zero and
+// is bumped by every mutator (Merge, PruneAPs, RemoveEntry, Fold).
+// Locators and Compiled views bind to the generation current when they
+// were built; comparing generations detects mutation-after-build.
+// Mutators are not safe for concurrent use with each other (they never
+// were); Generation itself is a plain read and follows the same rule.
+func (db *DB) Generation() uint64 { return db.gen }
+
+// bumpGeneration records one mutation.
+func (db *DB) bumpGeneration() { db.gen++ }
 
 // Options controls Generate.
 type Options struct {
@@ -225,6 +244,7 @@ func (db *DB) Merge(other *DB) error {
 		db.BSSIDs = append(db.BSSIDs, b)
 	}
 	sort.Strings(db.BSSIDs)
+	db.bumpGeneration()
 	return nil
 }
 
