@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-ingest
+.PHONY: check build vet lint test race bench bench-ingest fuzz-smoke
 
-check: build vet race ## full CI gate
+check: build vet lint race ## full CI gate
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint: ## loclint analyzers + gofmt gate over the whole module
+	$(GO) build -o bin/loclint ./cmd/loclint
+	$(GO) vet -vettool=$(CURDIR)/bin/loclint ./...
+	@fmt_out=$$(gofmt -l $$(find . -name '*.go' -not -path './vendor/*' -not -path '*/testdata/*')); \
+	if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+fuzz-smoke: ## 10s smoke run of each fuzz target
+	$(GO) test -run '^$$' -fuzz FuzzWiscanParse -fuzztime 10s ./internal/wiscan/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/ingest/
 
 bench: ## hot-path localization benchmarks (see BENCH_hotpath.json)
 	$(GO) test -run '^$$' -bench 'BenchmarkProbabilisticLargeMap$$|BenchmarkProbabilisticLocalize$$|BenchmarkHistogramLocalize$$|BenchmarkKNNSweep/k=3$$|BenchmarkBatchLocalize/workers=4$$|BenchmarkServerLocate$$' -benchmem -benchtime=2s .

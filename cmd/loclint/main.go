@@ -1,0 +1,68 @@
+// Command loclint checks the repository against the serving-path
+// invariants encoded in internal/analysis (see DESIGN.md "Enforced
+// invariants").
+//
+// It runs in two modes:
+//
+//	loclint [packages]            standalone: analyzes the given
+//	                              package patterns (default ./...) by
+//	                              re-invoking itself through go vet
+//	go vet -vettool=loclint ...   unit-checker: driven by the go
+//	                              command, one compilation unit at a
+//	                              time, with full type information and
+//	                              build caching
+//
+// Both modes exit non-zero when any diagnostic fires.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"indoorloc/internal/analysis/loclint"
+)
+
+func main() {
+	// The go command drives a vettool with flag-style arguments
+	// (-V=full, -flags) and JSON config files (*.cfg); bare package
+	// patterns mean a human invoked us standalone.
+	if unitcheckerInvocation(os.Args[1:]) {
+		unitchecker.Main(loclint.All()...) // never returns
+	}
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loclint: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "loclint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// unitcheckerInvocation reports whether the arguments look like the go
+// command driving us as a vettool.
+func unitcheckerInvocation(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-") {
+			return true
+		}
+	}
+	return false
+}

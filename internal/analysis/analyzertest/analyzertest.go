@@ -1,0 +1,241 @@
+// Package analyzertest runs a go/analysis analyzer over fixture
+// packages and checks its diagnostics against // want comments — a
+// self-contained stand-in for golang.org/x/tools/go/analysis/analysistest,
+// which the toolchain's vendored x/tools copy does not ship. The
+// subset implemented here is exactly what the loclint suite needs:
+//
+//   - fixtures live under testdata/src/<pkg>/*.go
+//   - a line expecting diagnostics carries // want "regexp" ["regexp" ...]
+//   - every diagnostic must match a want on its line, and every want
+//     must be matched, or the test fails
+//
+// Fixture packages may import the standard library (resolved by
+// compiling stdlib from source, so no prebuilt export data is needed)
+// and sibling fixture packages by their testdata/src-relative path.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// loader loads and type-checks fixture packages.
+type loader struct {
+	fset     *token.FileSet
+	testdata string
+	std      types.Importer
+	pkgs     map[string]*pkgInfo
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		testdata: testdata,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*pkgInfo),
+	}
+}
+
+// Import resolves fixture-sibling packages first, then the standard
+// library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.testdata, "src", path)); err == nil && st.IsDir() {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, pi.err
+	}
+	pi := &pkgInfo{}
+	l.pkgs[path] = pi
+	dir := filepath.Join(l.testdata, "src", path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		pi.err = fmt.Errorf("analyzertest: no fixture files in %s", dir)
+		return pi, pi.err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			pi.err = fmt.Errorf("analyzertest: parse %s: %w", name, err)
+			return pi, pi.err
+		}
+		pi.files = append(pi.files, f)
+	}
+	pi.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pi.pkg, pi.err = conf.Check(path, l.fset, pi.files, pi.info)
+	if pi.err != nil {
+		pi.err = fmt.Errorf("analyzertest: type-check %s: %w", path, pi.err)
+	}
+	return pi, pi.err
+}
+
+// Run loads each named fixture package and applies the analyzer,
+// comparing diagnostics to the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgPaths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := runAnalyzer(t, l, a, pi)
+		checkWants(t, l.fset, pi.files, diags)
+	}
+}
+
+// runAnalyzer runs a and its Requires closure over one package.
+func runAnalyzer(t *testing.T, l *loader, a *analysis.Analyzer, pi *pkgInfo) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	var run func(a *analysis.Analyzer, collect bool)
+	run = func(a *analysis.Analyzer, collect bool) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, dep := range a.Requires {
+			run(dep, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+		if a.ResultType != nil && res != nil && !reflect.TypeOf(res).AssignableTo(a.ResultType) {
+			t.Fatalf("analyzer %s returned %T, want %s", a.Name, res, a.ResultType)
+		}
+		results[a] = res
+	}
+	run(a, true)
+	return diags
+}
+
+// wantRx extracts the quoted regexps of one want comment; both
+// "double-quoted" and `backquoted` forms are accepted.
+var wantRx = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkWants cross-checks diagnostics against // want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // file:line → expectations
+	loc := func(p token.Position) string { return fmt.Sprintf("%s:%d", p.Filename, p.Line) }
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", loc(p), pat, err)
+					}
+					wants[loc(p)] = append(wants[loc(p)], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, e := range wants[loc(p)] {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", loc(p), d.Message)
+		}
+	}
+	for at, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matched want %q", at, e.rx)
+			}
+		}
+	}
+}

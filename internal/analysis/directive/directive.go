@@ -1,0 +1,130 @@
+// Package directive parses the loclint source directives shared by
+// every analyzer in the suite:
+//
+//	//loclint:hotpath            (function doc) opt the function into
+//	                             the hotpathalloc allocation rules
+//	//loclint:allow              (end of line) suppress every loclint
+//	                             diagnostic on that line
+//	//loclint:allow name,name    suppress only the named analyzers
+//
+// Suppressions are deliberate, reviewable escapes: the comment sits on
+// the flagged line, so the exemption and its justification travel with
+// the code.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const (
+	hotpathDirective = "//loclint:hotpath"
+	allowDirective   = "//loclint:allow"
+)
+
+// Hotpath reports whether the function declaration carries the
+// //loclint:hotpath annotation in its doc comment.
+func Hotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressor indexes the //loclint:allow comments of a pass and
+// filters reports through them.
+type Suppressor struct {
+	pass *analysis.Pass
+	// allowed maps "file:line" to the analyzer names allowed there;
+	// an empty list means all analyzers.
+	allowed map[string][]string
+}
+
+// NewSuppressor scans every file of the pass for allow directives.
+func NewSuppressor(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{pass: pass, allowed: make(map[string][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok {
+					continue
+				}
+				var names []string
+				for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					names = append(names, n)
+				}
+				p := pass.Fset.Position(c.Pos())
+				s.allowed[key(p.Filename, p.Line)] = names
+			}
+		}
+	}
+	return s
+}
+
+func key(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// lines fit in a few digits; avoid strconv import noise
+	b.WriteString(itoa(line))
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Suppressed reports whether a diagnostic at pos is silenced by an
+// allow directive on the same line.
+func (s *Suppressor) Suppressed(pos token.Pos) bool {
+	p := s.pass.Fset.Position(pos)
+	names, ok := s.allowed[key(p.Filename, p.Line)]
+	if !ok {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if n == s.pass.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf reports a diagnostic unless an allow directive on the line
+// suppresses it.
+func (s *Suppressor) Reportf(pos token.Pos, format string, args ...any) {
+	if s.Suppressed(pos) {
+		return
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// InTestFile reports whether pos lands in a *_test.go file. The suite
+// enforces serving-path invariants; tests deliberately break them
+// (re-reading registries to assert swaps, comparing floats exactly in
+// equivalence properties), so every analyzer skips test files.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

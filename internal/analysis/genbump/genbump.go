@@ -1,0 +1,433 @@
+// Package genbump enforces the trainingdb staleness contract: every
+// exported DB method that mutates the radio-map state (the Entries
+// map, the BSSIDs universe, or anything reachable from them — entry
+// stat structs, sample slices) must call bumpGeneration() on every
+// path that performed a mutation before returning. Compiled views
+// detect staleness by comparing generations; a mutation that skips the
+// bump makes a stale view look fresh and silently serves matrices
+// compiled from an older entry set.
+//
+// The check is path-sensitive: an early `return err` before any
+// mutation is fine, but a path that mutates and then reaches a return
+// without passing a bumpGeneration() call is flagged. Mutations
+// through receiver-derived aliases count (`for _, e := range
+// db.Entries { delete(e.PerAP, ...) }` mutates db).
+package genbump
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the genbump analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "genbump",
+	Doc: "flag exported DB methods that mutate tracked state without bumping the generation on every return path\n\n" +
+		"The generation counter is how compiled radio-map views detect staleness;\n" +
+		"a mutator that returns without bumpGeneration() lets stale matrices serve.",
+	Run: run,
+}
+
+var trackedFields = "Entries,BSSIDs"
+
+func init() {
+	Analyzer.Flags.StringVar(&trackedFields, "fields", trackedFields,
+		"comma-separated receiver fields whose mutation requires a generation bump")
+}
+
+const bumpName = "bumpGeneration"
+
+func run(pass *analysis.Pass) (any, error) {
+	// The analyzer applies to any type that owns a bumpGeneration
+	// method (in the repo: trainingdb.DB). Packages without one are
+	// skipped outright.
+	var target *types.Named
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == bumpName {
+				target = named
+				break
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		return nil, nil
+	}
+	tracked := make(map[string]bool)
+	for _, f := range strings.Split(trackedFields, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			tracked[f] = true
+		}
+	}
+	sup := directive.NewSuppressor(pass)
+	mutators := receiverMutators(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if directive.InTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			recv := receiverOf(pass, fd)
+			if recv == nil || namedOf(recv.Type()) != target {
+				continue
+			}
+			checkMethod(pass, sup, fd, recv, tracked, mutators)
+		}
+	}
+	return nil, nil
+}
+
+// receiverMutators summarizes, for every method declared in the
+// package, whether its body writes through its receiver (directly, or
+// by calling another receiver-mutating method on it). Read-only
+// pointer-receiver methods like Entry.MeanVector then do not count as
+// mutations at their call sites; methods from other packages stay
+// conservatively "mutating".
+func receiverMutators(pass *analysis.Pass) map[*types.Func]bool {
+	info := pass.TypesInfo
+	type methodDecl struct {
+		fd   *ast.FuncDecl
+		recv *types.Var
+	}
+	decls := make(map[*types.Func]methodDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			recv := receiverOf(pass, fd)
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || recv == nil {
+				continue
+			}
+			decls[fn] = methodDecl{fd: fd, recv: recv}
+		}
+	}
+	mutates := make(map[*types.Func]bool)
+	rootsAtRecv := func(e ast.Expr, recv *types.Var) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				return info.ObjectOf(x) == recv
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return false
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, d := range decls {
+			if mutates[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if _, isIdent := lhs.(*ast.Ident); !isIdent && rootsAtRecv(lhs, d.recv) {
+							found = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if rootsAtRecv(n.X, d.recv) {
+						found = true
+					}
+				case *ast.CallExpr:
+					switch fun := ast.Unparen(n.Fun).(type) {
+					case *ast.Ident:
+						if (fun.Name == "delete" || fun.Name == "copy" || fun.Name == "clear") && len(n.Args) > 0 && isBuiltin(info, fun) && rootsAtRecv(n.Args[0], d.recv) {
+							found = true
+						}
+					case *ast.SelectorExpr:
+						if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal && rootsAtRecv(fun.X, d.recv) {
+							if callee, ok := sel.Obj().(*types.Func); ok && mutates[callee] {
+								found = true
+							}
+						}
+					}
+				}
+				return !found
+			})
+			if found {
+				mutates[fn] = true
+				changed = true
+			}
+		}
+	}
+	// Methods not declared in this package are unknown: callers treat
+	// them as mutating. Encode by leaving them absent and exposing the
+	// decl set through a sentinel: checkMethod consults both maps.
+	for fn := range decls {
+		if _, ok := mutates[fn]; !ok {
+			mutates[fn] = false
+		}
+	}
+	return mutates
+}
+
+// checkMethod flags fd if some mutation of tracked state can reach a
+// return without a bumpGeneration call.
+func checkMethod(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl, recv *types.Var, tracked map[string]bool, mutators map[*types.Func]bool) {
+	info := pass.TypesInfo
+
+	// Taint: objects whose value is reachable from a tracked receiver
+	// field. Grown to a fixpoint so chains (e := db.Entries[n]; s :=
+	// e.PerAP[b]) resolve regardless of statement order.
+	taint := make(map[types.Object]bool)
+	isTracked := func(e ast.Expr) bool { return trackedExpr(info, e, recv, tracked, taint) }
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+						continue
+					}
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					obj := info.ObjectOf(id)
+					if obj != nil && !taint[obj] && isTracked(rhs) {
+						taint[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if isTracked(n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok && id != nil {
+							if obj := info.ObjectOf(id); obj != nil && !taint[obj] {
+								taint[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Collect mutation sites.
+	var mutations []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); !isIdent && isTracked(lhs) {
+					mutations = append(mutations, n)
+					return true
+				}
+				// `db.BSSIDs = append(...)` has an ident-free selector
+				// LHS; a bare ident LHS (`x = ...`) rebinds a local and
+				// is not a mutation of the receiver — unless the ident
+				// IS a tracked alias being written through? Writing the
+				// variable itself only rebinds; skip.
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if (fun.Name == "delete" || fun.Name == "copy" || fun.Name == "clear") && len(n.Args) > 0 && isBuiltin(info, fun) && isTracked(n.Args[0]) {
+					mutations = append(mutations, n)
+				}
+			case *ast.SelectorExpr:
+				// A pointer-receiver method invoked on tracked state
+				// (s.AddSample(v)) mutates it — unless the package-local
+				// summary proves the method read-only (MeanVector).
+				if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal && isTracked(fun.X) {
+					if sig, ok := sel.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+							callee, _ := sel.Obj().(*types.Func)
+							if m, known := mutators[callee]; !known || m {
+								mutations = append(mutations, n)
+							}
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isTracked(n.X) {
+				mutations = append(mutations, n)
+			}
+		}
+		return true
+	})
+	if len(mutations) == 0 {
+		return
+	}
+
+	// Path check over the CFG: from each mutation, every path to an
+	// exit must pass a bumpGeneration call.
+	g := cfg.New(fd.Body, func(*ast.CallExpr) bool { return true })
+	isBump := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == bumpName {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	contains := func(n ast.Node, target ast.Node) bool {
+		return n.Pos() <= target.Pos() && target.End() <= n.End()
+	}
+	for _, mut := range mutations {
+		// Locate the mutation's block and node index.
+		var home *cfg.Block
+		homeIdx := -1
+		for _, b := range g.Blocks {
+			for i, n := range b.Nodes {
+				if contains(n, mut) || n == mut {
+					home, homeIdx = b, i
+					break
+				}
+			}
+			if home != nil {
+				break
+			}
+		}
+		if home == nil {
+			continue // unreachable code
+		}
+		// BFS from just after the mutation; a bump anywhere in a block
+		// covers every path through it (blocks are straight-line).
+		bumped := false
+		for _, n := range home.Nodes[homeIdx+1:] {
+			if isBump(n) {
+				bumped = true
+				break
+			}
+		}
+		if bumped {
+			continue
+		}
+		seen := map[*cfg.Block]bool{}
+		var escapes func(b *cfg.Block) bool
+		escapes = func(b *cfg.Block) bool {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+			for _, n := range b.Nodes {
+				if isBump(n) {
+					return false
+				}
+			}
+			if len(b.Succs) == 0 {
+				return b.Live // an unreachable empty block is not an exit
+			}
+			for _, s := range b.Succs {
+				if escapes(s) {
+					return true
+				}
+			}
+			return false
+		}
+		leaks := false
+		if len(home.Succs) == 0 {
+			leaks = true // mutation in a returning block with no bump after it
+		}
+		for _, s := range home.Succs {
+			if escapes(s) {
+				leaks = true
+				break
+			}
+		}
+		if leaks {
+			sup.Reportf(mut.Pos(), "%s.%s mutates tracked state but can return without %s()", namedOf(recv.Type()).Obj().Name(), fd.Name.Name, bumpName)
+		}
+	}
+}
+
+// trackedExpr reports whether e denotes state reachable from a tracked
+// receiver field or a tainted alias of one.
+func trackedExpr(info *types.Info, e ast.Expr, recv *types.Var, tracked map[string]bool, taint map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			return obj != nil && taint[obj]
+		case *ast.SelectorExpr:
+			// recv.Field where Field is tracked?
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && info.ObjectOf(id) == recv && tracked[x.Sel.Name] {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// receiverOf returns the receiver variable of a method declaration.
+func receiverOf(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	obj, _ := pass.TypesInfo.ObjectOf(fd.Recv.List[0].Names[0]).(*types.Var)
+	return obj
+}
+
+// namedOf returns the named type behind t, looking through pointers.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,12 @@
+package genbump_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/genbump"
+)
+
+func TestGenBump(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), genbump.Analyzer, "a")
+}

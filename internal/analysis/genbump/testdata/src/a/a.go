@@ -1,0 +1,161 @@
+// Package a exercises the genbump analyzer with a miniature of
+// trainingdb.DB: a type owning bumpGeneration plus exported mutators.
+package a
+
+import "fmt"
+
+type Stats struct {
+	N       int
+	Samples []float64
+}
+
+func (s *Stats) AddSample(v float64) {
+	s.N++
+	s.Samples = append(s.Samples, v)
+}
+
+func (s Stats) Mean() float64 { return 0 } // value receiver: a read
+
+// MeanVector has a pointer receiver but only reads: the package-local
+// summary proves it harmless at call sites.
+func (s *Stats) MeanVector(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(s.N)
+	}
+	return out
+}
+
+type Entry struct {
+	Name  string
+	PerAP map[string]*Stats
+}
+
+type DB struct {
+	Entries map[string]*Entry
+	BSSIDs  []string
+	gen     uint64
+	names   []string
+}
+
+func (db *DB) bumpGeneration() { db.gen++ }
+
+// Good: mutation then unconditional bump.
+func (db *DB) Add(name string) {
+	db.Entries[name] = &Entry{Name: name}
+	db.bumpGeneration()
+}
+
+// Good: the early return happens before any mutation.
+func (db *DB) Remove(name string) bool {
+	if _, ok := db.Entries[name]; !ok {
+		return false
+	}
+	delete(db.Entries, name)
+	db.bumpGeneration()
+	return true
+}
+
+// Bad: no bump at all.
+func (db *DB) Rename(old, new string) {
+	e := db.Entries[old]
+	delete(db.Entries, old) // want `mutates tracked state but can return without bumpGeneration`
+	db.Entries[new] = e     // want `mutates tracked state but can return without bumpGeneration`
+}
+
+// Bad: the error path returns after the first iteration may already
+// have mutated the map.
+func (db *DB) MergeLeaky(other *DB) error {
+	for name, e := range other.Entries {
+		if _, dup := db.Entries[name]; dup {
+			return fmt.Errorf("collision on %q", name)
+		}
+		db.Entries[name] = e // want `mutates tracked state but can return without bumpGeneration`
+	}
+	db.bumpGeneration()
+	return nil
+}
+
+// Good: validate first, mutate after — every mutating path bumps.
+func (db *DB) MergeSafe(other *DB) error {
+	for name := range other.Entries {
+		if _, dup := db.Entries[name]; dup {
+			return fmt.Errorf("collision on %q", name)
+		}
+	}
+	for name, e := range other.Entries {
+		db.Entries[name] = e
+	}
+	db.bumpGeneration()
+	return nil
+}
+
+// Bad: mutation through a receiver-derived alias still mutates db.
+func (db *DB) Prune(min int) int {
+	removed := 0
+	for _, e := range db.Entries {
+		for ap, s := range e.PerAP {
+			if s.N < min {
+				delete(e.PerAP, ap) // want `mutates tracked state but can return without bumpGeneration`
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Bad: a pointer-receiver method call on tracked state is a mutation.
+func (db *DB) Fold(name string, v float64) {
+	if e := db.Entries[name]; e != nil {
+		for _, s := range e.PerAP {
+			s.AddSample(v) // want `mutates tracked state but can return without bumpGeneration`
+		}
+	}
+}
+
+// Good: value-receiver reads on tracked state are not mutations.
+func (db *DB) Sum(name string) float64 {
+	total := 0.0
+	if e := db.Entries[name]; e != nil {
+		for _, s := range e.PerAP {
+			total += s.Mean()
+		}
+	}
+	return total
+}
+
+// Good: read-only pointer-receiver calls on tracked state are not
+// mutations either.
+func (db *DB) Vectors(name string) [][]float64 {
+	var out [][]float64
+	if e := db.Entries[name]; e != nil {
+		for _, s := range e.PerAP {
+			out = append(out, s.MeanVector(3))
+		}
+	}
+	return out
+}
+
+// Good: building and mutating a fresh DB is not a receiver mutation.
+func (db *DB) Snapshot() *DB {
+	nd := &DB{Entries: make(map[string]*Entry, len(db.Entries)), gen: db.gen}
+	for n, e := range db.Entries {
+		nd.Entries[n] = e
+	}
+	return nd
+}
+
+// Good: untracked cache fields do not require a bump.
+func (db *DB) Names() []string {
+	if db.names == nil {
+		for n := range db.Entries {
+			db.names = append(db.names, n)
+		}
+	}
+	return db.names
+}
+
+// unexported mutators are implementation detail of exported ones.
+func (db *DB) rebuild() {
+	db.BSSIDs = db.BSSIDs[:0]
+}

@@ -1,0 +1,183 @@
+// Package hotpathalloc enforces the ~1 alloc/op budget of functions
+// annotated //loclint:hotpath (the compiled scorers, BatchInto, the
+// fast-path JSON scanner, the WAL append). Inside an annotated
+// function it rejects the constructs that allocate on every call:
+//
+//   - fmt.* calls (formatting boxes every operand) — except
+//     fmt.Errorf inside a return statement, the cold error exit
+//   - map and slice composite literals
+//   - make and new
+//   - append (growth is unbounded unless the backing array is managed
+//     by the surrounding arena — suppress deliberate amortized growth
+//     with //loclint:allow)
+//   - func literals (closures capture by reference and escape)
+//   - string↔[]byte conversions, except the compiler-recognized
+//     non-allocating forms (map index m[string(b)], comparisons)
+//   - explicit conversions to interface types (boxing)
+//
+// A finding on a line carrying //loclint:allow [hotpathalloc] is an
+// acknowledged, reviewed exception.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "reject allocating constructs in functions annotated //loclint:hotpath\n\n" +
+		"The serving hot path holds a measured ~1 alloc/op budget; this analyzer\n" +
+		"keeps formatting, literals, closures, unpooled growth and boxing out of it.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive.Hotpath(fd) {
+				continue
+			}
+			check(pass, sup, fd)
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sup.Reportf(n.Pos(), "closure on the hot path: func literals capture by reference and allocate")
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(n)).Underlying().(type) {
+			case *types.Map:
+				sup.Reportf(n.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				sup.Reportf(n.Pos(), "slice literal allocates on the hot path")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, sup, n, stack)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+func checkCall(pass *analysis.Pass, sup *directive.Suppressor, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				sup.Reportf(call.Pos(), "append on the hot path may grow its backing array; pre-size in the arena or annotate the amortized growth with //loclint:allow")
+			case "make":
+				sup.Reportf(call.Pos(), "make allocates on the hot path")
+			case "new":
+				sup.Reportf(call.Pos(), "new allocates on the hot path")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := types.Unalias(tv.Type)
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isStringByteConv(dst, src):
+			if !nonAllocConvContext(call, stack) {
+				sup.Reportf(call.Pos(), "string/[]byte conversion copies on the hot path; use a pooled scratch buffer")
+			}
+		case types.IsInterface(dst) && src != nil && !types.IsInterface(src):
+			sup.Reportf(call.Pos(), "conversion to interface type boxes its operand on the hot path")
+		}
+		return
+	}
+
+	// fmt.*.
+	if fn, ok := typeutil.Callee(info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if fn.Name() == "Errorf" && inReturn(stack) {
+			return // cold error exit: constructing the error is the last thing the path does
+		}
+		sup.Reportf(call.Pos(), "fmt.%s formats and allocates on the hot path", fn.Name())
+	}
+}
+
+// isStringByteConv reports a string↔[]byte (or []rune) conversion.
+func isStringByteConv(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// nonAllocConvContext reports whether the conversion sits in a context
+// the compiler optimizes to skip the copy: a map index key, or an
+// operand of a comparison.
+func nonAllocConvContext(call *ast.CallExpr, stack []ast.Node) bool {
+	// stack[len-1] is the call itself.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.IndexExpr:
+			return p.Index != nil && contains(p.Index, call)
+		case *ast.BinaryExpr:
+			switch p.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func inReturn(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(n ast.Node, target ast.Node) bool {
+	return n.Pos() <= target.Pos() && target.End() <= n.End()
+}

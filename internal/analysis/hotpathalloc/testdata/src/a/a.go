@@ -1,0 +1,111 @@
+// Package a exercises the hotpathalloc analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct{ x, y float64 }
+
+type candidate struct {
+	name  string
+	pos   point
+	score float64
+}
+
+type compiled struct {
+	names []string
+	pos   []point
+	mean  []float64
+}
+
+// scoreRange is the shape of the real compiled scorers: struct
+// literals into a caller-owned slice, pure arithmetic — clean.
+//
+//loclint:hotpath
+func scoreRange(c *compiled, vals []float64, out []candidate, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for h := range vals {
+			d := vals[h] - c.mean[i]
+			s -= d * d
+		}
+		out[i] = candidate{name: c.names[i], pos: c.pos[i], score: s}
+	}
+}
+
+// errNoOverlap is constructed once, off the hot path.
+var errNoOverlap = errors.New("no overlap")
+
+// appendReport returns the error through the cold exit; fmt.Errorf in
+// a return statement is the allowed error-construction idiom.
+//
+//loclint:hotpath
+func appendReport(buf []byte, n int) error {
+	if n > len(buf) {
+		return fmt.Errorf("report exceeds buffer (%d > %d)", n, len(buf))
+	}
+	if n < 0 {
+		return errNoOverlap
+	}
+	return nil
+}
+
+//loclint:hotpath
+func hotViolations(m map[string]float64, keys []string, raw []byte) float64 {
+	msg := fmt.Sprintf("%d keys", len(keys)) // want `fmt.Sprintf formats and allocates`
+	weights := map[string]float64{"a": 1}    // want `map literal allocates`
+	extra := []float64{1, 2, 3}              // want `slice literal allocates`
+	scratch := make([]byte, 64)              // want `make allocates`
+	p := new(point)                          // want `new allocates`
+	keys = append(keys, msg)                 // want `append on the hot path may grow`
+	f := func() float64 { return 1 }         // want `closure on the hot path`
+	s := string(raw)                         // want `string/\[\]byte conversion copies`
+	var tot float64
+	for _, k := range keys {
+		tot += m[k]
+	}
+	return tot + weights["a"] + extra[0] + float64(len(scratch)) + p.x + f() + float64(len(s))
+}
+
+type stringer interface{ String() string }
+
+type id int
+
+func (id) String() string { return "id" }
+
+//loclint:hotpath
+func boxes(v id) stringer {
+	return stringer(v) // want `conversion to interface type boxes`
+}
+
+// internKey uses the compiler-recognized non-allocating forms: map
+// index keyed by string(b), and comparisons — clean.
+//
+//loclint:hotpath
+func internKey(m map[string]string, b []byte) string {
+	if s, ok := m[string(b)]; ok {
+		return s
+	}
+	if string(b) == "observations" {
+		return "observations"
+	}
+	return ""
+}
+
+// arenaGrow documents a deliberate amortized growth with an allow
+// directive — suppressed.
+//
+//loclint:hotpath
+func arenaGrow(obs [][]float64, n int) [][]float64 {
+	for len(obs) < n {
+		obs = append(obs, make([]float64, 0, 8)) //loclint:allow hotpathalloc
+	}
+	return obs
+}
+
+// coldPath is not annotated: anything goes.
+func coldPath(names []string) string {
+	return fmt.Sprintf("%v", append(names, string([]byte("x"))))
+}

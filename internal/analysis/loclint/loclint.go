@@ -1,0 +1,26 @@
+// Package loclint aggregates the project's serving-path invariant
+// analyzers into the suite cmd/loclint runs. Each analyzer encodes
+// one rule PRs 1–3 established informally; see DESIGN.md "Enforced
+// invariants" for the catalogue.
+package loclint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"indoorloc/internal/analysis/genbump"
+	"indoorloc/internal/analysis/hotpathalloc"
+	"indoorloc/internal/analysis/nofloateq"
+	"indoorloc/internal/analysis/snapshotonce"
+	"indoorloc/internal/analysis/walerr"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		snapshotonce.Analyzer,
+		genbump.Analyzer,
+		hotpathalloc.Analyzer,
+		walerr.Analyzer,
+		nofloateq.Analyzer,
+	}
+}

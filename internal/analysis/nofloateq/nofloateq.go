@@ -1,0 +1,80 @@
+// Package nofloateq forbids ==/!= on floating-point operands in the
+// numeric serving packages (internal/localize, internal/stats,
+// internal/rf by default). Exact float equality silently stops
+// holding after any rounding — a posterior normalized twice, a score
+// recomputed in a different association order — so those packages
+// compare through the epsilon helpers in internal/feq instead.
+// Comparisons where both operands are compile-time constants are
+// exempt; deliberate exact comparisons carry //loclint:allow.
+package nofloateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the nofloateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nofloateq",
+	Doc: "forbid ==/!= on floating-point operands in the numeric serving packages\n\n" +
+		"Exact float equality breaks under rounding; use internal/feq's epsilon\n" +
+		"helpers (feq.Eq, feq.Zero) instead.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packages = "localize,stats,rf"
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", packages,
+		"comma-separated package names the float-equality ban applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	applies := false
+	for _, p := range strings.Split(packages, ",") {
+		if strings.TrimSpace(p) == pass.Pkg.Name() {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil, nil
+	}
+	sup := directive.NewSuppressor(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if directive.InTestFile(pass.Fset, be.Pos()) {
+			return
+		}
+		xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return
+		}
+		if xt.Value != nil && yt.Value != nil {
+			return // constant fold: decided at compile time, rounding-free
+		}
+		sup.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon helper (feq.Eq/feq.Zero) or annotate the deliberate exact compare with //loclint:allow", be.Op)
+	})
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

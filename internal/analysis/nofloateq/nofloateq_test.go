@@ -1,0 +1,12 @@
+package nofloateq_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/nofloateq"
+)
+
+func TestNoFloatEq(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), nofloateq.Analyzer, "localize", "other")
+}

@@ -1,0 +1,56 @@
+// Package localize exercises the nofloateq analyzer; the package name
+// puts it in the analyzer's default scope.
+package localize
+
+const tol = 1e-9
+
+func abs(x float64) bool { return x < 0 }
+
+func eq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func normalize(ps []float64) {
+	sum := 0.0
+	for _, p := range ps {
+		sum += p
+	}
+	if sum == 0 { // want `floating-point == comparison`
+		return
+	}
+	for i := range ps {
+		ps[i] /= sum
+	}
+}
+
+func compare(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func compareF32(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// good: epsilon comparison, ordering operators are fine.
+func compareEps(a, b float64) bool {
+	return eq(a, b) || a < b
+}
+
+// good: integer equality is out of scope.
+func compareInt(a, b int) bool {
+	return a == b
+}
+
+// good: both operands constant — decided at compile time.
+func constFold() bool {
+	return 1.5 == 3.0/2.0
+}
+
+// good: a deliberate exact comparison carries an allow directive.
+func exactSentinel(x float64) bool {
+	return x == 0 //loclint:allow nofloateq
+}

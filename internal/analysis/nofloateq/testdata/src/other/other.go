@@ -1,0 +1,5 @@
+// Package other is outside the nofloateq scope: exact float equality
+// is not flagged here.
+package other
+
+func Same(a, b float64) bool { return a == b }

@@ -1,0 +1,163 @@
+// Package snapshotonce enforces the serving consistency model from
+// DESIGN.md: a function answers a request from ONE snapshot. It flags
+// any function that reads the snapshot registry (SnapshotRegistry.
+// Current or .Load, or a same-package accessor that just returns such
+// a read) more than once, or inside a loop — both shapes can observe
+// two different worlds and tear the ⟨estimate, name, room⟩ answer
+// across a hot swap.
+package snapshotonce
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the snapshotonce analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotonce",
+	Doc: "flag functions that read the snapshot registry more than once per request\n\n" +
+		"Handlers must load one core.SnapshotRegistry snapshot and answer entirely\n" +
+		"from it; a second Current/Load call mid-request can observe a hot swap and\n" +
+		"pair an estimate from one radio map with names from another.",
+	Run: run,
+}
+
+const registryTypeName = "SnapshotRegistry"
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+
+	// isDirectRead reports whether call reads the registry directly.
+	isDirectRead := func(call *ast.CallExpr) bool {
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		f, ok := fn.(*types.Func)
+		if !ok {
+			return false
+		}
+		if f.Name() != "Current" && f.Name() != "Load" {
+			return false
+		}
+		recv := f.Type().(*types.Signature).Recv()
+		return recv != nil && namedTypeName(recv.Type()) == registryTypeName
+	}
+
+	// Accessor wrappers: same-package functions whose body is exactly
+	// `return <registry read>` count as registry reads at their call
+	// sites (e.g. Server.current, and wrappers over wrappers). Found by
+	// fixpoint so chains resolve.
+	wrappers := make(map[*types.Func]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	isRead := func(call *ast.CallExpr) bool {
+		if isDirectRead(call) {
+			return true
+		}
+		f, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		return ok && wrappers[f]
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if wrappers[fn] || len(fd.Body.List) != 1 {
+				continue
+			}
+			ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok && isRead(call) {
+				wrappers[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		if wrappers[fn] || directive.InTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		var reads []*ast.CallExpr
+		loopDepth := 0
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				for _, child := range loopChildren(n) {
+					ast.Inspect(child, walk)
+				}
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				if isRead(n) {
+					reads = append(reads, n)
+					if loopDepth > 0 {
+						sup.Reportf(n.Pos(), "snapshot registry read inside a loop: load one snapshot before the loop and answer from it")
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(fd.Body, walk)
+		if len(reads) > 1 {
+			for _, call := range reads[1:] {
+				sup.Reportf(call.Pos(), "function %s reads the snapshot registry %d times; load one snapshot per request and pass it down", fd.Name.Name, len(reads))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// loopChildren returns the sub-nodes of a for/range statement.
+func loopChildren(n ast.Node) []ast.Node {
+	var out []ast.Node
+	add := func(c ast.Node) {
+		// Typed nils arrive as non-nil ast.Node interfaces; filter by
+		// the concrete check each caller does below.
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Init != nil {
+			add(n.Init)
+		}
+		if n.Cond != nil {
+			add(n.Cond)
+		}
+		if n.Post != nil {
+			add(n.Post)
+		}
+		add(n.Body)
+	case *ast.RangeStmt:
+		add(n.X)
+		add(n.Body)
+	}
+	return out
+}
+
+// namedTypeName returns the name of t's named type, looking through
+// pointers and aliases; "" when t has none.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package snapshotonce_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/snapshotonce"
+)
+
+func TestSnapshotOnce(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), snapshotonce.Analyzer, "a")
+}

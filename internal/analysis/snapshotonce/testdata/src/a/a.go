@@ -1,0 +1,78 @@
+// Package a exercises the snapshotonce analyzer: the registry type is
+// matched by name, so the fixture carries its own SnapshotRegistry.
+package a
+
+type Snapshot struct {
+	Generation uint64
+	Names      []string
+}
+
+type SnapshotRegistry struct{ cur *Snapshot }
+
+func (r *SnapshotRegistry) Current() *Snapshot { return r.cur }
+func (r *SnapshotRegistry) Load() *Snapshot    { return r.cur }
+
+type Server struct{ reg *SnapshotRegistry }
+
+// current is a single-return accessor: calls to it count as registry
+// reads, and the wrapper itself is not flagged.
+func (s *Server) current() *Snapshot { return s.reg.Current() }
+
+// SnapshotAccessor wraps the wrapper; still a read at call sites.
+func (s *Server) SnapshotAccessor() *Snapshot { return s.current() }
+
+// Good: one read, answer derived entirely from it.
+func (s *Server) handleGood() uint64 {
+	snap := s.current()
+	return snap.Generation + uint64(len(snap.Names))
+}
+
+// Bad: two direct reads can straddle a hot swap.
+func (s *Server) handleTorn() uint64 {
+	gen := s.reg.Current().Generation
+	names := s.reg.Current().Names // want `reads the snapshot registry 2 times`
+	return gen + uint64(len(names))
+}
+
+// Bad: mixing a wrapper read with a direct read is still two reads.
+func (s *Server) handleMixed() int {
+	snap := s.current()
+	other := s.reg.Load() // want `reads the snapshot registry 2 times`
+	return len(snap.Names) + len(other.Names)
+}
+
+// Bad: a wrapper-of-wrapper read plus a wrapper read.
+func (s *Server) handleDeep() int {
+	a := s.SnapshotAccessor()
+	b := s.current() // want `reads the snapshot registry 2 times`
+	return len(a.Names) + len(b.Names)
+}
+
+// Bad: any read inside a loop re-reads per iteration.
+func (s *Server) handleLoop(names []string) int {
+	n := 0
+	for range names {
+		n += len(s.current().Names) // want `snapshot registry read inside a loop`
+	}
+	return n
+}
+
+// Good: load once before the loop.
+func (s *Server) handleLoopGood(names []string) int {
+	snap := s.current()
+	n := 0
+	for range names {
+		n += len(snap.Names)
+	}
+	return n
+}
+
+// Good: unrelated Current methods on other types are not reads.
+type clock struct{}
+
+func (clock) Current() int { return 0 }
+
+func (s *Server) handleOtherCurrent() int {
+	var c clock
+	return c.Current() + c.Current()
+}

@@ -1,0 +1,64 @@
+// Package a exercises the walerr analyzer.
+package a
+
+import (
+	"bufio"
+	"errors"
+	"os"
+)
+
+type Report struct{ Name string }
+
+// WAL is matched by type name, mirroring ingest.WAL.
+type WAL struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func (w *WAL) Append(reports ...Report) error { return nil }
+func (w *WAL) Close() error                   { return nil }
+func (w *WAL) Path() string                   { return "" }
+
+func appendChecked(w *WAL, r Report) error {
+	if err := w.Append(r); err != nil { // good: handled
+		return err
+	}
+	return nil
+}
+
+func appendDiscarded(w *WAL, r Report) {
+	w.Append(r) // want `result of WAL.Append is discarded`
+}
+
+func closeDiscarded(w *WAL) {
+	w.Close() // want `result of WAL.Close is discarded`
+}
+
+func closeBlank(w *WAL) {
+	_ = w.Close() // good: explicitly discarded, greppable
+}
+
+func syncDiscarded(f *os.File) {
+	f.Sync() // want `result of \(\*os\.File\)\.Sync is discarded`
+}
+
+func flushDiscarded(bw *bufio.Writer) {
+	bw.Flush() // want `result of \(\*bufio\.Writer\)\.Flush is discarded`
+}
+
+func flushChecked(bw *bufio.Writer) error {
+	if err := bw.Flush(); err != nil {
+		return errors.New("flush failed")
+	}
+	return nil
+}
+
+// Path returns no error: a bare call is fine.
+func pathOnly(w *WAL) {
+	w.Path()
+}
+
+// Other types' Close calls are out of scope.
+func fileClose(f *os.File) {
+	f.Close()
+}

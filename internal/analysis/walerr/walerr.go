@@ -1,0 +1,82 @@
+// Package walerr enforces the WAL durability contract: the error
+// results of WAL.Append / WAL.Close, (*bufio.Writer).Flush and
+// (*os.File).Sync must not be silently discarded. Every report
+// acknowledged to a client is supposed to be durable; an ignored
+// flush/sync error breaks that promise invisibly. Discarding into
+// explicit blanks (`_ = w.Close()`) is allowed — it is greppable and
+// visibly deliberate; a bare call statement is not.
+package walerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the walerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc: "flag discarded error results of WAL append/flush/sync calls\n\n" +
+		"The ingest pipeline acknowledges reports only after they reach the log;\n" +
+		"dropping an Append/Flush/Sync/Close error silently breaks durability.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil)}, func(n ast.Node) {
+		stmt := n.(*ast.ExprStmt)
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || directive.InTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() == 0 || sig.Recv() == nil {
+			return
+		}
+		recvType, pkgPath := recvInfo(fn)
+		var what string
+		switch {
+		case recvType == "WAL" && (fn.Name() == "Append" || fn.Name() == "Close"):
+			what = "WAL." + fn.Name()
+		case recvType == "File" && pkgPath == "os" && fn.Name() == "Sync":
+			what = "(*os.File).Sync"
+		case recvType == "Writer" && pkgPath == "bufio" && fn.Name() == "Flush":
+			what = "(*bufio.Writer).Flush"
+		default:
+			return
+		}
+		sup.Reportf(call.Pos(), "result of %s is discarded; the durability contract depends on this error (assign it, or discard explicitly with _ =)", what)
+	})
+	return nil, nil
+}
+
+// recvInfo returns the receiver's named-type name and defining package
+// path.
+func recvInfo(fn *types.Func) (typeName, pkgPath string) {
+	recv := fn.Type().(*types.Signature).Recv()
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	if p := named.Obj().Pkg(); p != nil {
+		pkgPath = p.Path()
+	}
+	return named.Obj().Name(), pkgPath
+}

@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/walerr"
+)
+
+func TestWALErr(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), walerr.Analyzer, "a")
+}

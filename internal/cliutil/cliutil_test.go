@@ -78,3 +78,9 @@ func TestStringList(t *testing.T) {
 		t.Errorf("String = %q", l.String())
 	}
 }
+
+func TestParseScaleBadSecondPoint(t *testing.T) {
+	if _, _, _, err := ParseScale("1,2:x,4:5"); err == nil {
+		t.Error("accepted a malformed second point")
+	}
+}

@@ -1,0 +1,60 @@
+package compositor
+
+import (
+	"bytes"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveGIFAndPNG(t *testing.T) {
+	c := NewCanvas(32, 24)
+	c.FillRect(c.Img.Bounds(), White)
+	dir := t.TempDir()
+
+	gifPath := filepath.Join(dir, "out.gif")
+	if err := c.SaveGIF(gifPath); err != nil {
+		t.Fatalf("SaveGIF: %v", err)
+	}
+	pngPath := filepath.Join(dir, "out.png")
+	if err := c.SavePNG(pngPath); err != nil {
+		t.Fatalf("SavePNG: %v", err)
+	}
+	for _, p := range []string{gifPath, pngPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestSaveErrorsOnBadPath(t *testing.T) {
+	c := NewCanvas(8, 8)
+	bad := filepath.Join(t.TempDir(), "missing-dir", "out.gif")
+	if err := c.SaveGIF(bad); err == nil {
+		t.Error("SaveGIF into a missing directory should fail")
+	}
+	if err := c.SavePNG(bad); err == nil {
+		t.Error("SavePNG into a missing directory should fail")
+	}
+}
+
+func TestEncodePNGRoundTrip(t *testing.T) {
+	c := NewCanvas(16, 16)
+	c.FillRect(c.Img.Bounds(), White)
+	var buf bytes.Buffer
+	if err := c.EncodePNG(&buf); err != nil {
+		t.Fatalf("EncodePNG: %v", err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cfg.Width != 16 || cfg.Height != 16 {
+		t.Errorf("got %dx%d, want 16x16", cfg.Width, cfg.Height)
+	}
+}

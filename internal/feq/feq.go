@@ -1,0 +1,22 @@
+// Package feq holds the epsilon comparisons the nofloateq analyzer
+// (internal/analysis/nofloateq) requires on serving-path float math.
+// Exact ==/!= on floating point silently stops matching after any
+// rounding — a posterior normalized twice, a config value computed
+// instead of typed — so the serving packages compare through these
+// helpers instead.
+package feq
+
+import "math"
+
+// Tol is the default absolute tolerance. The quantities compared on
+// the serving path (RSSI dB levels, posterior masses, feet) are all
+// far above 1e-9, so anything within it is "the same value up to
+// float rounding".
+const Tol = 1e-9
+
+// Eq reports whether a and b are equal within Tol.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Tol }
+
+// Zero reports whether x is zero within Tol — the guard for "unset
+// config field" sentinels and degenerate sums about to be divided by.
+func Zero(x float64) bool { return math.Abs(x) <= Tol }

@@ -213,12 +213,10 @@ func NewManager(db *trainingdb.DB, rebuild Rebuilder, cfg Config) (*Manager, err
 	}
 	snap, err := m.buildSnapshot()
 	if err != nil {
-		wal.Close()
-		return nil, fmt.Errorf("ingest: initial snapshot: %w", err)
+		return nil, errors.Join(fmt.Errorf("ingest: initial snapshot: %w", err), wal.Close())
 	}
 	if m.reg, err = core.NewSnapshotRegistry(snap); err != nil {
-		wal.Close()
-		return nil, err
+		return nil, errors.Join(err, wal.Close())
 	}
 	go m.compact()
 	return m, nil

@@ -167,6 +167,8 @@ func replay(f *os.File) (reports []Report, goodOff int64, dropped int, err error
 // (and to stable storage when the WAL was opened with syncEach) before
 // returning. A batch is one lock acquisition and one flush; either all
 // of its records reach the log or the error aborts the acknowledgement.
+//
+//loclint:hotpath
 func (w *WAL) Append(reports ...Report) error {
 	if len(reports) == 0 {
 		return nil

@@ -92,6 +92,8 @@ func (r *batchRun) locateRange(lo, hi int) {
 // and nesting — a pooled observation job whose Locate shards its own
 // scan — cannot deadlock. Results preserve input order; out[i] is
 // valid when BatchInto returns.
+//
+//loclint:hotpath
 func BatchInto(loc Locator, observations []Observation, out []BatchResult) {
 	n := len(observations)
 	if n == 0 {

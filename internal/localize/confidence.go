@@ -3,6 +3,8 @@ package localize
 import (
 	"math"
 	"slices"
+
+	"indoorloc/internal/feq"
 )
 
 // ConfidenceRadius estimates how far the true position may plausibly
@@ -58,7 +60,7 @@ func ConfidenceRadius(est Estimate, fraction float64) float64 {
 		ms[i] = massAt{dist: est.Pos.Dist(c.Pos), w: w}
 		total += w
 	}
-	if total == 0 {
+	if feq.Zero(total) {
 		return 0
 	}
 	slices.SortFunc(ms, func(a, b massAt) int {

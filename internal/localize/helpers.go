@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"indoorloc/internal/feq"
 	"indoorloc/internal/geom"
 	"indoorloc/internal/stats"
 )
@@ -31,7 +32,7 @@ func normalizePosterior(cs []Candidate) {
 		cs[i].Score = math.Exp(cs[i].Score - max)
 		sum += cs[i].Score
 	}
-	if sum == 0 {
+	if feq.Zero(sum) {
 		return
 	}
 	for i := range cs {
@@ -54,7 +55,7 @@ func posteriorMean(cs []Candidate) geom.Point {
 		mean = mean.Add(c.Pos.Scale(w))
 		sum += w
 	}
-	if sum == 0 {
+	if feq.Zero(sum) {
 		return cs[0].Pos
 	}
 	return mean.Scale(1 / sum)

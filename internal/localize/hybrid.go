@@ -3,6 +3,8 @@ package localize
 import (
 	"errors"
 	"math"
+
+	"indoorloc/internal/feq"
 )
 
 // Hybrid blends the two families the paper evaluates separately: the
@@ -79,7 +81,7 @@ func topShare(cs []Candidate) float64 {
 	for _, c := range cs {
 		sum += expSafe(c.Score - max)
 	}
-	if sum == 0 {
+	if feq.Zero(sum) {
 		return 1
 	}
 	return 1 / sum // exp(max-max)=1 over the total

@@ -160,6 +160,8 @@ func (k *KNN) Locate(obs Observation) (Estimate, error) {
 // replaces its floor term with the observed one. Mean holds the floor
 // level for untrained cells, so one load covers both cases. Shard
 // ranges are disjoint, so concurrent calls never race.
+//
+//loclint:hotpath
 func (k *KNN) scoreRange(c *trainingdb.Compiled, cols []int32, vals []float64, candidates []Candidate, lo, hi int) {
 	nAP := len(c.BSSIDs)
 	for i := lo; i < hi; i++ {

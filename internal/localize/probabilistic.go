@@ -131,6 +131,8 @@ func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 // trained Gaussian (or add the observation-side floor term when the
 // entry never heard the AP) — absence is evidence too. Ranges are
 // disjoint across shards, so concurrent calls never race.
+//
+//loclint:hotpath
 func (m *MaxLikelihood) scoreRange(c *trainingdb.Compiled, cols []int32, vals, aux []float64, candidates []Candidate, lo, hi int) {
 	nAP := len(c.BSSIDs)
 	for i := lo; i < hi; i++ {
@@ -248,6 +250,8 @@ func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 // (trained) or the uniform smoothed mass of an empty histogram
 // (untrained). Shard ranges are disjoint, so concurrent calls never
 // race.
+//
+//loclint:hotpath
 func (h *Histogram) scoreRange(c *trainingdb.Compiled, t *histTables, cols []int32, binIdx []int32, candidates []Candidate, lo, hi int) {
 	nAP := len(c.BSSIDs)
 	bins := t.bins

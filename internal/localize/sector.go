@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"indoorloc/internal/feq"
 	"indoorloc/internal/trainingdb"
 )
 
@@ -147,7 +148,7 @@ func (s *Sector) Locate(obs Observation) (Estimate, error) {
 	var x, y float64
 	n := 0
 	for _, cand := range candidates {
-		if cand.Score != best {
+		if !feq.Eq(cand.Score, best) {
 			break
 		}
 		x += cand.Pos.X

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"indoorloc/internal/feq"
 	"indoorloc/internal/geom"
 	"indoorloc/internal/units"
 )
@@ -23,7 +24,7 @@ type Drift struct {
 
 // At returns the drift offset in dB for an AP at time tMillis.
 func (d Drift) At(bssid string, tMillis int64) float64 {
-	if d.Amp == 0 {
+	if feq.Zero(d.Amp) {
 		return 0
 	}
 	period := d.PeriodMillis

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"indoorloc/internal/feq"
 	"indoorloc/internal/geom"
 	"indoorloc/internal/units"
 )
@@ -77,19 +78,19 @@ func NewEnvironment(aps []AP, walls []geom.Segment, cfg Config) (*Environment, e
 	if cfg.Model == nil {
 		cfg.Model = DefaultLogDistance()
 	}
-	if cfg.ShadowSigma == 0 {
+	if feq.Zero(cfg.ShadowSigma) {
 		cfg.ShadowSigma = 3.5
 	}
-	if cfg.ShadowCell == 0 {
+	if feq.Zero(cfg.ShadowCell) {
 		cfg.ShadowCell = 8
 	}
-	if cfg.FastSigma == 0 {
+	if feq.Zero(cfg.FastSigma) {
 		cfg.FastSigma = 2.5
 	}
-	if cfg.Floor == 0 {
+	if feq.Zero(float64(cfg.Floor)) {
 		cfg.Floor = -94
 	}
-	if cfg.NoiseFloor == 0 {
+	if feq.Zero(float64(cfg.NoiseFloor)) {
 		cfg.NoiseFloor = -96
 	}
 	if cfg.Seed == 0 {

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"indoorloc/internal/feq"
 	"indoorloc/internal/geom"
 )
 
@@ -26,7 +27,7 @@ type ShadowField struct {
 // At returns the shadowing bias in dB for receiver position p under
 // the AP identified by key. A zero-sigma or zero-cell field is flat.
 func (s ShadowField) At(key string, p geom.Point) float64 {
-	if s.Sigma == 0 || s.CellSize <= 0 {
+	if feq.Zero(s.Sigma) || s.CellSize <= 0 {
 		return 0
 	}
 	gx := p.X / s.CellSize
@@ -47,7 +48,7 @@ func (s ShadowField) At(key string, p geom.Point) float64 {
 	w11 := fx * fy
 	blend := v00*w00 + v10*w10 + v01*w01 + v11*w11
 	norm := math.Sqrt(w00*w00 + w10*w10 + w01*w01 + w11*w11)
-	if norm == 0 {
+	if feq.Zero(norm) {
 		return 0
 	}
 	return s.Sigma * blend / norm

@@ -490,6 +490,8 @@ done:
 // decodeFast is the allocation-lean scanner for the canonical batch
 // shape. ok=false means "shape not recognised, retry with decodeSlow";
 // when ok=true, n and err are the final answer.
+//
+//loclint:hotpath
 func (a *batchArena) decodeFast(max int) (n int, err error, ok bool) {
 	b := a.body.Bytes()
 	i := skipSpace(b, 0)
@@ -517,7 +519,7 @@ func (a *batchArena) decodeFast(max int) (n int, err error, ok bool) {
 			return 0, nil, false
 		}
 		if n == len(a.obs) {
-			a.obs = append(a.obs, make(localize.Observation, 8))
+			a.obs = append(a.obs, make(localize.Observation, 8)) //loclint:allow hotpathalloc
 		}
 		m := a.obs[n]
 		clear(m)

@@ -223,12 +223,15 @@ func (db *DB) NearestEntry(p geom.Point) (*Entry, bool) {
 
 // Merge folds another database's entries into db. Colliding location
 // names are an error (re-training a location should replace it
-// explicitly, not silently blend).
+// explicitly, not silently blend). All collisions are checked before
+// anything is copied, so a failed merge leaves db untouched.
 func (db *DB) Merge(other *DB) error {
-	for name, e := range other.Entries {
+	for name := range other.Entries {
 		if _, dup := db.Entries[name]; dup {
 			return fmt.Errorf("trainingdb: merge collision on %q", name)
 		}
+	}
+	for name, e := range other.Entries {
 		db.Entries[name] = e
 	}
 	db.invalidateNames()

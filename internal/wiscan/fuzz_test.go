@@ -1,0 +1,43 @@
+package wiscan
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWiscanParse throws arbitrary bytes at the wi-scan reader. Two
+// properties must hold: Read never panics, and any file it accepts
+// survives a Write/Read round trip with identical records — the
+// canonical form Write emits must mean the same thing Read understood.
+func FuzzWiscanParse(f *testing.F) {
+	f.Add([]byte("# wi-scan v1\n# location: kitchen\n1118161600123\t00:02:2d:0a:0b:0c\thouse\t6\t-61\t-96\n1118161600123\t00:02:2d:0a:0b:0d\thouse\t11\t-74\t-95\n"))
+	f.Add([]byte("1118161600123 00:02:2d:0a:0b:0c house 6 -61 -96\r\n1118161601130 00:02:2d:0a:0b:0c house 6 -62\r\n"))
+	f.Add([]byte("# comment only\n\n"))
+	f.Add([]byte("not-a-timestamp\tbssid\tssid\t1\t-50\n"))
+	f.Add([]byte("123\t00:11:22:33:44:55\t\t6\t-1\t0\n"))
+	f.Add([]byte("9\taa\tan ssid with spaces\t-3\t-120\t-200\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Read(bytes.NewReader(data), "fuzz-location")
+		if err != nil {
+			return
+		}
+		if len(parsed.Records) == 0 {
+			t.Fatal("Read returned nil error but no records")
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed); err != nil {
+			t.Fatalf("Write of accepted file failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()), parsed.Location)
+		if err != nil {
+			t.Fatalf("re-Read of canonical form failed: %v\ncanonical:\n%s", err, out.Bytes())
+		}
+		if again.Location != parsed.Location {
+			t.Fatalf("location changed across round trip: %q -> %q", parsed.Location, again.Location)
+		}
+		if !reflect.DeepEqual(again.Records, parsed.Records) {
+			t.Fatalf("records changed across round trip:\nfirst:  %#v\nsecond: %#v", parsed.Records, again.Records)
+		}
+	})
+}
