@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ingest fuzz-smoke
+.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 fuzz-smoke
 
 check: build vet lint race ## full CI gate
 
@@ -25,9 +25,13 @@ race:
 fuzz-smoke: ## 10s smoke run of each fuzz target
 	$(GO) test -run '^$$' -fuzz FuzzWiscanParse -fuzztime 10s ./internal/wiscan/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/ingest/
+	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 10s ./internal/trainingdb/
 
 bench: ## hot-path localization benchmarks (see BENCH_hotpath.json)
 	$(GO) test -run '^$$' -bench 'BenchmarkProbabilisticLargeMap$$|BenchmarkProbabilisticLocalize$$|BenchmarkHistogramLocalize$$|BenchmarkKNNSweep/k=3$$|BenchmarkBatchLocalize/workers=4$$|BenchmarkServerLocate$$' -benchmem -benchtime=2s .
 
 bench-ingest: ## live-ingestion pipeline benchmarks (see BENCH_ingest.json)
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestReport|BenchmarkSnapshotSwap|BenchmarkServerLocateUnderIngest|BenchmarkServerLocateBatch|BenchmarkServerLocate$$' -benchmem -benchtime=500x .
+
+bench-mapv2: ## compiled-map v2 benchmarks: quantized vs float64, top-k vs full sort (see BENCH_mapv2.json)
+	$(GO) test -run '^$$' -bench 'BenchmarkMapV2' -benchmem -benchtime=20x -timeout 30m .

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
@@ -660,6 +661,115 @@ func BenchmarkServerLocateBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// campusFixture builds the 100k-entry, 64-AP synthetic campus once for
+// the map-v2 benchmarks: the float64 compiled view and its quantized
+// mirror (float64 matrices released), both from the same database.
+type campusFixture struct {
+	db    *trainingdb.DB
+	f64   *trainingdb.Compiled
+	quant *trainingdb.Compiled
+	obs   []localize.Observation
+}
+
+var (
+	campusOnce sync.Once
+	campus     campusFixture
+)
+
+// mapV2CampusEntries sizes the map-v2 fixture. The default is the
+// 100k-entry campus the DESIGN.md numbers quote; the bench-smoke CI
+// lane overrides it via -mapv2-entries to keep the lane fast.
+var mapV2CampusEntries = flag.Int("mapv2-entries", 100_000, "entries in the BenchmarkMapV2 campus fixture")
+
+func campusBench(b *testing.B) *campusFixture {
+	b.Helper()
+	campusOnce.Do(func() {
+		db := syntheticLargeDB(*mapV2CampusEntries, 64, 16, 30)
+		f64 := db.Compile(-95, 4)
+		quant := db.Compile(-95, 4)
+		quant.Quantize()
+		quant.ReleaseFloat64()
+		campus = campusFixture{
+			db:    db,
+			f64:   f64,
+			quant: quant,
+			obs:   syntheticObservations(db, 32, 31),
+		}
+	})
+	return &campus
+}
+
+// BenchmarkMapV2Campus100k is experiment A10: one maximum-likelihood
+// query over the campus map in the three serving configurations the
+// compiled-map-v2 work introduces. float64-fullsort is the v1
+// baseline; quantized-fullsort isolates the int16 matrices (¼ the
+// bytes scanned, so the memory-bound scan speeds up); quantized-topk8
+// adds bounded ranking (no 100k-candidate sort). matrix-MB reports the
+// resident matrix footprint each configuration scans.
+func BenchmarkMapV2Campus100k(b *testing.B) {
+	f := campusBench(b)
+	cases := []struct {
+		name string
+		view *trainingdb.Compiled
+		topk int
+	}{
+		{"float64-fullsort", f.f64, 0},
+		{"quantized-fullsort", f.quant, 0},
+		{"quantized-topk8", f.quant, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			ml := localize.NewMaxLikelihood(nil)
+			ml.Precompiled = c.view
+			ml.TopK = c.topk
+			ml.Sharding = &localize.ShardedScorer{Shards: 1} // isolate per-cell cost from fan-out
+			if _, err := ml.Locate(f.obs[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.Locate(f.obs[i%len(f.obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.view.MatrixBytes())/(1<<20), "matrix-MB")
+		})
+	}
+}
+
+// BenchmarkMapV2KNN runs the same three-way comparison for the kNN
+// scorer, whose scan is pure signal distance (no log-likelihood).
+func BenchmarkMapV2KNN(b *testing.B) {
+	f := campusBench(b)
+	cases := []struct {
+		name string
+		view *trainingdb.Compiled
+		topk int
+	}{
+		{"float64-fullsort", f.f64, 0},
+		{"quantized-topk8", f.quant, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			knn := localize.NewKNN(nil, 3)
+			knn.Precompiled = c.view
+			knn.TopK = c.topk
+			knn.Sharding = &localize.ShardedScorer{Shards: 1}
+			if _, err := knn.Locate(f.obs[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := knn.Locate(f.obs[i%len(f.obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // liveRebuilder is the ingest benchmarks' Rebuilder: the same

@@ -9,6 +9,8 @@
 //	locserved -db train.tdb -algo geometric -plan house.plan -listen 127.0.0.1:9000
 //	locserved -db big.tdb -shards 8 -shard-cutover 512 -batch-max 1024
 //	locserved -db train.tdb -train-wal reports.wal -train-flush-count 128
+//	locserved -map-file campus.ilr -quantize -topk 8
+//	locserved -db train.tdb -train-wal reports.wal -train-artifact live.ilr
 //
 // Endpoints: GET /healthz /algorithms /locations, POST /locate,
 // POST /locate/batch, POST/DELETE /track/{client}, and — with
@@ -18,7 +20,22 @@
 // CPUs on large maps (0 = one shard per CPU), -shard-cutover sets the
 // map size below which a scan stays single-threaded (0 = the package
 // default; small maps gain nothing from fan-out), and -batch-max caps
-// the observations accepted by one /locate/batch request.
+// the observations accepted by one /locate/batch request. -quantize
+// serves the int16-quantized radio map (about a quarter of the float64
+// matrix footprint, accuracy bounds documented in DESIGN.md), and
+// -topk N replaces the full candidate sort with a bounded heap
+// selection of the best N — both apply to the probabilistic and kNN
+// families.
+//
+// -map-file serves a compiled radio-map artifact (the v2 binary
+// `tdbtool compile` writes) instead of a training database: the file
+// is memory-mapped read-only, so startup does no compilation and
+// matrix pages fault in on demand. Artifact mode supports the
+// probabilistic, nnss/knn/wknn and sector algorithms and excludes
+// -train-wal (live training folds raw samples, which the artifact does
+// not carry). With -train-wal, -train-artifact PATH writes the freshly
+// compiled radio map to PATH after every hot swap, so a follow-up
+// -map-file deployment picks up where live training left off.
 //
 // The live-training knobs (all gated on -train-wal, which names the
 // durable report journal): -train-queue bounds the accepted-but-
@@ -62,7 +79,8 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("locserved", flag.ContinueOnError)
 	var (
-		dbPath   = fs.String("db", "", "training database (required)")
+		dbPath   = fs.String("db", "", "training database (required unless -map-file)")
+		mapFile  = fs.String("map-file", "", "compiled radio-map artifact (v2 binary) to serve, memory-mapped; replaces -db")
 		algo     = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
 		planPath = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
 		listen   = fs.String("listen", "127.0.0.1:8080", "listen address")
@@ -70,34 +88,41 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		cutover  = fs.Int("shard-cutover", 0,
 			fmt.Sprintf("min training entries before a scan shards (0 = %d)", localize.DefaultShardCutover))
 		batchMax = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
+		quantize = fs.Bool("quantize", false, "serve the int16-quantized radio map (~4× smaller matrices)")
+		topK     = fs.Int("topk", 0, "bound rankings to the best K candidates via heap selection (0 = full sort)")
 
-		trainWAL   = fs.String("train-wal", "", "report journal path; enables live training via POST /train/report")
-		trainQueue = fs.Int("train-queue", 0, "bounded ingest queue depth (0 = 1024)")
-		trainCount = fs.Int("train-flush-count", 0, "reports folded before a radio-map recompile (0 = 256)")
-		trainIvl   = fs.Duration("train-flush-interval", 0, "max time folded reports wait for a recompile (0 = 2s)")
-		trainSnap  = fs.Float64("train-snap-radius", 0, "feet within which coordinate reports fold into an existing entry (0 = 10)")
-		trainSync  = fs.Bool("train-sync", false, "fsync the report journal on every accepted batch")
+		trainWAL      = fs.String("train-wal", "", "report journal path; enables live training via POST /train/report")
+		trainQueue    = fs.Int("train-queue", 0, "bounded ingest queue depth (0 = 1024)")
+		trainCount    = fs.Int("train-flush-count", 0, "reports folded before a radio-map recompile (0 = 256)")
+		trainIvl      = fs.Duration("train-flush-interval", 0, "max time folded reports wait for a recompile (0 = 2s)")
+		trainSnap     = fs.Float64("train-snap-radius", 0, "feet within which coordinate reports fold into an existing entry (0 = 10)")
+		trainSync     = fs.Bool("train-sync", false, "fsync the report journal on every accepted batch")
+		trainArtifact = fs.String("train-artifact", "", "write the compiled radio map as a v2 artifact here after every swap")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dbPath == "" {
-		return errors.New("need -db FILE")
+	if (*dbPath == "") == (*mapFile == "") {
+		return errors.New("need exactly one of -db FILE or -map-file FILE")
 	}
 	if *batchMax <= 0 {
 		return errors.New("-batch-max must be positive")
 	}
-	if *trainWAL == "" && (*trainQueue != 0 || *trainCount != 0 || *trainIvl != 0 || *trainSnap != 0 || *trainSync) {
+	if *topK < 0 {
+		return errors.New("-topk must be non-negative")
+	}
+	if *trainWAL == "" && (*trainQueue != 0 || *trainCount != 0 || *trainIvl != 0 ||
+		*trainSnap != 0 || *trainSync || *trainArtifact != "") {
 		return errors.New("-train-* flags need -train-wal FILE")
 	}
 	if *trainQueue < 0 || *trainCount < 0 || *trainIvl < 0 || *trainSnap < 0 {
 		return errors.New("-train-* values must be non-negative")
 	}
-	db, err := trainingdb.LoadFile(*dbPath)
-	if err != nil {
-		return err
+	if *mapFile != "" && *trainWAL != "" {
+		return errors.New("-map-file serves a frozen artifact; live training needs -db")
 	}
-	cfg := core.BuildConfig{Shards: *shards, ShardCutover: *cutover}
+	cfg := core.BuildConfig{Shards: *shards, ShardCutover: *cutover,
+		Quantize: *quantize, TopK: *topK}
 	var planNames *locmap.Map
 	if *planPath != "" {
 		plan, err := floorplan.LoadFile(*planPath)
@@ -112,53 +137,74 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			return err
 		}
 	}
-	// rebuild turns a frozen database into a warmed serving state: the
-	// locator compiled from exactly that entry set, plus name
-	// resolution covering it (the plan's names when given, else the
-	// training locations themselves — including any entries live
-	// training founded).
-	rebuild := func(db *trainingdb.DB) (*core.Service, error) {
-		locator, err := core.BuildLocator(*algo, db, cfg)
-		if err != nil {
-			return nil, err
-		}
-		names := planNames
-		if names == nil {
-			names = locmap.New()
-			for _, name := range db.Names() {
-				if err := names.Add(name, db.Entries[name].Pos); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return &core.Service{DB: db, Locator: locator, Names: names}, nil
-	}
-
 	var srv *server.Server
 	var mgr *ingest.Manager
-	if *trainWAL != "" {
-		mgr, err = ingest.NewManager(db, rebuild, ingest.Config{
-			WALPath:         *trainWAL,
-			SyncEveryAppend: *trainSync,
-			QueueDepth:      *trainQueue,
-			FlushReports:    *trainCount,
-			FlushInterval:   *trainIvl,
-			SnapRadius:      *trainSnap,
-		})
+	if *mapFile != "" {
+		// Artifact mode: the v2 binary is memory-mapped and served
+		// directly — no raw database, no recompilation at startup.
+		svc, closeMap, err := core.ServiceFromCompiledFile(*mapFile, *algo, cfg)
 		if err != nil {
 			return err
 		}
-		defer mgr.Close()
-		if srv, err = server.NewLive(mgr, nil); err != nil {
-			return err
-		}
-	} else {
-		svc, err := rebuild(db)
-		if err != nil {
-			return err
+		defer closeMap()
+		if planNames != nil {
+			svc.Names = planNames
 		}
 		if srv, err = server.New(svc, nil); err != nil {
 			return err
+		}
+	} else {
+		db, err := trainingdb.LoadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		// rebuild turns a frozen database into a warmed serving state: the
+		// locator compiled from exactly that entry set, plus name
+		// resolution covering it (the plan's names when given, else the
+		// training locations themselves — including any entries live
+		// training founded).
+		rebuild := func(db *trainingdb.DB) (*core.Service, error) {
+			locator, err := core.BuildLocator(*algo, db, cfg)
+			if err != nil {
+				return nil, err
+			}
+			names := planNames
+			if names == nil {
+				names = locmap.New()
+				for _, name := range db.Names() {
+					if err := names.Add(name, db.Entries[name].Pos); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return &core.Service{DB: db, Locator: locator, Names: names}, nil
+		}
+
+		if *trainWAL != "" {
+			mgr, err = ingest.NewManager(db, rebuild, ingest.Config{
+				WALPath:         *trainWAL,
+				SyncEveryAppend: *trainSync,
+				QueueDepth:      *trainQueue,
+				FlushReports:    *trainCount,
+				FlushInterval:   *trainIvl,
+				SnapRadius:      *trainSnap,
+				ArtifactPath:    *trainArtifact,
+			})
+			if err != nil {
+				return err
+			}
+			defer mgr.Close()
+			if srv, err = server.NewLive(mgr, nil); err != nil {
+				return err
+			}
+		} else {
+			svc, err := rebuild(db)
+			if err != nil {
+				return err
+			}
+			if srv, err = server.New(svc, nil); err != nil {
+				return err
+			}
 		}
 	}
 	srv.MaxBatch = *batchMax
@@ -168,6 +214,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	snap := srv.Snapshot()
 	mode := "static map"
+	if *mapFile != "" {
+		mode = fmt.Sprintf("compiled artifact %s", *mapFile)
+	}
 	if mgr != nil {
 		st := mgr.Stats()
 		mode = fmt.Sprintf("live training via %s (%d replayed)", *trainWAL, st.Replayed)

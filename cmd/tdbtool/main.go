@@ -10,6 +10,14 @@
 //	tdbtool -db train.tdb -prune 5 -out pruned.tdb    # drop sparse APs
 //	tdbtool -db train.tdb -remove kitchen -out v2.tdb # drop a location
 //	tdbtool -db train.tdb -confusable 5               # closest fingerprint pairs
+//
+// Compiled radio-map artifacts (the v2 binary locserved -map-file
+// serves) have their own subcommands:
+//
+//	tdbtool compile -db train.tdb -out campus.ilr     # quantized artifact
+//	tdbtool compile -db train.tdb -out c.ilr -keep-float64
+//	tdbtool inspect campus.ilr                        # header + section table
+//	tdbtool verify campus.ilr                         # full CRC + payload check
 package main
 
 import (
@@ -30,6 +38,16 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "compile":
+			return runCompile(args[1:], out)
+		case "inspect":
+			return runInspect(args[1:], out)
+		case "verify":
+			return runVerify(args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("tdbtool", flag.ContinueOnError)
 	var (
 		dbPath     = fs.String("db", "", "training database (required)")
@@ -164,5 +182,110 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", dest)
 	}
+	return nil
+}
+
+// runCompile is `tdbtool compile`: training database in, v2 radio-map
+// artifact out. By default the artifact carries only the quantized
+// matrices (the serving shape, about a quarter of the float64
+// footprint); -keep-float64 includes both families and -quantize=false
+// writes float64 only.
+func runCompile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbtool compile", flag.ContinueOnError)
+	var (
+		dbPath     = fs.String("db", "", "training database to compile (required)")
+		outPath    = fs.String("out", "", "artifact to write (required)")
+		quantize   = fs.Bool("quantize", true, "include the int16-quantized matrices")
+		keepFloats = fs.Bool("keep-float64", false, "keep the float64 matrices alongside the quantized ones")
+		floor      = fs.Float64("floor", -95, "floor RSSI (dBm) substituted for unheard APs")
+		floorSigma = fs.Float64("floor-sigma", 4, "floor model standard deviation (dB)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *outPath == "" {
+		return fmt.Errorf("compile needs -db FILE and -out FILE")
+	}
+	if !*quantize && *keepFloats {
+		return fmt.Errorf("-keep-float64 only matters with -quantize")
+	}
+	db, err := trainingdb.LoadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	c := db.Compile(*floor, *floorSigma)
+	if *quantize {
+		c.Quantize()
+		if !*keepFloats {
+			c.ReleaseFloat64()
+		}
+	}
+	if err := trainingdb.WriteCompiledFile(*outPath, c); err != nil {
+		return err
+	}
+	st, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compiled %s → %s: %d locations × %d APs, %d matrix bytes, %d on disk (quantized=%v float64=%v)\n",
+		*dbPath, *outPath, c.NumEntries(), c.NumAPs(), c.MatrixBytes(), st.Size(),
+		c.Quant != nil, c.Mean != nil)
+	return nil
+}
+
+// runInspect is `tdbtool inspect FILE`: print an artifact's header and
+// section table without decoding (or CRC-checking) the payloads.
+func runInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbtool inspect", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect needs exactly one artifact FILE")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	info, err := trainingdb.ReadFileInfo(data)
+	if err != nil {
+		return err
+	}
+	order := "big-endian"
+	if info.LittleEndian {
+		order = "little-endian"
+	}
+	fmt.Fprintf(out, "%s (%s payloads, %d bytes)\n", info.Version, order, len(data))
+	fmt.Fprintf(out, "generation: %d\nlocations: %d\nAPs: %d\nfloor: %.1f dBm (σ %.1f)\n",
+		info.Generation, info.NumEntries, info.NumAPs, info.FloorRSSI, info.FloorSigma)
+	fmt.Fprintf(out, "matrices: quantized=%v float64=%v\n", info.Quantized, info.HasFloat64)
+	fmt.Fprintf(out, "sections (%d):\n", len(info.Sections))
+	for _, s := range info.Sections {
+		fmt.Fprintf(out, "  %-18s off=%-10d len=%-10d crc=%08x\n", s.Name, s.Offset, s.Length, s.CRC)
+	}
+	return nil
+}
+
+// runVerify is `tdbtool verify FILE`: a full decode with every section
+// CRC checked — the integrity pass OpenCompiledFile deliberately skips
+// to keep the mmap load lazy.
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbtool verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify needs exactly one artifact FILE")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := trainingdb.DecodeCompiled(data, trainingdb.DecodeOptions{VerifyCRC: true})
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", fs.Arg(0), err)
+	}
+	fmt.Fprintf(out, "%s OK: %d locations × %d APs, generation %d, quantized=%v float64=%v\n",
+		fs.Arg(0), c.NumEntries(), c.NumAPs(), c.Generation, c.Quant != nil, c.Mean != nil)
 	return nil
 }

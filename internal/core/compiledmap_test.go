@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"indoorloc/internal/localize"
+	"indoorloc/internal/trainingdb"
+)
+
+// writeArtifact compiles the fixture database into a quantized v2
+// artifact on disk.
+func writeArtifact(t *testing.T, f *fixture) string {
+	t.Helper()
+	c := f.db.Compile(-95, 4)
+	c.Quantize()
+	c.ReleaseFloat64()
+	path := filepath.Join(t.TempDir(), "map.ilr")
+	if err := trainingdb.WriteCompiledFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServiceFromCompiledFile checks the artifact-serving path against
+// the conventional DB-built service: same entries, and estimates that
+// agree to within the quantization tolerance.
+func TestServiceFromCompiledFile(t *testing.T) {
+	f := newFixture(t)
+	path := writeArtifact(t, f)
+	for _, algo := range []string{AlgoProbabilistic, AlgoNNSS, AlgoKNN, AlgoWKNN, AlgoSector} {
+		t.Run(algo, func(t *testing.T) {
+			svc, closeMap, err := ServiceFromCompiledFile(path, algo, BuildConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeMap()
+			if svc.DB.Len() != f.db.Len() || svc.Names.Len() != f.db.Len() {
+				t.Fatalf("skeleton has %d entries, names %d, want %d",
+					svc.DB.Len(), svc.Names.Len(), f.db.Len())
+			}
+			ref, err := BuildLocator(algo, f.db, BuildConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"grid-0-0", "grid-2-3", "grid-4-4"} {
+				pos := f.db.Entries[name].Pos
+				obs := localize.ObservationFromRecords(f.sc.Capture(pos, 8, 0))
+				got, err := svc.Locate(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.Locate(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Quantization can flip near-ties, so bound the positional
+				// disagreement instead of demanding identity: within one
+				// grid cell of the float64 answer.
+				if d := math.Hypot(got.Estimate.Pos.X-want.Pos.X, got.Estimate.Pos.Y-want.Pos.Y); d > 8 {
+					t.Errorf("%s at %s: artifact answered %v, db answered %v (%.1f ft apart)",
+						algo, name, got.Estimate.Pos, want.Pos, d)
+				}
+				if got.NearestName == "" {
+					t.Errorf("%s at %s: no resolved name", algo, name)
+				}
+			}
+		})
+	}
+}
+
+// TestArtifactLocateAllocParity is the acceptance bar for the mmap
+// path: serving from a memory-mapped quantized artifact must not add a
+// single hot-path allocation over the conventional in-memory locator.
+func TestArtifactLocateAllocParity(t *testing.T) {
+	f := newFixture(t)
+	path := writeArtifact(t, f)
+	svc, closeMap, err := ServiceFromCompiledFile(path, AlgoProbabilistic, BuildConfig{TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeMap()
+
+	ref, err := BuildLocator(AlgoProbabilistic, f.db, BuildConfig{Quantize: true, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := localize.ObservationFromRecords(f.sc.Capture(f.db.Entries["grid-2-2"].Pos, 8, 0))
+	locate := func(loc localize.Locator) float64 {
+		if _, err := loc.Locate(obs); err != nil { // warm pools and caches
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := loc.Locate(obs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	mmapAllocs := locate(svc.Locator)
+	refAllocs := locate(ref)
+	if mmapAllocs > refAllocs {
+		t.Errorf("mmap-served Locate allocates %v/op, in-memory %v/op — the artifact path added allocations",
+			mmapAllocs, refAllocs)
+	}
+}
+
+func TestBuildLocatorFromCompiledErrors(t *testing.T) {
+	f := newFixture(t)
+	c := f.db.Compile(-95, 4)
+	if _, err := BuildLocatorFromCompiled(AlgoProbabilistic, nil, BuildConfig{}); err == nil {
+		t.Error("nil view accepted")
+	}
+	for _, algo := range []string{AlgoHistogram, AlgoHybrid, AlgoGeometric, AlgoGeometricLS, "nope"} {
+		if _, err := BuildLocatorFromCompiled(algo, c, BuildConfig{}); err == nil {
+			t.Errorf("%s over a compiled view accepted", algo)
+		}
+	}
+}
+
+func TestBuildConfigQuantizeTopK(t *testing.T) {
+	f := newFixture(t)
+	loc, err := BuildLocator(AlgoProbabilistic, f.db, BuildConfig{Quantize: true, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := loc.(*localize.MaxLikelihood)
+	if !ml.Quantize || ml.TopK != 3 {
+		t.Fatalf("options lost: quantize=%v topk=%d", ml.Quantize, ml.TopK)
+	}
+	view := ml.CompiledView()
+	if view == nil || view.Quant == nil {
+		t.Fatal("warmed quantized locator has no quantized view")
+	}
+	obs := localize.ObservationFromRecords(f.sc.Capture(f.db.Entries["grid-1-1"].Pos, 8, 0))
+	est, err := loc.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Candidates) != 3 {
+		t.Errorf("TopK=3 returned %d candidates", len(est.Candidates))
+	}
+}

@@ -71,6 +71,17 @@ type BuildConfig struct {
 	// localize.DefaultShardCutover).
 	Shards       int
 	ShardCutover int
+	// Quantize compiles the radio map into the int16-quantized form
+	// (per-AP scale/offset, ~¼ the matrix footprint, within the bounds
+	// documented in localize's parity tests). Applies to the
+	// probabilistic and kNN families; other algorithms ignore it.
+	Quantize bool
+	// TopK bounds ranking to the best K candidates via a bounded-heap
+	// selection instead of a full sort. Zero keeps full ranking. Applies
+	// to the radio-map scanners (probabilistic, histogram, nnss/knn/wknn,
+	// sector, hybrid); the kNN family never returns fewer than its
+	// neighbour count.
+	TopK int
 }
 
 // BuildLocator constructs a registered algorithm over a training
@@ -100,29 +111,40 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 		ml := localize.NewMaxLikelihood(db)
 		ml.FloorRSSI = floor
 		ml.Sharding = sharding
+		ml.Quantize = cfg.Quantize
+		ml.TopK = cfg.TopK
 		loc = ml
 	case AlgoHistogram:
 		h := localize.NewHistogram(db)
 		h.FloorRSSI = floor
 		h.Sharding = sharding
+		h.TopK = cfg.TopK
 		loc = h
 	case AlgoSector:
-		loc = localize.NewSector(db)
+		s := localize.NewSector(db)
+		s.TopK = cfg.TopK
+		loc = s
 	case AlgoNNSS:
 		nn := localize.NewKNN(db, 1)
 		nn.FloorRSSI = floor
 		nn.Sharding = sharding
+		nn.Quantize = cfg.Quantize
+		nn.TopK = cfg.TopK
 		loc = nn
 	case AlgoKNN:
 		knn := localize.NewKNN(db, k)
 		knn.FloorRSSI = floor
 		knn.Sharding = sharding
+		knn.Quantize = cfg.Quantize
+		knn.TopK = cfg.TopK
 		loc = knn
 	case AlgoWKNN:
 		w := localize.NewKNN(db, k)
 		w.Weighted = true
 		w.FloorRSSI = floor
 		w.Sharding = sharding
+		w.Quantize = cfg.Quantize
+		w.TopK = cfg.TopK
 		loc = w
 	case AlgoGeometric, AlgoGeometricLS, AlgoHybrid:
 		if len(cfg.APPositions) == 0 {
@@ -140,6 +162,8 @@ func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Loc
 			ml := localize.NewMaxLikelihood(db)
 			ml.FloorRSSI = floor
 			ml.Sharding = sharding
+			ml.Quantize = cfg.Quantize
+			ml.TopK = cfg.TopK
 			h, err := localize.NewHybrid(ml, g)
 			if err != nil {
 				return nil, err

@@ -8,6 +8,7 @@ import (
 
 	"indoorloc/internal/core"
 	"indoorloc/internal/geom"
+	"indoorloc/internal/localize"
 	"indoorloc/internal/trainingdb"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// RetryAfter is the backoff advertised with ErrQueueFull. Zero
 	// means 1s.
 	RetryAfter time.Duration
+	// ArtifactPath, when set, makes every published snapshot also emit
+	// a compiled radio-map artifact (the mmap-able v2 binary) at this
+	// path, written atomically on the compactor goroutine — off the
+	// serving path. The locator must expose its compiled view
+	// (localize.CompiledSource); a rebuild whose locator does not is
+	// counted as an artifact error and the snapshot still serves.
+	ArtifactPath string
 }
 
 func (c *Config) fillDefaults() {
@@ -132,6 +140,12 @@ type Stats struct {
 	// SwapErrors counts rebuilds that failed; the previous snapshot
 	// keeps serving.
 	SwapErrors uint64 `json:"swap_errors"`
+	// Artifacts counts compiled radio-map artifacts written to
+	// Config.ArtifactPath (zero when no path is configured).
+	Artifacts uint64 `json:"artifacts"`
+	// ArtifactErrors counts artifact writes that failed; the snapshot
+	// serves regardless.
+	ArtifactErrors uint64 `json:"artifact_errors"`
 	// Replayed counts reports recovered from the WAL at startup.
 	Replayed int `json:"replayed"`
 	// LastSwap is when the current snapshot was published (zero before
@@ -165,14 +179,16 @@ type Manager struct {
 	stop chan struct{}
 	done chan struct{}
 
-	accepted     atomic.Uint64
-	rejectedFull atomic.Uint64
-	folded       atomic.Uint64
-	dropped      atomic.Uint64
-	swaps        atomic.Uint64
-	swapErrors   atomic.Uint64
-	replayed     int
-	lastSwap     atomic.Int64 // UnixNano; 0 = never
+	accepted       atomic.Uint64
+	rejectedFull   atomic.Uint64
+	folded         atomic.Uint64
+	dropped        atomic.Uint64
+	swaps          atomic.Uint64
+	swapErrors     atomic.Uint64
+	artifacts      atomic.Uint64
+	artifactErrors atomic.Uint64
+	replayed       int
+	lastSwap       atomic.Int64 // UnixNano; 0 = never
 }
 
 // NewManager opens (and replays) the WAL, folds every recovered report
@@ -218,6 +234,9 @@ func NewManager(db *trainingdb.DB, rebuild Rebuilder, cfg Config) (*Manager, err
 	if m.reg, err = core.NewSnapshotRegistry(snap); err != nil {
 		return nil, errors.Join(err, wal.Close())
 	}
+	// Emit the initial artifact too, so a configured path is valid from
+	// the first request, not only after the first live swap.
+	m.writeArtifact(snap)
 	go m.compact()
 	return m, nil
 }
@@ -377,19 +396,46 @@ func (m *Manager) swap() {
 	m.reg.Publish(snap)
 	m.swaps.Add(1)
 	m.lastSwap.Store(snap.BuiltAt.UnixNano())
+	m.writeArtifact(snap)
+}
+
+// writeArtifact emits the snapshot's compiled radio map as a v2 binary
+// artifact, after Publish so serving never waits on the disk. Runs on
+// the compactor goroutine only.
+func (m *Manager) writeArtifact(snap *core.Snapshot) {
+	if m.cfg.ArtifactPath == "" {
+		return
+	}
+	src, ok := snap.Service.Locator.(localize.CompiledSource)
+	if !ok {
+		m.artifactErrors.Add(1)
+		return
+	}
+	c := src.CompiledView()
+	if c == nil {
+		m.artifactErrors.Add(1)
+		return
+	}
+	if err := trainingdb.WriteCompiledFile(m.cfg.ArtifactPath, c); err != nil {
+		m.artifactErrors.Add(1)
+		return
+	}
+	m.artifacts.Add(1)
 }
 
 // Stats returns the current telemetry counters.
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		Accepted:     m.accepted.Load(),
-		RejectedFull: m.rejectedFull.Load(),
-		Folded:       m.folded.Load(),
-		Dropped:      m.dropped.Load(),
-		Queued:       len(m.queue),
-		Swaps:        m.swaps.Load(),
-		SwapErrors:   m.swapErrors.Load(),
-		Replayed:     m.replayed,
+		Accepted:       m.accepted.Load(),
+		RejectedFull:   m.rejectedFull.Load(),
+		Folded:         m.folded.Load(),
+		Dropped:        m.dropped.Load(),
+		Queued:         len(m.queue),
+		Swaps:          m.swaps.Load(),
+		SwapErrors:     m.swapErrors.Load(),
+		Artifacts:      m.artifacts.Load(),
+		ArtifactErrors: m.artifactErrors.Load(),
+		Replayed:       m.replayed,
 	}
 	if ns := m.lastSwap.Load(); ns != 0 {
 		s.LastSwap = time.Unix(0, ns)

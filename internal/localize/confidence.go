@@ -7,6 +7,16 @@ import (
 	"indoorloc/internal/feq"
 )
 
+// massAt pairs a candidate's distance from the estimate with its
+// posterior weight. Distance and weight share one struct so the
+// accumulation sorts a single slice, drawn from the scratch pool — the
+// serving hot path calls ConfidenceRadius once per query and used to
+// pay a fresh allocation here every time.
+type massAt struct {
+	dist float64
+	w    float64
+}
+
 // ConfidenceRadius estimates how far the true position may plausibly
 // be from the returned coordinates: the smallest radius around
 // est.Pos containing at least fraction of the posterior mass over the
@@ -41,14 +51,13 @@ func ConfidenceRadius(est Estimate, fraction float64) float64 {
 	}
 	normalised = normalised && math.Abs(sum-1) < 1e-6
 	// Accumulate mass outward from est.Pos. Weights stay unnormalised
-	// (the threshold scales by their total instead), and distance and
-	// weight share one slice, so the serving hot path pays a single
-	// allocation here.
-	type massAt struct {
-		dist float64
-		w    float64
+	// (the threshold scales by their total instead).
+	sc := getScratch()
+	defer putScratch(sc)
+	if cap(sc.mass) < len(est.Candidates) {
+		sc.mass = make([]massAt, len(est.Candidates))
 	}
-	ms := make([]massAt, len(est.Candidates))
+	ms := sc.mass[:len(est.Candidates)]
 	total := 0.0
 	for i, c := range est.Candidates {
 		w := c.Score

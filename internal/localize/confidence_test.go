@@ -1,6 +1,7 @@
 package localize
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -71,6 +72,78 @@ func TestConfidenceRadiusNormalisedScores(t *testing.T) {
 	if got := ConfidenceRadius(est, 0.99); got != 50 {
 		t.Errorf("99%% radius = %v, want 50", got)
 	}
+}
+
+// TestConfidenceRadiusZeroAllocs pins the scratch-pool fix: the massAt
+// accumulation must not allocate per call once the pool is warm.
+func TestConfidenceRadiusZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cands := make([]Candidate, 200)
+	for i := range cands {
+		cands[i] = Candidate{
+			Pos:   geom.Pt(rng.Float64()*100, rng.Float64()*80),
+			Score: -rng.Float64() * 50,
+		}
+	}
+	est := Estimate{Pos: cands[0].Pos, Candidates: cands}
+	ConfidenceRadius(est, 0.9) // warm the pool
+	if n := testing.AllocsPerRun(100, func() {
+		ConfidenceRadius(est, 0.9)
+	}); n != 0 {
+		t.Errorf("ConfidenceRadius allocates %v per call", n)
+	}
+}
+
+// BenchmarkConfidenceRadius prices the per-query confidence pass at
+// serving candidate-list sizes; allocs/op must stay 0.
+func BenchmarkConfidenceRadius(b *testing.B) {
+	for _, n := range []int{8, 100, 1000} {
+		b.Run(fmt.Sprintf("candidates=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(18))
+			cands := make([]Candidate, n)
+			for i := range cands {
+				cands[i] = Candidate{
+					Pos:   geom.Pt(rng.Float64()*100, rng.Float64()*80),
+					Score: -rng.Float64() * 50,
+				}
+			}
+			est := Estimate{Pos: cands[0].Pos, Candidates: cands}
+			ConfidenceRadius(est, 0.9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ConfidenceRadius(est, 0.9)
+			}
+		})
+	}
+}
+
+// BenchmarkObservationBSSIDs compares the allocating convenience form
+// with the scratch-reusing AppendBSSIDs the serving path uses.
+func BenchmarkObservationBSSIDs(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	obs := make(Observation, 32)
+	for i := 0; i < 32; i++ {
+		obs[fmt.Sprintf("aa:bb:cc:dd:%02x:%02x", i, i)] = -40 - rng.Float64()*50
+	}
+	b.Run("BSSIDs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := obs.BSSIDs(); len(got) != 32 {
+				b.Fatal("wrong length")
+			}
+		}
+	})
+	b.Run("AppendBSSIDs", func(b *testing.B) {
+		buf := make([]string, 0, 32)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = obs.AppendBSSIDs(buf[:0])
+			if len(buf) != 32 {
+				b.Fatal("wrong length")
+			}
+		}
+	})
 }
 
 func TestConfidenceRadiusMonotoneInFraction(t *testing.T) {

@@ -65,16 +65,30 @@ func posteriorMean(cs []Candidate) geom.Point {
 // columns and values plus per-column precomputed terms — pooled so the
 // hot path allocates nothing beyond the returned candidate slice.
 type scratch struct {
-	cols []int32
-	vals []float64
-	aux  []float64
-	bins []int32
+	cols  []int32
+	vals  []float64
+	aux   []float64
+	bins  []int32
+	cands []Candidate
+	mass  []massAt
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
 func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// candidates returns a length-n candidate buffer backed by the
+// scratch, grown as needed. Only the bounded top-k paths score into it
+// (they copy the k winners out before the scratch is pooled); the
+// full-ranking paths hand their whole slice to the caller and must
+// allocate it fresh.
+func (s *scratch) candidates(n int) []Candidate {
+	if cap(s.cands) < n {
+		s.cands = make([]Candidate, n)
+	}
+	return s.cands[:n]
+}
 
 // histTables is the Histogram localizer's compiled scoring state: per
 // ⟨entry, AP⟩ log bin probabilities in one flat cell-major slice

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"indoorloc/internal/feq"
+	"indoorloc/internal/trainingdb"
 )
 
 // Hybrid blends the two families the paper evaluates separately: the
@@ -40,6 +41,9 @@ func (h *Hybrid) Name() string { return "hybrid" }
 // Warm implements Warmer: it compiles the probabilistic side's radio
 // map eagerly (the geometric side has no lazy caches).
 func (h *Hybrid) Warm() error { return h.Prob.Warm() }
+
+// CompiledView implements CompiledSource via the probabilistic side.
+func (h *Hybrid) CompiledView() *trainingdb.Compiled { return h.Prob.CompiledView() }
 
 // Locate implements Locator. Symbolic fields come from the
 // probabilistic side; when the geometric side fails (too few APs) the

@@ -30,6 +30,17 @@ type KNN struct {
 	FloorRSSI float64
 	// Sharding tunes the large-map scan fan-out, as in MaxLikelihood.
 	Sharding *ShardedScorer
+	// TopK bounds the ranked candidate list, as in MaxLikelihood. The
+	// effective bound never drops below K — the centroid always sees
+	// its neighbours.
+	TopK int
+	// Quantize compiles the radio map to int16 matrices (format v2), as
+	// in MaxLikelihood.
+	Quantize bool
+	// Precompiled, when set, is served directly instead of compiling
+	// DB, as in MaxLikelihood. SignalDistance still walks DB and is
+	// unavailable without one.
+	Precompiled *trainingdb.Compiled
 
 	compileOnce sync.Once
 	compiled    *trainingdb.Compiled
@@ -58,17 +69,34 @@ func (k *KNN) kVal() int {
 	return k.K
 }
 
-// Warm implements Warmer: it compiles the radio map eagerly.
+// Warm implements Warmer: it compiles the radio map eagerly (or adopts
+// Precompiled), quantizing it when Quantize is set.
 func (k *KNN) Warm() error {
-	if k.DB == nil || k.DB.Len() == 0 {
+	if k.Precompiled == nil && (k.DB == nil || k.DB.Len() == 0) {
 		return errors.New("localize: KNN has no training database")
 	}
 	k.compileOnce.Do(func() {
-		// The spread parameter is irrelevant to signal distances; only
-		// the floor level matters here.
-		k.compiled = k.DB.Compile(k.FloorRSSI, 4)
+		if k.Precompiled != nil {
+			k.compiled = k.Precompiled
+		} else {
+			// The spread parameter is irrelevant to signal distances; only
+			// the floor level matters here.
+			k.compiled = k.DB.Compile(k.FloorRSSI, 4)
+		}
+		if k.Quantize {
+			k.compiled.Quantize()
+			k.compiled.ReleaseFloat64()
+		}
 	})
 	return nil
+}
+
+// CompiledView implements CompiledSource.
+func (k *KNN) CompiledView() *trainingdb.Compiled {
+	if err := k.Warm(); err != nil {
+		return nil
+	}
+	return k.compiled
 }
 
 // SignalDistance returns the Euclidean distance in dB between an
@@ -113,15 +141,38 @@ func (k *KNN) Locate(obs Observation) (Estimate, error) {
 		return Estimate{}, ErrNoOverlap
 	}
 	n := len(c.Names)
-	candidates := make([]Candidate, n)
+	topk := k.TopK
+	if topk > 0 && topk < k.kVal() {
+		topk = k.kVal() // the centroid needs at least K neighbours
+	}
+	var candidates []Candidate
+	if topk > 0 && topk < n {
+		candidates = sc.candidates(n)
+	} else {
+		topk = 0
+		candidates = make([]Candidate, n)
+	}
+	quant := c.Quant != nil
 	if k.Sharding.Parallel(n) {
 		k.Sharding.Scan(n, func(lo, hi int) {
-			k.scoreRange(c, cols, vals, candidates, lo, hi)
+			if quant {
+				k.scoreRangeQuant(c, cols, vals, candidates, lo, hi)
+			} else {
+				k.scoreRange(c, cols, vals, candidates, lo, hi)
+			}
 		})
+	} else if quant {
+		k.scoreRangeQuant(c, cols, vals, candidates, 0, n)
 	} else {
 		k.scoreRange(c, cols, vals, candidates, 0, n)
 	}
-	rankCandidates(candidates)
+	if topk > 0 {
+		out := make([]Candidate, topk)
+		copy(out, TopK(candidates, topk))
+		candidates = out
+	} else {
+		rankCandidates(candidates)
+	}
 	kk := k.kVal()
 	if kk > len(candidates) {
 		kk = len(candidates)
@@ -169,6 +220,33 @@ func (k *KNN) scoreRange(c *trainingdb.Compiled, cols []int32, vals []float64, c
 		base := i * nAP
 		for h, j := range cols {
 			t := c.Mean[base+int(j)]
+			dv := vals[h] - t
+			df := c.FloorRSSI - t
+			sum += dv*dv - df*df
+		}
+		if sum < 0 {
+			sum = 0 // guard the sqrt against rounding on near-exact matches
+		}
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: -math.Sqrt(sum)}
+	}
+}
+
+// scoreRangeQuant is scoreRange over the int16-quantized Mean matrix:
+// same baseline+correction algebra with each visited mean dequantized
+// through its column's affine factors, and the baseline taken from the
+// quantized mirror so the subtraction stays exact. Accumulators are
+// float64 throughout.
+//
+//loclint:hotpath
+func (k *KNN) scoreRangeQuant(c *trainingdb.Compiled, cols []int32, vals []float64, candidates []Candidate, lo, hi int) {
+	q := c.Quant
+	nAP := len(c.BSSIDs)
+	for i := lo; i < hi; i++ {
+		sum := q.SignalBase[i]
+		base := i * nAP
+		for h, j := range cols {
+			jj := int(j)
+			t := q.MeanOff[jj] + q.MeanScale[jj]*float64(q.MeanQ[base+jj])
 			dv := vals[h] - t
 			df := c.FloorRSSI - t
 			sum += dv*dv - df*df

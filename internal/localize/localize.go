@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"indoorloc/internal/geom"
+	"indoorloc/internal/trainingdb"
 	"indoorloc/internal/wiscan"
 )
 
@@ -50,14 +51,22 @@ func ObservationFromRecords(recs []wiscan.Record) Observation {
 	return obs
 }
 
-// BSSIDs returns the observation's BSSIDs, sorted.
+// BSSIDs returns the observation's BSSIDs, sorted. It allocates the
+// result; loops should use AppendBSSIDs with a reused buffer.
 func (o Observation) BSSIDs() []string {
-	out := make([]string, 0, len(o))
+	return o.AppendBSSIDs(make([]string, 0, len(o)))
+}
+
+// AppendBSSIDs appends the observation's BSSIDs to dst, sorted, and
+// returns the extended slice — the allocation-free form of BSSIDs for
+// callers that hold a reusable buffer (pass dst[:0] to reuse).
+func (o Observation) AppendBSSIDs(dst []string) []string {
+	start := len(dst)
 	for b := range o {
-		out = append(out, b)
+		dst = append(dst, b)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(dst[start:])
+	return dst
 }
 
 // Candidate is one ranked hypothesis.
@@ -105,6 +114,15 @@ type Locator interface {
 // after the first Warm or Locate call.
 type Warmer interface {
 	Warm() error
+}
+
+// CompiledSource is implemented by locators whose scoring runs against
+// a compiled radio map. CompiledView warms the locator and returns the
+// view it scores against — the artifact writers (ingest compactor,
+// tdbtool) serialize exactly what serving reads, and nil when warming
+// fails.
+type CompiledSource interface {
+	CompiledView() *trainingdb.Compiled
 }
 
 // Errors shared by the localizers.

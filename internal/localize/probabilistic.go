@@ -48,6 +48,20 @@ type MaxLikelihood struct {
 	// worker pool on large maps; nil uses the package defaults (one
 	// shard per CPU, DefaultShardCutover entries).
 	Sharding *ShardedScorer
+	// TopK bounds the ranked candidate list to the best k entries via
+	// bounded selection instead of a full sort; zero returns the full
+	// ranking. With TopK set, ExpectedPosition averages over the
+	// retained candidates only — on radio maps large enough for TopK to
+	// matter the posterior mass beyond the leaders is negligible.
+	TopK int
+	// Quantize compiles the radio map to int16 matrices (format v2) and
+	// drops the float64 originals, quartering the scan's memory traffic
+	// at ≤ 10⁻³ dB dequantization error. See trainingdb.Quant.
+	Quantize bool
+	// Precompiled, when set, is served directly instead of compiling
+	// DB — the mmap-loaded artifact path. DB may then be nil. The view's
+	// own floor parameters govern scoring.
+	Precompiled *trainingdb.Compiled
 
 	compileOnce sync.Once
 	compiled    *trainingdb.Compiled
@@ -62,15 +76,32 @@ func NewMaxLikelihood(db *trainingdb.DB) *MaxLikelihood {
 // Name implements Locator.
 func (m *MaxLikelihood) Name() string { return "probabilistic-ml" }
 
-// Warm implements Warmer: it compiles the radio map eagerly.
+// Warm implements Warmer: it compiles the radio map eagerly (or adopts
+// Precompiled), quantizing it when Quantize is set.
 func (m *MaxLikelihood) Warm() error {
-	if m.DB == nil || m.DB.Len() == 0 {
+	if m.Precompiled == nil && (m.DB == nil || m.DB.Len() == 0) {
 		return errors.New("localize: MaxLikelihood has no training database")
 	}
 	m.compileOnce.Do(func() {
-		m.compiled = m.DB.Compile(m.FloorRSSI, m.FloorSigma)
+		if m.Precompiled != nil {
+			m.compiled = m.Precompiled
+		} else {
+			m.compiled = m.DB.Compile(m.FloorRSSI, m.FloorSigma)
+		}
+		if m.Quantize {
+			m.compiled.Quantize()
+			m.compiled.ReleaseFloat64()
+		}
 	})
 	return nil
+}
+
+// CompiledView implements CompiledSource.
+func (m *MaxLikelihood) CompiledView() *trainingdb.Compiled {
+	if err := m.Warm(); err != nil {
+		return nil
+	}
+	return m.compiled
 }
 
 // Locate implements Locator.
@@ -102,17 +133,40 @@ func (m *MaxLikelihood) Locate(obs Observation) (Estimate, error) {
 	sc.aux = aux
 	// Score over the union of APs, as the map-based loop did. Large
 	// maps shard the scan over the worker pool; below the cutover the
-	// direct call keeps the single-query path allocation-lean.
+	// direct call keeps the single-query path allocation-lean. With
+	// TopK set, scoring fills a pooled buffer and only the k winners
+	// are copied out; otherwise the full slice goes to the caller and
+	// must be fresh.
 	n := len(c.Names)
-	candidates := make([]Candidate, n)
+	topk := m.TopK
+	var candidates []Candidate
+	if topk > 0 && topk < n {
+		candidates = sc.candidates(n)
+	} else {
+		topk = 0
+		candidates = make([]Candidate, n)
+	}
+	quant := c.Quant != nil
 	if m.Sharding.Parallel(n) {
 		m.Sharding.Scan(n, func(lo, hi int) {
-			m.scoreRange(c, cols, vals, aux, candidates, lo, hi)
+			if quant {
+				m.scoreRangeQuant(c, cols, vals, aux, candidates, lo, hi)
+			} else {
+				m.scoreRange(c, cols, vals, aux, candidates, lo, hi)
+			}
 		})
+	} else if quant {
+		m.scoreRangeQuant(c, cols, vals, aux, candidates, 0, n)
 	} else {
 		m.scoreRange(c, cols, vals, aux, candidates, 0, n)
 	}
-	rankCandidates(candidates)
+	if topk > 0 {
+		out := make([]Candidate, topk)
+		copy(out, TopK(candidates, topk))
+		candidates = out
+	} else {
+		rankCandidates(candidates)
+	}
 	best := candidates[0]
 	est := Estimate{
 		Pos:        best.Pos,
@@ -151,6 +205,38 @@ func (m *MaxLikelihood) scoreRange(c *trainingdb.Compiled, cols []int32, vals, a
 	}
 }
 
+// scoreRangeQuant is scoreRange over the int16-quantized matrices:
+// identical algebra, with each visited cell dequantized on the fly
+// through its column's affine factors and the baselines taken from the
+// quantized mirror (they were recomputed from dequantized cells, so
+// the baseline+correction subtraction stays exact). Accumulation is
+// float64 throughout; only the per-cell loads shrink.
+//
+//loclint:hotpath
+func (m *MaxLikelihood) scoreRangeQuant(c *trainingdb.Compiled, cols []int32, vals, aux []float64, candidates []Candidate, lo, hi int) {
+	q := c.Quant
+	nAP := len(c.BSSIDs)
+	for i := lo; i < hi; i++ {
+		ll := q.UnheardLL[i]
+		base := i * nAP
+		for h, j := range cols {
+			cell := base + int(j)
+			if c.Trained[cell] {
+				jj := int(j)
+				mean := q.MeanOff[jj] + q.MeanScale[jj]*float64(q.MeanQ[cell])
+				sigma := q.SigmaOff[jj] + q.SigmaScale[jj]*float64(q.SigmaQ[cell])
+				d := (vals[h] - mean) / sigma
+				ll += -d*d/2 +
+					q.LogNormOff[jj] + q.LogNormScale[jj]*float64(q.LogNormQ[cell]) -
+					(q.FloorLLOff[jj] + q.FloorLLScale[jj]*float64(q.FloorLLQ[cell]))
+			} else {
+				ll += aux[h]
+			}
+		}
+		candidates[i] = Candidate{Name: c.Names[i], Pos: c.Pos[i], Score: ll}
+	}
+}
+
 // Histogram is the Bayesian histogram-matching localizer the paper
 // sketches as future work ("our new algorithm will consider the
 // distribution of these values"): instead of collapsing each
@@ -174,6 +260,11 @@ type Histogram struct {
 	FloorRSSI float64
 	// Sharding tunes the large-map scan fan-out, as in MaxLikelihood.
 	Sharding *ShardedScorer
+	// TopK bounds the ranked candidate list, as in MaxLikelihood. The
+	// posterior is renormalized over the retained candidates, so the
+	// scores still sum to 1 — a documented approximation that slightly
+	// inflates each retained probability by the dropped tail's mass.
+	TopK int
 
 	warmOnce sync.Once
 	warmErr  error
@@ -200,6 +291,16 @@ func (h *Histogram) Warm() error {
 	return h.warmErr
 }
 
+// CompiledView implements CompiledSource. Note the histogram's scoring
+// tables are built from raw samples the view does not carry, so a
+// Histogram cannot be rebuilt from a serialized view alone.
+func (h *Histogram) CompiledView() *trainingdb.Compiled {
+	if err := h.Warm(); err != nil {
+		return nil
+	}
+	return h.compiled
+}
+
 // Locate implements Locator.
 func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 	if err := validateObservation(obs); err != nil {
@@ -224,7 +325,14 @@ func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 	}
 	sc.bins = binIdx
 	n := len(c.Names)
-	candidates := make([]Candidate, n)
+	topk := h.TopK
+	var candidates []Candidate
+	if topk > 0 && topk < n {
+		candidates = sc.candidates(n)
+	} else {
+		topk = 0
+		candidates = make([]Candidate, n)
+	}
 	if h.Sharding.Parallel(n) {
 		h.Sharding.Scan(n, func(lo, hi int) {
 			h.scoreRange(c, t, cols, binIdx, candidates, lo, hi)
@@ -232,9 +340,16 @@ func (h *Histogram) Locate(obs Observation) (Estimate, error) {
 	} else {
 		h.scoreRange(c, t, cols, binIdx, candidates, 0, n)
 	}
-	rankCandidates(candidates)
+	if topk > 0 {
+		out := make([]Candidate, topk)
+		copy(out, TopK(candidates, topk))
+		candidates = out
+	} else {
+		rankCandidates(candidates)
+	}
 	// Normalise scores into a posterior for the candidates (softmax of
-	// log-likelihoods with uniform prior).
+	// log-likelihoods with uniform prior; under TopK the posterior is
+	// over the retained candidates — see the field comment).
 	normalizePosterior(candidates)
 	best := candidates[0]
 	return Estimate{

@@ -1,0 +1,216 @@
+package localize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indoorloc/internal/sim"
+	"indoorloc/internal/trainingdb"
+)
+
+// Quantization accuracy parity (format v2). The int16 codes reproduce
+// each matrix cell within half a code step of its AP column's value
+// range — ≤ (max−min)/131068, about 7·10⁻⁴ dB for a 90 dB RSSI column
+// (see trainingdb.QuantLevels). Propagated through the scoring
+// algebra, the worst-case per-candidate score deltas are:
+//
+//   - MaxLikelihood: each heard column perturbs the log-likelihood
+//     through mean, σ, log-norm and floor terms; on the RSSI and σ
+//     ranges the suite generates, the observed delta stays within
+//     relTol = 2·10⁻³ of the score's magnitude (entries far from the
+//     observation carry |score| in the hundreds, so a relative bound
+//     is the honest one — their absolute delta can reach ~0.5 while
+//     the leaders' sit below 10⁻³).
+//   - KNN: the signal distance moves by at most
+//     Σ_heard 2·|dv−df|·ε / (2·√sum) — bounded here by absTol = 0.05 dB.
+//
+// A near-tie between the float64 top-1 and runner-up can flip under
+// those deltas; parity therefore demands an identical winner unless
+// the float64 gap itself is inside the tolerance.
+const (
+	quantRelTol = 2e-3
+	quantAbsTol = 0.05
+)
+
+func relClose(a, ref, relTol float64) bool {
+	return math.Abs(a-ref) <= relTol*math.Max(1, math.Abs(ref))
+}
+
+// compareQuantParity checks one estimate pair: bounded per-candidate
+// score deltas (matched by name — near-ties may reorder) and an
+// identical winner unless the reference ranking was itself a near-tie.
+func compareQuantParity(t *testing.T, tag string, ref, quant Estimate, relTol, absTol float64) {
+	t.Helper()
+	if len(quant.Candidates) != len(ref.Candidates) {
+		t.Fatalf("%s: %d candidates, reference %d", tag, len(quant.Candidates), len(ref.Candidates))
+	}
+	scores := make(map[string]float64, len(ref.Candidates))
+	for _, c := range ref.Candidates {
+		scores[c.Name] = c.Score
+	}
+	for _, c := range quant.Candidates {
+		r, ok := scores[c.Name]
+		if !ok {
+			t.Fatalf("%s: quantized ranking invented candidate %q", tag, c.Name)
+		}
+		if relTol > 0 && !relClose(c.Score, r, relTol) {
+			t.Fatalf("%s: %q score %v, reference %v (rel bound %v)", tag, c.Name, c.Score, r, relTol)
+		}
+		if absTol > 0 && math.Abs(c.Score-r) > absTol {
+			t.Fatalf("%s: %q score %v, reference %v (abs bound %v)", tag, c.Name, c.Score, r, absTol)
+		}
+	}
+	if quant.Name == ref.Name {
+		return
+	}
+	// Different winner: only acceptable when the reference top-1 and
+	// runner-up were closer than the quantization tolerance.
+	if len(ref.Candidates) < 2 {
+		t.Fatalf("%s: winner %q, reference %q with no runner-up", tag, quant.Name, ref.Name)
+	}
+	gap := ref.Candidates[0].Score - ref.Candidates[1].Score
+	lim := 2 * relTol * math.Max(1, math.Abs(ref.Candidates[0].Score))
+	if absTol > 0 {
+		lim = 2 * absTol
+	}
+	if gap > lim {
+		t.Fatalf("%s: winner %q, reference %q with gap %v (tolerance %v)",
+			tag, quant.Name, ref.Name, gap, lim)
+	}
+}
+
+// TestQuantizedScoringParity is the randomized property: over sparse
+// random radio maps, quantized MaxLikelihood and KNN scoring must stay
+// within the documented score-delta bounds of the float64 path and
+// pick the same top-1 outside near-ties.
+func TestQuantizedScoringParity(t *testing.T) {
+	for seed := int64(40); seed < 46; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomTrainDB(rng, 20+rng.Intn(150), 4+rng.Intn(14), 0.3+rng.Float64()*0.6)
+		if len(db.BSSIDs) == 0 {
+			continue
+		}
+		mlF := NewMaxLikelihood(db)
+		mlQ := NewMaxLikelihood(db)
+		mlQ.Quantize = true
+		knnF := NewKNN(db, 3)
+		knnQ := NewKNN(db, 3)
+		knnQ.Quantize = true
+
+		for trial := 0; trial < 10; trial++ {
+			obs := randomObs(rng, db, 0.2+rng.Float64()*0.7)
+			if len(obs) == 0 {
+				continue
+			}
+			tag := fmt.Sprintf("seed %d trial %d", seed, trial)
+
+			refEst, refErr := mlF.Locate(obs)
+			qEst, qErr := mlQ.Locate(obs)
+			if (refErr == nil) != (qErr == nil) {
+				t.Fatalf("%s ml: err %v vs %v", tag, qErr, refErr)
+			}
+			if refErr == nil {
+				compareQuantParity(t, tag+" ml", refEst, qEst, quantRelTol, 0)
+			}
+
+			refEst, refErr = knnF.Locate(obs)
+			qEst, qErr = knnQ.Locate(obs)
+			if (refErr == nil) != (qErr == nil) {
+				t.Fatalf("%s knn: err %v vs %v", tag, qErr, refErr)
+			}
+			if refErr == nil {
+				compareQuantParity(t, tag+" knn", refEst, qEst, 0, quantAbsTol)
+			}
+		}
+	}
+}
+
+// TestQuantizedTopKConsistent pins that quantization and bounded
+// selection compose: the quantized TopK prefix equals the quantized
+// full ranking's prefix exactly (both score over the same codes).
+func TestQuantizedTopKConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	db := randomTrainDB(rng, 120, 10, 0.5)
+	full := NewMaxLikelihood(db)
+	full.Quantize = true
+	top := NewMaxLikelihood(db)
+	top.Quantize = true
+	top.TopK = 6
+	for trial := 0; trial < 8; trial++ {
+		obs := randomObs(rng, db, 0.6)
+		if len(obs) == 0 {
+			continue
+		}
+		fe, ferr := full.Locate(obs)
+		te, terr := top.Locate(obs)
+		if ferr != nil || terr != nil {
+			t.Fatalf("trial %d: errs %v / %v", trial, ferr, terr)
+		}
+		for i, c := range te.Candidates {
+			if c != fe.Candidates[i] {
+				t.Fatalf("trial %d candidate %d: %+v vs %+v", trial, i, c, fe.Candidates[i])
+			}
+		}
+	}
+}
+
+// simHouseDB builds a training database from a simulated scenario, the
+// way the end-to-end tests and examples do.
+func simHouseDB(t *testing.T, scen sim.Scenario, seed int64, sweeps int) *trainingdb.DB {
+	t.Helper()
+	env, err := scen.Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scen.TrainingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := sim.NewScanner(env, seed).CaptureCollection(grid, sweeps)
+	db, _, err := trainingdb.Generate(coll, grid, trainingdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestQuantizedParitySimulated runs the parity property on the paper's
+// simulated house and the larger office wing: working-phase captures
+// at every training point must localize to the same top-1 through the
+// quantized matrices as through float64 (sim observations are never
+// near-tied — distinct rooms differ by whole dB).
+func TestQuantizedParitySimulated(t *testing.T) {
+	for _, scen := range []sim.Scenario{sim.PaperHouse(), sim.OfficeWing()} {
+		db := simHouseDB(t, scen, 9, 15)
+		env, err := scen.Environment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := scen.TrainingPoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlF := NewMaxLikelihood(db)
+		mlQ := NewMaxLikelihood(db)
+		mlQ.Quantize = true
+		sc := sim.NewScanner(env, 77)
+		for i, name := range grid.Names() {
+			if i%3 != 0 { // every third point keeps OfficeWing's runtime down
+				continue
+			}
+			p, _ := grid.Lookup(name)
+			obs := ObservationFromRecords(sc.Capture(p, 5, 0))
+			if len(obs) == 0 {
+				continue
+			}
+			refEst, refErr := mlF.Locate(obs)
+			qEst, qErr := mlQ.Locate(obs)
+			if refErr != nil || qErr != nil {
+				t.Fatalf("%s %s: errs %v / %v", scen.Name, name, refErr, qErr)
+			}
+			compareQuantParity(t, scen.Name+" "+name, refEst, qEst, quantRelTol, 0)
+		}
+	}
+}

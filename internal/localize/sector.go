@@ -30,6 +30,15 @@ type Sector struct {
 	// in which an AP must appear to count as part of the location's
 	// code. Zero means 0.5.
 	AudibleFraction float64
+	// TopK bounds the ranked candidate list, as in MaxLikelihood. The
+	// minimum-distance vote then runs over the retained candidates, so
+	// a tie run wider than TopK votes with its k lexically smallest
+	// members only.
+	TopK int
+	// Precompiled, when set, is served directly instead of compiling
+	// DB (codes derive from the view's Trained/N matrices); DB may be
+	// nil.
+	Precompiled *trainingdb.Compiled
 
 	warmOnce sync.Once
 	compiled *trainingdb.Compiled
@@ -45,16 +54,28 @@ func (s *Sector) Name() string { return "sector-code" }
 // Warm implements Warmer: it compiles the radio map and derives the
 // per-entry codes eagerly.
 func (s *Sector) Warm() error {
-	if s.DB == nil || s.DB.Len() == 0 {
+	if s.Precompiled == nil && (s.DB == nil || s.DB.Len() == 0) {
 		return errors.New("localize: Sector has no training database")
 	}
 	s.warmOnce.Do(func() {
-		// The floor parameters only matter to likelihood scorers; codes
-		// use sample counts alone.
-		s.compiled = s.DB.Compile(-95, 4)
+		if s.Precompiled != nil {
+			s.compiled = s.Precompiled
+		} else {
+			// The floor parameters only matter to likelihood scorers; codes
+			// use sample counts alone.
+			s.compiled = s.DB.Compile(-95, 4)
+		}
 		s.buildCodes()
 	})
 	return nil
+}
+
+// CompiledView implements CompiledSource.
+func (s *Sector) CompiledView() *trainingdb.Compiled {
+	if err := s.Warm(); err != nil {
+		return nil
+	}
+	return s.compiled
 }
 
 // buildCodes derives each training location's code: an AP is in the
@@ -72,7 +93,7 @@ func (s *Sector) buildCodes() {
 	s.codes = make([]uint64, len(c.Names))
 	for i := range c.Names {
 		base := i * nAP
-		maxN := 0
+		maxN := int32(0)
 		for j := 0; j < nAP; j++ {
 			if n := c.N[base+j]; n > maxN {
 				maxN = n
@@ -132,7 +153,15 @@ func (s *Sector) Locate(obs Observation) (Estimate, error) {
 			observed |= 1 << uint(j)
 		}
 	}
-	candidates := make([]Candidate, len(c.Names))
+	n := len(c.Names)
+	topk := s.TopK
+	var candidates []Candidate
+	if topk > 0 && topk < n {
+		candidates = sc.candidates(n)
+	} else {
+		topk = 0
+		candidates = make([]Candidate, n)
+	}
 	for i := range c.Names {
 		candidates[i] = Candidate{
 			Name:  c.Names[i],
@@ -140,27 +169,33 @@ func (s *Sector) Locate(obs Observation) (Estimate, error) {
 			Score: -float64(hamming(observed, s.codes[i])),
 		}
 	}
-	rankCandidates(candidates)
+	if topk > 0 {
+		out := make([]Candidate, topk)
+		copy(out, TopK(candidates, topk))
+		candidates = out
+	} else {
+		rankCandidates(candidates)
+	}
 	// All minimum-distance locations vote; their centroid is the
 	// estimate. After ranking they are exactly the leading run of equal
 	// scores, already in name order.
 	best := candidates[0].Score
 	var x, y float64
-	n := 0
+	votes := 0
 	for _, cand := range candidates {
 		if !feq.Eq(cand.Score, best) {
 			break
 		}
 		x += cand.Pos.X
 		y += cand.Pos.Y
-		n++
+		votes++
 	}
 	est := Estimate{
 		Score:      best,
 		Candidates: candidates,
 	}
-	est.Pos.X, est.Pos.Y = x/float64(n), y/float64(n)
-	if n == 1 {
+	est.Pos.X, est.Pos.Y = x/float64(votes), y/float64(votes)
+	if votes == 1 {
 		est.Name = candidates[0].Name
 		est.Pos = candidates[0].Pos
 	}

@@ -1,0 +1,82 @@
+package localize
+
+// Bounded top-k candidate selection. Serving callers consume a handful
+// of ranked candidates (the argmax, a centroid over k neighbours, a
+// confidence quantile), yet every locator used to full-sort all n
+// entries per query — O(n log n) comparisons and a cache-hostile
+// shuffle of 40-byte Candidate structs. TopK replaces the sort with a
+// bounded selection: a worst-at-root heap over the first k slots
+// streams the remaining n−k candidates through in O(n + k log n) with
+// zero allocations, then heapsorts the k winners best-first.
+//
+// TopK permutes cs in place — no candidate is lost — but only cs[:k]
+// ends up ordered; the tail is scrambled. Callers that need the full
+// ranking ask for k ≥ len(cs) and get the rankCandidates sort.
+
+// candidateBetter reports whether a outranks b: higher score first,
+// ties broken toward the lexically smaller name, matching
+// rankCandidates exactly. Names are unique within one estimate, so the
+// order is total and the selected top-k set is identical to the full
+// sort's prefix.
+//
+//loclint:hotpath
+func candidateBetter(a, b *Candidate) bool {
+	if a.Score != b.Score { //loclint:allow nofloateq — exact compare mirrors rankCandidates so top-k prefix == full-sort prefix
+		return a.Score > b.Score
+	}
+	return a.Name < b.Name
+}
+
+// siftWorst restores the worst-at-root heap property at index i over
+// cs[:n]: every parent ranks no better than its children.
+//
+//loclint:hotpath
+func siftWorst(cs []Candidate, i, n int) {
+	for {
+		w := i
+		if l := 2*i + 1; l < n && candidateBetter(&cs[w], &cs[l]) {
+			w = l
+		}
+		if r := 2*i + 2; r < n && candidateBetter(&cs[w], &cs[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		cs[i], cs[w] = cs[w], cs[i]
+		i = w
+	}
+}
+
+// TopK reorders cs so cs[:k] holds the k best candidates ranked
+// best-first (the exact prefix a full rankCandidates sort would
+// produce) and returns that prefix. The elements beyond k remain in cs
+// but in arbitrary order. k ≤ 0 or k ≥ len(cs) falls back to the full
+// sort and returns all of cs.
+//
+//loclint:hotpath
+func TopK(cs []Candidate, k int) []Candidate {
+	if k <= 0 || k >= len(cs) {
+		rankCandidates(cs)
+		return cs
+	}
+	// Heapify the first k slots with the worst candidate at the root.
+	for i := k/2 - 1; i >= 0; i-- {
+		siftWorst(cs, i, k)
+	}
+	// Stream the tail through: anything better than the current worst
+	// swaps in (the evicted candidate lands at position i, preserved).
+	for i := k; i < len(cs); i++ {
+		if candidateBetter(&cs[i], &cs[0]) {
+			cs[0], cs[i] = cs[i], cs[0]
+			siftWorst(cs, 0, k)
+		}
+	}
+	// Heapsort the winners: extract the current worst to the end of the
+	// shrinking prefix until the best sits at cs[0].
+	for end := k - 1; end > 0; end-- {
+		cs[0], cs[end] = cs[end], cs[0]
+		siftWorst(cs, 0, end)
+	}
+	return cs[:k]
+}

@@ -1,0 +1,212 @@
+package localize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomCandidates draws n candidates with unique names and occasional
+// duplicate scores, so the name tiebreak is exercised.
+func randomCandidates(rng *rand.Rand, n int) []Candidate {
+	cs := make([]Candidate, n)
+	for i := range cs {
+		score := float64(rng.Intn(n/2+1)) - float64(n)/4 // collisions on purpose
+		cs[i] = Candidate{Name: fmt.Sprintf("loc-%04d", i), Score: score}
+	}
+	rng.Shuffle(n, func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+	return cs
+}
+
+// TestTopKMatchesFullSortPrefix is the selection property: for every
+// (n, k), TopK's prefix must equal the full sort's prefix exactly —
+// same candidates, same order, ties resolved identically.
+func TestTopKMatchesFullSortPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(n+4) // sometimes k > n: full-sort fallback
+		cs := randomCandidates(rng, n)
+		want := append([]Candidate(nil), cs...)
+		rankCandidates(want)
+
+		got := TopK(cs, k)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("n=%d k=%d: len = %d, want %d", n, k, len(got), wantLen)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d: prefix[%d] = %+v, full sort has %+v",
+					n, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKPermutes pins that TopK never loses a candidate: the slice
+// after selection is a permutation of the input.
+func TestTopKPermutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(100)
+		cs := randomCandidates(rng, n)
+		seen := make(map[string]float64, n)
+		for _, c := range cs {
+			seen[c.Name] = c.Score
+		}
+		TopK(cs, 1+rng.Intn(n))
+		if len(cs) != n {
+			t.Fatalf("length changed: %d → %d", n, len(cs))
+		}
+		for _, c := range cs {
+			score, ok := seen[c.Name]
+			if !ok || score != c.Score {
+				t.Fatalf("candidate %q corrupted after TopK", c.Name)
+			}
+			delete(seen, c.Name)
+		}
+	}
+}
+
+func TestTopKEdges(t *testing.T) {
+	if got := TopK(nil, 3); len(got) != 0 {
+		t.Errorf("TopK(nil) = %v", got)
+	}
+	one := []Candidate{{Name: "only", Score: 1}}
+	if got := TopK(one, 0); len(got) != 1 { // k<=0 means full ranking
+		t.Errorf("TopK(k=0) = %v", got)
+	}
+}
+
+// TestTopKZeroAllocs pins the hot-path contract testing.AllocsPerRun
+// can see: bounded selection allocates nothing.
+func TestTopKZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := randomCandidates(rng, 512)
+	if avg := testing.AllocsPerRun(100, func() {
+		TopK(cs, 8)
+	}); avg != 0 {
+		t.Errorf("TopK allocates %v per run, want 0", avg)
+	}
+}
+
+// TestLocatorsTopKMatchesFullRanking is the integration property: with
+// TopK set, every locator must return exactly the first k candidates
+// of its full ranking, and the same winner. (Histogram's posterior is
+// renormalized over the retained set, so its scores are compared
+// before normalization via the winner identity only.)
+func TestLocatorsTopKMatchesFullRanking(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomTrainDB(rng, 30+rng.Intn(120), 4+rng.Intn(12), 0.3+rng.Float64()*0.6)
+		if len(db.BSSIDs) == 0 {
+			continue
+		}
+		const k = 5
+
+		mlFull := NewMaxLikelihood(db)
+		mlTop := NewMaxLikelihood(db)
+		mlTop.TopK = k
+		histFull := NewHistogram(db)
+		histTop := NewHistogram(db)
+		histTop.TopK = k
+		knnFull := NewKNN(db, 3)
+		knnTop := NewKNN(db, 3)
+		knnTop.TopK = k
+		secFull := NewSector(db)
+		secTop := NewSector(db)
+		secTop.TopK = k
+
+		for trial := 0; trial < 10; trial++ {
+			obs := randomObs(rng, db, 0.2+rng.Float64()*0.7)
+			if len(obs) == 0 {
+				continue
+			}
+			tag := fmt.Sprintf("seed %d trial %d", seed, trial)
+
+			check := func(algo string, full, top Estimate, exactScores bool) {
+				t.Helper()
+				if top.Name != full.Name {
+					t.Fatalf("%s %s: Name = %q, full ranking %q", tag, algo, top.Name, full.Name)
+				}
+				want := k
+				if want > len(full.Candidates) {
+					want = len(full.Candidates)
+				}
+				if len(top.Candidates) != want {
+					t.Fatalf("%s %s: %d candidates, want %d", tag, algo, len(top.Candidates), want)
+				}
+				for i, c := range top.Candidates {
+					if c.Name != full.Candidates[i].Name {
+						t.Fatalf("%s %s: candidate %d = %q, full ranking %q",
+							tag, algo, i, c.Name, full.Candidates[i].Name)
+					}
+					if exactScores && c.Score != full.Candidates[i].Score {
+						t.Fatalf("%s %s: candidate %d score = %v, full ranking %v",
+							tag, algo, i, c.Score, full.Candidates[i].Score)
+					}
+				}
+			}
+
+			fe, ferr := mlFull.Locate(obs)
+			te, terr := mlTop.Locate(obs)
+			if (ferr == nil) != (terr == nil) {
+				t.Fatalf("%s ml: err %v vs %v", tag, terr, ferr)
+			}
+			if ferr == nil {
+				check("ml", fe, te, true)
+			}
+
+			fe, ferr = histFull.Locate(obs)
+			te, terr = histTop.Locate(obs)
+			if (ferr == nil) != (terr == nil) {
+				t.Fatalf("%s hist: err %v vs %v", tag, terr, ferr)
+			}
+			if ferr == nil {
+				check("hist", fe, te, false)
+			}
+
+			fe, ferr = knnFull.Locate(obs)
+			te, terr = knnTop.Locate(obs)
+			if (ferr == nil) != (terr == nil) {
+				t.Fatalf("%s knn: err %v vs %v", tag, terr, ferr)
+			}
+			if ferr == nil {
+				check("knn", fe, te, true)
+				if te.Pos != fe.Pos {
+					t.Fatalf("%s knn: centroid %v, full ranking %v", tag, te.Pos, fe.Pos)
+				}
+			}
+
+			fe, ferr = secFull.Locate(obs)
+			te, terr = secTop.Locate(obs)
+			if (ferr == nil) != (terr == nil) {
+				t.Fatalf("%s sector: err %v vs %v", tag, terr, ferr)
+			}
+			if ferr == nil {
+				check("sector", fe, te, true)
+			}
+		}
+	}
+}
+
+// TestKNNTopKNeverBelowK pins the bound floor: TopK smaller than K
+// must still hand the centroid K neighbours.
+func TestKNNTopKNeverBelowK(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	db := randomTrainDB(rng, 40, 8, 0.7)
+	knn := NewKNN(db, 4)
+	knn.TopK = 2 // below K
+	obs := randomObs(rng, db, 0.8)
+	est, err := knn.Locate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Candidates) != 4 {
+		t.Fatalf("retained %d candidates, want K=4", len(est.Candidates))
+	}
+}

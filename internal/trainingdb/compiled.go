@@ -51,7 +51,9 @@ type Compiled struct {
 	// Trained reports whether the entry heard the AP during training.
 	Trained []bool
 	// N is the per-cell training sample count (0 when untrained).
-	N []int
+	// int32 keeps the matrix mmap-able and halves its footprint; a
+	// single ⟨entry, AP⟩ cell never approaches 2³¹ samples.
+	N []int32
 	// Mean is the trained mean RSSI; untrained cells hold FloorRSSI so
 	// signal-distance loops read one value without branching.
 	Mean []float64
@@ -78,7 +80,16 @@ type Compiled struct {
 	// cells. The kNN family applies per-heard-column corrections to it.
 	SignalBase []float64
 
+	// Quant is the int16-quantized mirror of the four matrices above,
+	// built by Quantize (or loaded from a v2 artifact, in which case the
+	// float64 matrices may be nil). Scorers prefer it when present.
+	Quant *Quant
+
 	apIndex map[string]int
+	// backing pins the byte region a decoded view's slices and strings
+	// alias (a memory mapping or the decode input); nil for views built
+	// by Compile.
+	backing []byte
 }
 
 // Compile builds the dense view of the database under the given
@@ -98,7 +109,7 @@ func (db *DB) Compile(floorRSSI, floorSigma float64) *Compiled {
 		Pos:        make([]geom.Point, nE),
 		BSSIDs:     append([]string(nil), db.BSSIDs...),
 		Trained:    make([]bool, nE*nAP),
-		N:          make([]int, nE*nAP),
+		N:          make([]int32, nE*nAP),
 		Mean:       make([]float64, nE*nAP),
 		Sigma:      make([]float64, nE*nAP),
 		LogNorm:    make([]float64, nE*nAP),
@@ -128,7 +139,7 @@ func (db *DB) Compile(floorRSSI, floorSigma float64) *Compiled {
 				sigma = stats.MinSigma
 			}
 			c.Trained[cell] = true
-			c.N[cell] = s.N
+			c.N[cell] = int32(s.N)
 			c.Mean[cell] = s.Mean
 			c.Sigma[cell] = sigma
 			c.LogNorm[cell] = -math.Log(sigma) - halfLog2Pi

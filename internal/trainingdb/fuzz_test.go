@@ -1,0 +1,158 @@
+package trainingdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indoorloc/internal/geom"
+)
+
+// fuzzFixture builds a small two-entry view, quantized with both
+// matrix families present so every section id appears in the artifact.
+func fuzzFixture() *Compiled {
+	db := &DB{
+		Entries: map[string]*Entry{
+			"hall": {Name: "hall", Pos: geom.Pt(3, 4), PerAP: map[string]*APStats{
+				"apA": {BSSID: "apA", N: 5, Mean: -58, StdDev: 2.5},
+				"apB": {BSSID: "apB", N: 3, Mean: -71, StdDev: 4},
+			}},
+			"porch": {Name: "porch", Pos: geom.Pt(9, 1), PerAP: map[string]*APStats{
+				"apB": {BSSID: "apB", N: 6, Mean: -64, StdDev: 1.5},
+			}},
+		},
+		BSSIDs: []string{"apA", "apB"},
+	}
+	c := db.Compile(-95, 4)
+	c.Quantize()
+	return c
+}
+
+// fuzzSeeds returns the named seed corpus: a pristine artifact plus
+// the corruption classes decode must reject (truncations, corrupt
+// CRCs, overlapping sections, hostile dimensions).
+func fuzzSeeds() map[string][]byte {
+	buf, err := EncodeCompiled(fuzzFixture())
+	if err != nil {
+		panic(err)
+	}
+	reseal := func(b []byte) []byte {
+		tableEnd := mapSectionsStart + int(le32(b[48:]))*mapSectionSize
+		putLE32(b[8:], 0)
+		putLE32(b[8:], crcOf(b[:tableEnd]))
+		return b
+	}
+	cp := func() []byte { return append([]byte(nil), buf...) }
+
+	seeds := map[string][]byte{
+		"valid":            cp(),
+		"empty":            {},
+		"magic-only":       []byte(MapMagic),
+		"truncated-header": cp()[:mapHeaderSize-7],
+		"truncated-table":  cp()[:mapHeaderSize+5],
+		"short-payload":    cp()[:len(buf)-64],
+	}
+	b := cp()
+	b[len(b)-1] ^= 0xa5 // corrupt last section payload
+	seeds["corrupt-crc"] = b
+
+	b = cp()
+	putLE64(b[mapSectionsStart+mapSectionSize+8:], le64(b[mapSectionsStart+8:]))
+	seeds["overlapping-sections"] = reseal(b)
+
+	b = cp()
+	putLE32(b[40:], 0x40000000)
+	putLE32(b[44:], 0x40000000)
+	seeds["hostile-dims"] = reseal(b)
+	return seeds
+}
+
+// FuzzCompiledDecode hammers the v2 artifact decoder: arbitrary bytes
+// must either decode into a self-consistent view or return an error —
+// never panic, and never allocate matrices beyond what the input's own
+// size can justify.
+func FuzzCompiledDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCompiled(data, DecodeOptions{VerifyCRC: true})
+		if err != nil {
+			if c != nil {
+				t.Fatal("decode returned both a view and an error")
+			}
+			return
+		}
+		// A valid artifact stores at least one byte per Trained cell, so
+		// a decode that "succeeded" with matrices larger than the input
+		// over-allocated.
+		nE, nAP := c.NumEntries(), c.NumAPs()
+		cells := nE * nAP
+		if cells > len(data) {
+			t.Fatalf("decoded %d cells from %d input bytes", cells, len(data))
+		}
+		// Touch every decoded surface; corrupt views crash here.
+		if len(c.Pos) != nE || len(c.UnheardLL) != nE || len(c.SignalBase) != nE ||
+			len(c.Trained) != cells || len(c.N) != cells {
+			t.Fatal("inconsistent decoded dimensions")
+		}
+		for _, name := range c.Names {
+			_ = len(name)
+		}
+		for j, b := range c.BSSIDs {
+			if got, ok := c.APIndex(b); ok && got != j {
+				// Duplicate BSSIDs are representable; the index maps to
+				// one of the duplicates.
+				_ = got
+			}
+		}
+		if q := c.Quant; q != nil {
+			if len(q.MeanQ) != cells || len(q.MeanScale) != nAP {
+				t.Fatal("inconsistent quantized dimensions")
+			}
+		}
+		// The view must survive re-encoding (it may not be bytewise
+		// identical: section order and padding renormalize).
+		if _, err := EncodeCompiled(c); err != nil {
+			t.Fatalf("re-encode of decoded view failed: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsBehave pins the seed corpus semantics outside the fuzz
+// engine: the pristine seed decodes, every corruption seed errors.
+func TestFuzzSeedsBehave(t *testing.T) {
+	for name, seed := range fuzzSeeds() {
+		_, err := DecodeCompiled(seed, DecodeOptions{VerifyCRC: true})
+		if name == "valid" {
+			if err != nil {
+				t.Errorf("valid seed failed to decode: %v", err)
+			}
+		} else if err == nil {
+			t.Errorf("seed %s decoded without error", name)
+		}
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzCompiledDecode. Gated behind an env var: run
+//
+//	ILR_WRITE_FUZZ_CORPUS=1 go test ./internal/trainingdb -run WriteFuzzCorpus
+//
+// after a format change, and commit the result.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("ILR_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set ILR_WRITE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCompiledDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, seed := range fuzzSeeds() {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

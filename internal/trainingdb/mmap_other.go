@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trainingdb
+
+import "os"
+
+// mapFile reports no mapping support; OpenCompiledFile falls back to
+// reading the artifact into memory.
+func mapFile(f *os.File, size int) (data []byte, closer func() error, ok bool) {
+	return nil, nil, false
+}

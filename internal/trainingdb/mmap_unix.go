@@ -1,0 +1,23 @@
+//go:build unix
+
+package trainingdb
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared, so every process
+// serving the same artifact shares one page-cache copy. ok is false
+// when the platform cannot map (empty file, exotic fs) and the caller
+// should fall back to reading.
+func mapFile(f *os.File, size int) (data []byte, closer func() error, ok bool) {
+	if size <= 0 {
+		return nil, nil, false
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return m, func() error { return syscall.Munmap(m) }, true
+}
