@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 fuzz-smoke
+.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak fuzz-smoke
 
 check: build vet lint race ## full CI gate
 
@@ -35,3 +35,6 @@ bench-ingest: ## live-ingestion pipeline benchmarks (see BENCH_ingest.json)
 
 bench-mapv2: ## compiled-map v2 benchmarks: quantized vs float64, top-k vs full sort (see BENCH_mapv2.json)
 	$(GO) test -run '^$$' -bench 'BenchmarkMapV2' -benchmem -benchtime=20x -timeout 30m .
+
+bench-soak: ## 60s mixed-traffic soak of the serving front end (see BENCH_soak.json)
+	$(GO) run ./cmd/soak -duration 60s -qps 0 -out BENCH_soak.json

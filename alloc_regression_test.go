@@ -1,0 +1,49 @@
+package indoorloc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestServerLocateAllocRegression pins the /locate round trip's
+// allocation count to the BENCH_serving.json reference: the zero-alloc
+// front end must not creep back toward per-request garbage as routes
+// and middleware accrete. The ceiling is the recorded allocs/op plus
+// ~10% slack for toolchain drift — a new per-request allocation in the
+// router, middleware or metrics layer (each request would add at
+// least +1 exactly) fails this immediately.
+func TestServerLocateAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	raw, err := os.ReadFile("BENCH_serving.json")
+	if err != nil {
+		t.Fatalf("reference missing: %v", err)
+	}
+	var ref struct {
+		Benchmarks map[string]struct {
+			After struct {
+				AllocsPerOp int64 `json:"allocs_per_op"`
+			} `json:"after"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Benchmarks["BenchmarkServerLocate"].After.AllocsPerOp
+	if want == 0 {
+		t.Fatal("BENCH_serving.json has no BenchmarkServerLocate allocs_per_op")
+	}
+	res := testing.Benchmark(BenchmarkServerLocate)
+	got := res.AllocsPerOp()
+	limit := want + want/10
+	t.Logf("/locate round trip: %d allocs/op (reference %d, ceiling %d)", got, want, limit)
+	if got > limit {
+		t.Errorf("/locate allocates %d/op, above the %d ceiling — the front end regressed vs BENCH_serving.json's %d",
+			got, limit, want)
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"indoorloc/internal/core"
 	"indoorloc/internal/floorplan"
@@ -87,9 +88,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		shards   = fs.Int("shards", 0, "row shards per radio-map scan (0 = one per CPU)")
 		cutover  = fs.Int("shard-cutover", 0,
 			fmt.Sprintf("min training entries before a scan shards (0 = %d)", localize.DefaultShardCutover))
-		batchMax = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
-		quantize = fs.Bool("quantize", false, "serve the int16-quantized radio map (~4× smaller matrices)")
-		topK     = fs.Int("topk", 0, "bound rankings to the best K candidates via heap selection (0 = full sort)")
+		batchMax  = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
+		maxBody   = fs.Int64("max-body", 0, "request body cap in bytes for every route (0 = per-route defaults: 1 MiB, 8 MiB batch/train)")
+		routeTO   = fs.Duration("route-timeout", 0, "per-route handler deadline; overruns answer 503 (0 = off, keeps the hot path allocation-free)")
+		metricsOn = fs.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
+		accessLog = fs.String("access-log", "", "append one line per request here via the drop-oldest ring ('-' = stderr)")
+		quantize  = fs.Bool("quantize", false, "serve the int16-quantized radio map (~4× smaller matrices)")
+		topK      = fs.Int("topk", 0, "bound rankings to the best K candidates via heap selection (0 = full sort)")
 
 		trainWAL      = fs.String("train-wal", "", "report journal path; enables live training via POST /train/report")
 		trainQueue    = fs.Int("train-queue", 0, "bounded ingest queue depth (0 = 1024)")
@@ -121,6 +126,31 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *mapFile != "" && *trainWAL != "" {
 		return errors.New("-map-file serves a frozen artifact; live training needs -db")
 	}
+	if *maxBody < 0 || *routeTO < 0 {
+		return errors.New("-max-body and -route-timeout must be non-negative")
+	}
+	var opts []server.Option
+	if *maxBody > 0 {
+		opts = append(opts, server.WithMaxBody(*maxBody))
+	}
+	if *routeTO > 0 {
+		opts = append(opts, server.WithRouteTimeout(*routeTO))
+	}
+	if !*metricsOn {
+		opts = append(opts, server.WithoutMetrics())
+	}
+	if *accessLog != "" {
+		w := io.Writer(os.Stderr)
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			// server.Close closes the file through the logger.
+			w = f
+		}
+		opts = append(opts, server.WithAccessLog(w))
+	}
 	cfg := core.BuildConfig{Shards: *shards, ShardCutover: *cutover,
 		Quantize: *quantize, TopK: *topK}
 	var planNames *locmap.Map
@@ -150,7 +180,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if planNames != nil {
 			svc.Names = planNames
 		}
-		if srv, err = server.New(svc, nil); err != nil {
+		if srv, err = server.New(svc, nil, opts...); err != nil {
 			return err
 		}
 	} else {
@@ -194,7 +224,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 				return err
 			}
 			defer mgr.Close()
-			if srv, err = server.NewLive(mgr, nil); err != nil {
+			if srv, err = server.NewLive(mgr, nil, opts...); err != nil {
 				return err
 			}
 		} else {
@@ -202,12 +232,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			if err != nil {
 				return err
 			}
-			if srv, err = server.New(svc, nil); err != nil {
+			if srv, err = server.New(svc, nil, opts...); err != nil {
 				return err
 			}
 		}
 	}
 	srv.MaxBatch = *batchMax
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -226,5 +257,16 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	return http.Serve(ln, srv)
+	// The listener-side request limits the in-process router cannot
+	// enforce: a header budget (the router's body and path caps have a
+	// header sibling here), a header read deadline against slowloris
+	// clients, and an idle keep-alive deadline so abandoned connections
+	// do not pin goroutines.
+	hs := &http.Server{
+		Handler:           srv,
+		MaxHeaderBytes:    64 << 10,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(ln)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -175,4 +176,76 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-db", dbPath, "-train-wal", "w", "-train-flush-count", "-1"}, &out, nil); err == nil {
 		t.Error("negative -train-flush-count accepted")
 	}
+	if err := run([]string{"-db", dbPath, "-max-body", "-1"}, &out, nil); err == nil {
+		t.Error("negative -max-body accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-route-timeout", "-1s"}, &out, nil); err == nil {
+		t.Error("negative -route-timeout accepted")
+	}
+	if err := run([]string{"-db", dbPath, "-access-log", "/no/such/dir/access.log"}, &out, nil); err == nil {
+		t.Error("unopenable -access-log path accepted")
+	}
+}
+
+// TestServeFrontEndFlags boots locserved with the serving-perimeter
+// flags live: a tight -max-body must 413 an oversized locate, the
+// access log must land on disk, and -metrics=false must withhold the
+// exposition endpoint.
+func TestServeFrontEndFlags(t *testing.T) {
+	dbPath := makeDB(t)
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errCh <- run([]string{
+			"-db", dbPath, "-listen", "127.0.0.1:0",
+			"-max-body", "128", "-route-timeout", "5s",
+			"-metrics=false", "-access-log", logPath,
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	obsBody := []byte(`{"observation":{"00:02:2d:00:00:0a":-50,"00:02:2d:00:00:0b":-62}}`)
+	resp, err := http.Post("http://"+addr+"/locate", "application/json", bytes.NewReader(obsBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("locate within cap: %d", resp.StatusCode)
+	}
+	big := append([]byte(`{"observation":{"00:02:2d:00:00:0a":-50`), bytes.Repeat([]byte(" "), 200)...)
+	resp, err = http.Post("http://"+addr+"/locate", "application/json", bytes.NewReader(append(big, "}}"...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized locate: %d, want 413", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("-metrics=false still serves /metrics: %d", resp.StatusCode)
+	}
+	// The ring drains on its own cadence; wait for the lines to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(logPath); err == nil && bytes.Contains(b, []byte("route=locate")) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	b, _ := os.ReadFile(logPath)
+	t.Errorf("access log never recorded the locate requests; contents:\n%s", b)
 }

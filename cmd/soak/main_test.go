@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("locate=70,batch=10,track=15,ingest=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix != [numOps]int{70, 10, 15, 5} {
+		t.Errorf("mix %v", mix)
+	}
+	for _, bad := range []string{
+		"locate=100,extra=0", // unknown op
+		"locate=50",          // doesn't sum to 100
+		"locate",             // no percentage
+		"locate=-10,batch=110",
+	} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	mix := [numOps]int{70, 10, 15, 5}
+	sched := schedule(mix)
+	if len(sched) != 100 {
+		t.Fatalf("schedule length %d", len(sched))
+	}
+	var got [numOps]int
+	for _, op := range sched {
+		got[op]++
+	}
+	if got != mix {
+		t.Errorf("schedule distributes %v, want %v", got, mix)
+	}
+	// Interleaved, not clustered: the first four slots cover every op.
+	var head [numOps]int
+	for _, op := range sched[:numOps] {
+		head[op]++
+	}
+	for op, n := range head {
+		if n != 1 {
+			t.Errorf("op %s appears %d times in the first %d slots", opNames[op], n, numOps)
+		}
+	}
+}
+
+// TestSoakSmoke runs a short in-process soak end to end and checks the
+// report is well-formed: every traffic class served, zero errors, and
+// a non-empty allocs/op curve. This is the CI lane that proves the
+// harness itself works; the 60-second BENCH_soak.json run uses the
+// same code path.
+func TestSoakSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "soak.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-duration", "2s", "-qps", "300", "-workers", "2",
+		"-window", "500ms", "-out", outPath, "-ref", "",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Errorf("%d errored requests", rep.Totals.Errors)
+	}
+	if rep.Totals.Requests == 0 || rep.Totals.Observations < rep.Totals.Requests {
+		t.Errorf("implausible totals: %+v", rep.Totals)
+	}
+	for _, op := range opNames {
+		r, ok := rep.Routes[op]
+		if !ok {
+			t.Errorf("route %s missing from report", op)
+			continue
+		}
+		m := r.(map[string]any)
+		if m["count"].(float64) == 0 {
+			t.Errorf("route %s served no requests", op)
+		}
+		if m["p50_us"].(float64) <= 0 || m["p99_us"].(float64) < m["p50_us"].(float64) {
+			t.Errorf("route %s quantiles implausible: %v", op, m)
+		}
+	}
+	if len(rep.Windows) == 0 {
+		t.Error("no allocs/op windows sampled")
+	}
+	for _, w := range rep.Windows {
+		if w.Requests > 0 && w.AllocsPerOp <= 0 {
+			t.Errorf("window at %.1fs has requests but no alloc accounting", w.TS)
+		}
+	}
+}
+
+func TestSoakFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-duration", "0s"},
+		{"-workers", "0"},
+		{"-batch-size", "0"},
+		{"-mix", "locate=50"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

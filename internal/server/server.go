@@ -8,11 +8,23 @@
 //	GET  /healthz            → 200 {"status":"ok", ...snapshot metadata...}
 //	GET  /algorithms         → the registry names
 //	GET  /locations          → the training locations and coordinates
+//	GET  /metrics            → Prometheus text exposition (latency
+//	                           histograms, route/status counters, gauges)
 //	POST /locate             → localize one observation
 //	POST /locate/batch       → localize many observations in one call
 //	POST /track/{client}     → stateful tracking: filtered per client
 //	DELETE /track/{client}   → forget a client's track
 //	POST /train/report       → live training: submit fingerprint reports
+//
+// Requests enter through a purpose-built static router (router.go),
+// not http.ServeMux: exact-match dispatch plus the one /track/ prefix
+// route, a fixed middleware chain (panic recovery, request-id,
+// per-route body/path limits, optional per-route timeout), and an
+// always-on metrics layer — all of it adding zero allocations per
+// request on the hot path. Unknown paths, unknown /track/ subpaths,
+// //-doubled and dot-segment paths answer a uniform JSON 404; method
+// mismatches answer 405 with an Allow header; oversized bodies 413;
+// oversized paths 414.
 //
 // /locate accepts either an averaged observation
 //
@@ -70,7 +82,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +89,7 @@ import (
 	"indoorloc/internal/filter"
 	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
+	"indoorloc/internal/metrics"
 	"indoorloc/internal/track"
 	"indoorloc/internal/wiscan"
 )
@@ -96,10 +108,14 @@ const maxBatchBody = 8 << 20
 // start, so a live hot-swap never tears an in-flight answer.
 type Server struct {
 	reg *core.SnapshotRegistry
-	mux *http.ServeMux
+	rt  *router
+	// alog is the ring-buffer access logger; nil when not configured.
+	alog *accessLogger
 	// ing is the live training pipeline; nil for a static server (no
 	// /train/report endpoint, static /healthz counters).
 	ing *ingest.Manager
+	// started stamps Close-less uptime for the /metrics gauge.
+	started time.Time
 
 	// MaxBatch caps the observations accepted by one /locate/batch
 	// request (larger batches are refused with 413). New sets
@@ -122,54 +138,148 @@ type clientTrack struct {
 	tr *track.Tracker
 }
 
+// Option tunes the serving front end at construction.
+type Option func(*serverOptions)
+
+type serverOptions struct {
+	routeTimeout  time.Duration
+	maxBody       int64
+	accessLog     io.Writer
+	accessLogRing int
+	noMetrics     bool
+}
+
+// WithRouteTimeout puts every route under a deadline: a handler that
+// overruns answers 503. The timeout guard buffers the response and
+// allocates per request — bounded tail latency traded against the
+// hot path's zero-allocation property. Zero disables (the default).
+func WithRouteTimeout(d time.Duration) Option {
+	return func(o *serverOptions) { o.routeTimeout = d }
+}
+
+// WithMaxBody overrides every route's request-body cap (bytes).
+// Zero keeps the per-route defaults (1 MiB single-observation
+// endpoints, 8 MiB batch and training endpoints).
+func WithMaxBody(n int64) Option {
+	return func(o *serverOptions) { o.maxBody = n }
+}
+
+// WithoutMetrics drops the GET /metrics endpoint (it answers 404 like
+// any unknown path). Recording still happens — Metrics() exposes the
+// registry — only the HTTP exposition is withheld, for deployments
+// that must not serve observability on the same port.
+func WithoutMetrics() Option {
+	return func(o *serverOptions) { o.noMetrics = true }
+}
+
+// WithAccessLog streams one line per request into w through the
+// lock-free ring buffer (drop-oldest under pressure; dropped counts
+// are exported at /metrics). w is written by exactly one background
+// goroutine; if it implements io.Closer, Server.Close closes it.
+func WithAccessLog(w io.Writer) Option {
+	return func(o *serverOptions) { o.accessLog = w }
+}
+
+// WithAccessLogRing sizes the access-log ring (rounded up to a power
+// of two). Only meaningful with WithAccessLog.
+func WithAccessLogRing(n int) Option {
+	return func(o *serverOptions) { o.accessLogRing = n }
+}
+
 // New builds a static server over a trained service: the service is
 // wrapped as the registry's one forever-current snapshot. filterFactory
 // supplies the per-client tracking filter for /track; nil uses a
 // Kalman filter with defaults.
-func New(svc *core.Service, filterFactory func() filter.PositionFilter) (*Server, error) {
+func New(svc *core.Service, filterFactory func() filter.PositionFilter, opts ...Option) (*Server, error) {
 	reg, err := core.StaticSnapshot(svc)
 	if err != nil {
 		return nil, errors.New("server: nil service")
 	}
-	return newServer(reg, nil, filterFactory)
+	return newServer(reg, nil, filterFactory, opts)
 }
 
 // NewLive builds a server over a live ingest pipeline: requests are
 // answered from the manager's latest published snapshot, POST
 // /train/report feeds the pipeline, and /healthz carries the ingest
 // counters.
-func NewLive(mgr *ingest.Manager, filterFactory func() filter.PositionFilter) (*Server, error) {
+func NewLive(mgr *ingest.Manager, filterFactory func() filter.PositionFilter, opts ...Option) (*Server, error) {
 	if mgr == nil {
 		return nil, errors.New("server: nil ingest manager")
 	}
-	return newServer(mgr.Registry(), mgr, filterFactory)
+	return newServer(mgr.Registry(), mgr, filterFactory, opts)
 }
 
-func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory func() filter.PositionFilter) (*Server, error) {
+func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory func() filter.PositionFilter, opts []Option) (*Server, error) {
 	if filterFactory == nil {
 		filterFactory = func() filter.PositionFilter {
 			return &filter.Kalman{Dt: 1, ProcessNoise: 0.6, MeasurementNoise: 7}
 		}
+	}
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
 	s := &Server{
 		reg:       reg,
 		ing:       mgr,
 		MaxBatch:  DefaultMaxBatch,
 		newFilter: filterFactory,
+		started:   time.Now(),
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/algorithms", s.handleAlgorithms)
-	mux.HandleFunc("/locations", s.handleLocations)
-	mux.HandleFunc("/locate", s.handleLocate)
-	mux.HandleFunc("/locate/batch", s.handleLocateBatch)
-	mux.HandleFunc("/track/", s.handleTrack)
+	bodyCap := func(def int64) int64 {
+		if o.maxBody > 0 {
+			return o.maxBody
+		}
+		return def
+	}
+	defs := []routeDef{
+		{name: "healthz", path: "/healthz", get: s.handleHealth},
+		{name: "algorithms", path: "/algorithms", get: s.handleAlgorithms},
+		{name: "locations", path: "/locations", get: s.handleLocations},
+	}
+	if !o.noMetrics {
+		defs = append(defs, routeDef{name: "metrics", path: "/metrics", get: s.handleMetrics})
+	}
+	defs = append(defs,
+		routeDef{name: "locate", path: "/locate", post: s.handleLocate, maxBody: bodyCap(defaultMaxBody)},
+		routeDef{name: "locate_batch", path: "/locate/batch", post: s.handleLocateBatch, maxBody: bodyCap(maxBatchBody)},
+		routeDef{name: "track", path: "/track/", prefix: true,
+			post: s.handleTrackPost, del: s.handleTrackDelete, maxBody: bodyCap(defaultMaxBody)},
+	)
 	if mgr != nil {
-		mux.HandleFunc("/train/report", s.handleTrainReport)
+		defs = append(defs, routeDef{name: "train_report", path: "/train/report",
+			post: s.handleTrainReport, maxBody: bodyCap(maxTrainBody)})
 	}
-	s.mux = mux
+	if o.routeTimeout > 0 {
+		for i := range defs {
+			defs[i].timeout = o.routeTimeout
+		}
+	}
+	if o.accessLog != nil {
+		names := make([]string, len(defs)+1)
+		for i, d := range defs {
+			names[i] = d.name
+		}
+		names[len(defs)] = "other"
+		s.alog = newAccessLogger(o.accessLog, o.accessLogRing, names)
+	}
+	s.rt = newRouter(defs, s.alog)
 	return s, nil
 }
+
+// Close releases the server's background resources (the access-log
+// drainer, when configured). The server must not serve requests after
+// Close. Serving state (snapshots, trackers) needs no teardown.
+func (s *Server) Close() error {
+	if s.alog != nil {
+		return s.alog.Close()
+	}
+	return nil
+}
+
+// Metrics returns the serving metrics registry — what GET /metrics
+// renders. Route indexes follow Metrics().Names().
+func (s *Server) Metrics() *metrics.Registry { return s.rt.metrics }
 
 // current returns the snapshot this request serves from. Load it once
 // per request; every lookup the answer needs must come from the same
@@ -181,7 +291,9 @@ func (s *Server) current() *core.Snapshot { return s.reg.Current() }
 func (s *Server) Snapshot() *core.Snapshot { return s.current() }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+//
+//loclint:hotpath
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.rt.ServeHTTP(w, r) }
 
 // locateRequest is the /locate and /track request body.
 type locateRequest struct {
@@ -226,10 +338,6 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
 	snap := s.current()
 	svc := snap.Service
 	body := map[string]any{
@@ -251,18 +359,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
 	writeJSON(w, http.StatusOK, core.Algorithms())
 }
 
 func (s *Server) handleLocations(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
 	type loc struct {
 		Name string  `json:"name"`
 		X    float64 `json:"x"`
@@ -320,14 +420,20 @@ func statusFor(err error) int {
 	}
 }
 
-func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
+// decodeStatus maps body-decode failures: a chunked body that outgrew
+// its route's cap answers 413 (the router already 413s declared
+// lengths), anything else is the client's malformed JSON.
+func decodeStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
 	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	obs, err := parseObservation(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	svc := s.current().Service
@@ -621,10 +727,6 @@ func (a *batchArena) decodeSlow(max int) (int, error) {
 }
 
 func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
-	}
 	max := s.MaxBatch
 	if max <= 0 {
 		max = DefaultMaxBatch
@@ -633,7 +735,7 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	defer batchArenaPool.Put(a)
 	n, err := a.decodeObservations(r.Body, max)
 	if err != nil {
-		status := http.StatusBadRequest
+		status := decodeStatus(err)
 		if errors.Is(err, errBatchTooLarge) {
 			status = http.StatusRequestEntityTooLarge
 			err = fmt.Errorf("%w (max %d)", err, max)
@@ -695,77 +797,127 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	w.Write(a.out.Bytes())
 }
 
-func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
-	client := strings.TrimPrefix(r.URL.Path, "/track/")
-	if client == "" || strings.Contains(client, "/") {
-		writeError(w, http.StatusBadRequest, errors.New("want /track/{client}"))
+// trackClient extracts the client id from a /track/{client} path. The
+// router guarantees the suffix is one non-empty segment — an unknown
+// subpath like /track/a/b never reaches these handlers (uniform 404).
+func trackClient(r *http.Request) string { return r.URL.Path[len("/track/"):] }
+
+func (s *Server) handleTrackDelete(w http.ResponseWriter, r *http.Request) {
+	client := trackClient(r)
+	if _, existed := s.trackers.LoadAndDelete(client); !existed {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no track for %q", client))
 		return
 	}
-	switch r.Method {
-	case http.MethodDelete:
-		if _, existed := s.trackers.LoadAndDelete(client); !existed {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no track for %q", client))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "forgotten"})
-	case http.MethodPost:
-		obs, err := parseObservation(r)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		svc := s.current().Service
-		est, err := svc.Locator.Locate(obs)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		// Per-client filter state is serialised under the client's own
-		// lock; the heavy Locate above ran outside it, and other
-		// clients' updates proceed in parallel. A DELETE racing this
-		// update may orphan the slot after we fetched it — the update
-		// then lands on state the next POST will rebuild, which is the
-		// same outcome as the DELETE arriving a moment later.
-		slotAny, ok := s.trackers.Load(client)
-		if !ok {
-			slotAny, _ = s.trackers.LoadOrStore(client, &clientTrack{})
-		}
-		slot := slotAny.(*clientTrack)
-		slot.mu.Lock()
-		if slot.tr == nil {
-			tr, err := track.New(svc.Locator, s.newFilter())
-			if err != nil {
-				slot.mu.Unlock()
-				s.trackers.Delete(client)
-				writeError(w, http.StatusInternalServerError, err)
-				return
-			}
-			slot.tr = tr
-		}
-		pos := slot.tr.Filter.Update(est.Pos)
-		slot.mu.Unlock()
-		resp := locateResponse{
-			X:                pos.X,
-			Y:                pos.Y,
-			Location:         est.Name,
-			ConfidenceRadius: localize.ConfidenceRadius(est, 0.9),
-			Algorithm:        svc.Locator.Name(),
-		}
-		if svc.Names != nil {
-			if name, _, ok := svc.Names.Nearest(pos); ok {
-				resp.NearestName = name
-			}
-		}
-		for _, room := range svc.Rooms {
-			if room.Poly.Contains(pos) {
-				resp.Room = room.Name
-				break
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	default:
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST or DELETE"))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "forgotten"})
+}
+
+func (s *Server) handleTrackPost(w http.ResponseWriter, r *http.Request) {
+	client := trackClient(r)
+	obs, err := parseObservation(r)
+	if err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
 	}
+	svc := s.current().Service
+	est, err := svc.Locator.Locate(obs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// Per-client filter state is serialised under the client's own
+	// lock; the heavy Locate above ran outside it, and other
+	// clients' updates proceed in parallel. A DELETE racing this
+	// update may orphan the slot after we fetched it — the update
+	// then lands on state the next POST will rebuild, which is the
+	// same outcome as the DELETE arriving a moment later.
+	slotAny, ok := s.trackers.Load(client)
+	if !ok {
+		slotAny, _ = s.trackers.LoadOrStore(client, &clientTrack{})
+	}
+	slot := slotAny.(*clientTrack)
+	slot.mu.Lock()
+	if slot.tr == nil {
+		tr, err := track.New(svc.Locator, s.newFilter())
+		if err != nil {
+			slot.mu.Unlock()
+			s.trackers.Delete(client)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		slot.tr = tr
+	}
+	pos := slot.tr.Filter.Update(est.Pos)
+	slot.mu.Unlock()
+	resp := locateResponse{
+		X:                pos.X,
+		Y:                pos.Y,
+		Location:         est.Name,
+		ConfidenceRadius: localize.ConfidenceRadius(est, 0.9),
+		Algorithm:        svc.Locator.Name(),
+	}
+	if svc.Names != nil {
+		if name, _, ok := svc.Names.Nearest(pos); ok {
+			resp.NearestName = name
+		}
+	}
+	for _, room := range svc.Rooms {
+		if room.Poly.Contains(pos) {
+			resp.Room = room.Name
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricsBufPool holds the scrape render buffers. One scrape borrows
+// one buffer; concurrent scrapes each get their own.
+var metricsBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// handleMetrics renders the Prometheus exposition. All rendering
+// happens here, off the request hot path; the serving cost of the
+// metrics layer is the atomic adds in router.finish.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	buf := metricsBufPool.Get().(*bytes.Buffer)
+	defer metricsBufPool.Put(buf)
+	buf.Reset()
+	snap := s.current()
+	gauges := make([]metrics.Gauge, 0, 16)
+	gauges = append(gauges,
+		metrics.Gauge{Name: "indoorloc_snapshot_generation",
+			Help: "Radio-map generation of the serving snapshot.", Value: float64(snap.Generation)},
+		metrics.Gauge{Name: "indoorloc_snapshot_locations",
+			Help: "Training locations in the serving snapshot.", Value: float64(snap.Service.DB.Len())},
+		metrics.Gauge{Name: "indoorloc_tracks_active",
+			Help: "Clients with live tracking state.", Value: float64(s.ActiveTracks())},
+		metrics.Gauge{Name: "indoorloc_uptime_seconds",
+			Help: "Seconds since the server was built.", Value: time.Since(s.started).Seconds()},
+		metrics.Gauge{Name: "indoorloc_http_panics_total", Counter: true,
+			Help: "Handler panics recovered by the router.", Value: float64(s.rt.panics.Load())},
+		metrics.Gauge{Name: "indoorloc_http_timeouts_total", Counter: true,
+			Help: "Requests cut off by the per-route timeout.", Value: float64(s.rt.timeouts.Load())},
+	)
+	if s.alog != nil {
+		gauges = append(gauges, metrics.Gauge{Name: "indoorloc_accesslog_dropped_total", Counter: true,
+			Help: "Access-log entries lost to ring pressure.", Value: float64(s.alog.Dropped())})
+	}
+	if s.ing != nil {
+		st := s.ing.Stats()
+		gauges = append(gauges,
+			metrics.Gauge{Name: "indoorloc_ingest_accepted_total", Counter: true,
+				Help: "Reports journaled and queued.", Value: float64(st.Accepted)},
+			metrics.Gauge{Name: "indoorloc_ingest_rejected_total", Counter: true,
+				Help: "Reports refused with queue-full backpressure.", Value: float64(st.RejectedFull)},
+			metrics.Gauge{Name: "indoorloc_ingest_folded_total", Counter: true,
+				Help: "Reports folded into the master database.", Value: float64(st.Folded)},
+			metrics.Gauge{Name: "indoorloc_ingest_queued",
+				Help: "Accepted-but-unfolded backlog.", Value: float64(st.Queued)},
+			metrics.Gauge{Name: "indoorloc_ingest_swaps_total", Counter: true,
+				Help: "Published radio-map snapshots.", Value: float64(st.Swaps)},
+		)
+	}
+	s.rt.metrics.WritePrometheus(buf, gauges)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
 }
 
 // trainRequest is the /train/report body: either one report's fields
@@ -780,10 +932,6 @@ type trainRequest struct {
 const maxTrainBody = 8 << 20
 
 func (s *Server) handleTrainReport(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
-	}
 	var req trainRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxTrainBody))
 	dec.DisallowUnknownFields()

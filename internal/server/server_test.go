@@ -27,7 +27,7 @@ type fixture struct {
 	sc   *sim.Scanner
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t *testing.T, opts ...Option) *fixture {
 	t.Helper()
 	scen := sim.PaperHouse()
 	env, err := scen.Environment()
@@ -49,12 +49,12 @@ func newFixture(t *testing.T) *fixture {
 		t.Fatal(err)
 	}
 	svc := &core.Service{DB: db, Locator: loc, Names: grid}
-	srv, err := New(svc, nil)
+	srv, err := New(svc, nil, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return &fixture{srv: srv, ts: ts, scen: scen, sc: sc}
 }
 
@@ -246,12 +246,14 @@ func TestTrackLifecycle(t *testing.T) {
 
 func TestTrackBadPaths(t *testing.T) {
 	f := newFixture(t)
+	// The router treats an empty or nested client id as an unknown
+	// path — a uniform 404, same as any other unroutable URL.
 	resp, _ := postJSON(t, f.ts.URL+"/track/", []byte(`{}`))
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("empty client: %d", resp.StatusCode)
 	}
 	resp, _ = postJSON(t, f.ts.URL+"/track/a/b", []byte(`{}`))
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("nested client: %d", resp.StatusCode)
 	}
 	// Unsupported method on /track.

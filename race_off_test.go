@@ -1,0 +1,5 @@
+//go:build !race
+
+package indoorloc_test
+
+const raceEnabled = false

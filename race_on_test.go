@@ -1,0 +1,8 @@
+//go:build race
+
+package indoorloc_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; alloc-accounting regression tests skip under it because the
+// race runtime inflates allocation counts.
+const raceEnabled = true
