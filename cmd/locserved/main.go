@@ -140,7 +140,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		opts = append(opts, server.WithoutMetrics())
 	}
 	if *accessLog != "" {
-		w := io.Writer(os.Stderr)
+		// The wrapper hides *os.File's Closer from the logger's Close
+		// (via srv.Close), which would otherwise close process stderr
+		// and eat any error printed after shutdown.
+		w := io.Writer(struct{ io.Writer }{os.Stderr})
 		if *accessLog != "-" {
 			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {

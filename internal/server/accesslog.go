@@ -183,6 +183,15 @@ func (l *accessLogger) drain() {
 	var cursor uint64
 	var e logEntry
 	buf := make([]byte, 0, 256)
+	// A claimed-but-unpublished slot is normally in flux for
+	// nanoseconds, but a producer descheduled mid-record (or before it
+	// even invalidated the slot, leaving a stale stamp from the previous
+	// lap) can hold one slot hostage for a whole ring lap. The drainer
+	// waits a bounded number of yields, then counts the slot dropped and
+	// moves on — one stuck producer must not stall the entire log.
+	const maxUnpublishedWaits = 50 // ~1 ms of 20 µs yields
+	var stuckPos uint64
+	var stuckWaits int
 	drainReady := func(final bool) {
 		for {
 			h := l.head.Load()
@@ -211,8 +220,16 @@ func (l *accessLogger) drain() {
 				// Claimed but not yet published. On the final drain the
 				// producer has already returned (Close postdates the last
 				// request), so an unpublished slot cannot complete — drop
-				// it; otherwise yield briefly and retry.
+				// it; otherwise yield briefly and retry, up to the bound.
 				if final {
+					l.dropped.Add(1)
+					cursor++
+					continue
+				}
+				if stuckPos != cursor {
+					stuckPos, stuckWaits = cursor, 0
+				}
+				if stuckWaits++; stuckWaits > maxUnpublishedWaits {
 					l.dropped.Add(1)
 					cursor++
 					continue

@@ -157,6 +157,29 @@ func TestServerAccessLogOption(t *testing.T) {
 	}
 }
 
+// TestAccessLogDrainerBoundsUnpublishedWait simulates a producer
+// descheduled between claiming a ticket and publishing the slot: the
+// drainer must wait only a bounded time before counting the slot
+// dropped and moving on, so one stuck producer cannot stall every
+// record behind it for a full ring lap.
+func TestAccessLogDrainerBoundsUnpublishedWait(t *testing.T) {
+	var out syncBuffer
+	l := newAccessLogger(&out, 64, []string{"locate"})
+	l.head.Add(1) // claim slot 0 and never publish it
+	l.record(42, 0, "POST", "/locate", "127.0.0.1:9", 200, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out.String(), "req=42") {
+		if time.Now().After(deadline) {
+			t.Fatal("drainer stalled behind the unpublished slot; req=42 never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := l.Dropped(); got != 1 {
+		t.Errorf("dropped %d, want 1 (the abandoned slot)", got)
+	}
+	l.Close()
+}
+
 func TestAccessLogCloseIdempotent(t *testing.T) {
 	var out syncBuffer
 	l := newAccessLogger(&out, 8, nil)

@@ -313,12 +313,17 @@ func (e *route) handler(method string) http.HandlerFunc {
 }
 
 // finish is deferred around every request: recover the panics, record
-// the metrics and the access-log entry, return the pooled state.
+// the metrics and the access-log entry, return the pooled state. A
+// panic that struck after the handler started writing cannot be
+// answered — once the bookkeeping is done, finish re-panics with
+// http.ErrAbortHandler so net/http aborts the connection instead of
+// completing the truncated body as a clean response.
 //
 //loclint:hotpath
 func (rt *router) finish(sw *statusWriter, r *http.Request, start time.Time) {
+	abort := false
 	if p := recover(); p != nil {
-		rt.recovered(sw, p)
+		abort = rt.recovered(sw, p)
 	}
 	status := sw.status
 	if status == 0 {
@@ -339,25 +344,31 @@ func (rt *router) finish(sw *statusWriter, r *http.Request, start time.Time) {
 	}
 	sw.w, sw.route, sw.limiter = nil, nil, nil
 	swPool.Put(sw)
+	if abort {
+		panic(http.ErrAbortHandler)
+	}
 }
 
-// recovered answers a panicking handler. Cold path: the 500 carries
-// the request id so an operator can line the response up with the
-// access log, and the connection is closed — after an arbitrary panic
-// the stream state is untrustworthy.
-func (rt *router) recovered(sw *statusWriter, p any) {
+// recovered answers a panicking handler and reports whether the
+// connection must be aborted. Cold path: when no response has started,
+// the 500 carries the request id so an operator can line the response
+// up with the access log, and the connection is closed — after an
+// arbitrary panic the stream state is untrustworthy. When the handler
+// already wrote, the status is poisoned for metrics and the caller
+// aborts: recovering silently here would let net/http finish the
+// truncated body as an apparently complete success.
+func (rt *router) recovered(sw *statusWriter, p any) bool {
 	rt.panics.Add(1)
-	if sw.status == 0 {
+	if sw.status == 0 && p != http.ErrAbortHandler {
 		h := sw.Header()
 		h.Set("Connection", "close")
 		h.Set("X-Request-Id", strconv.FormatUint(sw.id, 10))
 		writeError(sw, http.StatusInternalServerError, errors.New("internal error"))
-	} else {
-		// Headers are gone; all we can do is poison the status for
-		// metrics and let net/http tear the connection down.
-		sw.status = http.StatusInternalServerError
+		return false
 	}
+	sw.status = http.StatusInternalServerError
 	_ = p // the panic value is deliberately not echoed to the client
+	return true
 }
 
 // reject writes a routing-layer JSON error. Cold path — the header
@@ -440,6 +451,22 @@ func (rt *router) runGuarded(sw *statusWriter, r *http.Request, e *route, h http
 		sw.Write(tw.body.Bytes())
 	case <-ctx.Done():
 		rt.timeouts.Add(1)
+		// The abandoned handler still owns r.Body — the pooled limiter,
+		// if one was attached. Detach it so finish() leaves it to the GC
+		// instead of returning it to the pool under the handler's feet,
+		// where the next request would re-acquire it and two goroutines
+		// would race on l.rc/l.n (nil-pointer panics, cross-request body
+		// reads).
+		sw.limiter = nil
+		// The handler's fate is still worth observing: a panic after the
+		// deadline would otherwise vanish — the guarded goroutine's
+		// recover captures it but nothing re-raises it.
+		go func() {
+			<-done
+			if tw.panicked {
+				rt.panics.Add(1)
+			}
+		}()
 		rt.reject(sw, http.StatusServiceUnavailable, errRouteTimeout)
 	}
 }

@@ -159,6 +159,101 @@ func TestRouterGuardedPanic(t *testing.T) {
 	}
 }
 
+// TestRouterMidResponsePanicAborts covers the panic-after-write case:
+// once the handler has started the response, finish() cannot answer a
+// clean 500 — it must re-panic http.ErrAbortHandler so net/http tears
+// the connection down instead of finishing the truncated body as an
+// apparently complete success.
+func TestRouterMidResponsePanicAborts(t *testing.T) {
+	h := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("mid-response")
+	}
+	rt := newRouter([]routeDef{{name: "mid", path: "/mid", get: h}}, nil)
+	rec := httptest.NewRecorder()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		rt.ServeHTTP(rec, httptest.NewRequest("GET", "/mid", nil))
+	}()
+	if got != http.ErrAbortHandler {
+		t.Fatalf("ServeHTTP panicked with %v, want http.ErrAbortHandler", got)
+	}
+	if n := rt.panics.Load(); n != 1 {
+		t.Errorf("panics counter %d, want 1", n)
+	}
+}
+
+// TestRouterTimeoutDetachesBodyLimiter pins the timeout/limiter
+// interaction: when the guard abandons a handler that still holds the
+// request body, the pooled chunked-body limiter must NOT go back to
+// the pool — the handler's later reads would otherwise race a new
+// request that re-acquired it (nil-pointer panics, cross-request body
+// reads).
+func TestRouterTimeoutDetachesBodyLimiter(t *testing.T) {
+	release := make(chan struct{})
+	readDone := make(chan error, 1)
+	h := func(w http.ResponseWriter, r *http.Request) {
+		<-release // outlive the deadline while still owning r.Body
+		_, err := io.Copy(io.Discard, r.Body)
+		readDone <- err
+	}
+	rt := newRouter([]routeDef{
+		{name: "slow", path: "/slow", post: h, maxBody: 1 << 10, timeout: 5 * time.Millisecond},
+	}, nil)
+	req := httptest.NewRequest("POST", "/slow", strings.NewReader(strings.Repeat("x", 100)))
+	req.ContentLength = -1 // chunked: forces the pooled limiter
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	// The request goroutine has returned and pooled its statusWriter;
+	// the abandoned handler now reads the body it still owns. With the
+	// limiter wrongly pooled this read hits rc=nil and panics.
+	close(release)
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Errorf("abandoned handler's body read failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned handler never finished its body read (panicked on a recycled limiter?)")
+	}
+}
+
+// TestRouterTimeoutAbandonedPanicCounted verifies a panic that lands
+// after the deadline already fired still shows up in the panics
+// counter — the client got its 503, but the operator must see the
+// crash in /metrics.
+func TestRouterTimeoutAbandonedPanicCounted(t *testing.T) {
+	release := make(chan struct{})
+	h := func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		panic("after deadline")
+	}
+	rt := newRouter([]routeDef{
+		{name: "slow", path: "/slow", get: h, timeout: 5 * time.Millisecond},
+	}, nil)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if n := rt.panics.Load(); n != 0 {
+		t.Fatalf("panics counter %d before the handler panicked", n)
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.panics.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("panics counter %d, want 1 (timed-out handler's panic invisible)", rt.panics.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestRouterGuardedSuccess verifies the timeout guard replays a fast
 // handler's buffered response — headers, status and body intact.
 func TestRouterGuardedSuccess(t *testing.T) {
