@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak fuzz-smoke
+.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak bench-venues fuzz-smoke
 
 check: build vet lint race ## full CI gate
 
@@ -38,3 +38,6 @@ bench-mapv2: ## compiled-map v2 benchmarks: quantized vs float64, top-k vs full 
 
 bench-soak: ## 60s mixed-traffic soak of the serving front end (see BENCH_soak.json)
 	$(GO) run ./cmd/soak -duration 60s -qps 0 -out BENCH_soak.json
+
+bench-venues: ## 1000-venue city soak under an LRU budget (see BENCH_venues.json)
+	$(GO) run ./cmd/soak -venues 1000 -duration 30s -workers 8 -out BENCH_venues.json

@@ -22,7 +22,7 @@ func runA1(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -47,7 +47,7 @@ func runA2(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
@@ -69,12 +69,12 @@ func runA3(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
 		printReport(w, fmt.Sprintf("prob  σfast=%.1f dB", fast), evaluate(d, ml, 30, 2))
-		g, err := core.BuildLocator(core.AlgoGeometric, d.db,
+		g, err := buildLocator(core.AlgoGeometric, d.db,
 			core.BuildConfig{APPositions: scen.APPositions()})
 		if err != nil {
 			return err
@@ -98,12 +98,12 @@ func runA4(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
 		printReport(w, fmt.Sprintf("prob  %d APs", n), evaluate(d, ml, 30, 2))
-		g, err := core.BuildLocator(core.AlgoGeometric, d.db,
+		g, err := buildLocator(core.AlgoGeometric, d.db,
 			core.BuildConfig{APPositions: scen.APPositions()})
 		if err != nil {
 			return err
@@ -120,7 +120,7 @@ func runA5(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -209,7 +209,7 @@ func runA6(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	g, err := core.BuildLocator(core.AlgoGeometric, d.db,
+	g, err := buildLocator(core.AlgoGeometric, d.db,
 		core.BuildConfig{APPositions: scen.APPositions()})
 	if err != nil {
 		return err
@@ -250,7 +250,7 @@ func runA7(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -287,7 +287,7 @@ func runA8(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}

@@ -63,7 +63,7 @@ func runA10(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	sector, err := core.BuildLocator(core.AlgoSector, d.db, core.BuildConfig{})
+	sector, err := buildLocator(core.AlgoSector, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -77,12 +77,12 @@ func runA10(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	sector2, err := core.BuildLocator(core.AlgoSector, d2.db, core.BuildConfig{})
+	sector2, err := buildLocator(core.AlgoSector, d2.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
 	printReport(w, "sector, -62 dBm floor", evaluate(d2, sector2, 30, 2))
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,7 @@ func runA11(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -212,7 +212,7 @@ func runA13(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
@@ -276,15 +276,15 @@ func runA15(w io.Writer, _ string) error {
 			return err
 		}
 		cfg := core.BuildConfig{APPositions: d.scen.APPositions()}
-		prob, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+		prob, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
-		geo, err := core.BuildLocator(core.AlgoGeometric, d.db, cfg)
+		geo, err := buildLocator(core.AlgoGeometric, d.db, cfg)
 		if err != nil {
 			return err
 		}
-		hyb, err := core.BuildLocator(core.AlgoHybrid, d.db, cfg)
+		hyb, err := buildLocator(core.AlgoHybrid, d.db, cfg)
 		if err != nil {
 			return err
 		}
@@ -330,7 +330,7 @@ func runA16(w io.Writer, _ string) error {
 		return ""
 	}
 	for _, algo := range []string{core.AlgoProbabilistic, core.AlgoGeometric} {
-		loc, err := core.BuildLocator(algo, d.db,
+		loc, err := buildLocator(algo, d.db,
 			core.BuildConfig{APPositions: scen.APPositions()})
 		if err != nil {
 			return err

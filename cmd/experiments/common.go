@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"indoorloc/internal/compositor"
+	"indoorloc/internal/core"
 	"indoorloc/internal/eval"
 	"indoorloc/internal/floorplan"
 	"indoorloc/internal/geom"
@@ -118,4 +119,15 @@ func extraAPs() []rf.AP {
 		{BSSID: "00:02:2d:00:00:10", SSID: "house", Pos: geom.Pt(0, 20), TxPower: -30, Channel: 11},
 		{BSSID: "00:02:2d:00:00:11", SSID: "house", Pos: geom.Pt(50, 20), TxPower: -30, Channel: 1},
 	}
+}
+
+// buildLocator adapts core.New to the experiments' one-shot shape:
+// every figure builds a locator, queries it and drops it, so the
+// Instance lifecycle is noise at each call site.
+func buildLocator(algo string, db *trainingdb.DB, cfg core.BuildConfig) (localize.Locator, error) {
+	in, err := core.New(core.WithDB(db), core.WithAlgorithm(algo), core.WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return in.Service.Locator, nil
 }

@@ -84,7 +84,7 @@ func runFig3(w io.Writer, outDir string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}

@@ -17,7 +17,7 @@ func runR51(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	ml, err := core.BuildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
+	ml, err := buildLocator(core.AlgoProbabilistic, d.db, core.BuildConfig{})
 	if err != nil {
 		return err
 	}
@@ -37,7 +37,7 @@ func runR51(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		ml2, err := core.BuildLocator(core.AlgoProbabilistic, d2.db, core.BuildConfig{})
+		ml2, err := buildLocator(core.AlgoProbabilistic, d2.db, core.BuildConfig{})
 		if err != nil {
 			return err
 		}
@@ -57,7 +57,7 @@ func runR52(w io.Writer, _ string) error {
 	if err != nil {
 		return err
 	}
-	g, err := core.BuildLocator(core.AlgoGeometric, d.db,
+	g, err := buildLocator(core.AlgoGeometric, d.db,
 		core.BuildConfig{APPositions: d.scen.APPositions()})
 	if err != nil {
 		return err
@@ -92,7 +92,7 @@ func runR52(w io.Writer, _ string) error {
 		if err != nil {
 			return err
 		}
-		g2, err := core.BuildLocator(core.AlgoGeometric, d2.db,
+		g2, err := buildLocator(core.AlgoGeometric, d2.db,
 			core.BuildConfig{APPositions: d2.scen.APPositions()})
 		if err != nil {
 			return err

@@ -76,10 +76,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	locator, err := core.BuildLocator(*algo, db, cfg)
+	in, err := core.New(core.WithDB(db), core.WithAlgorithm(*algo), core.WithConfig(cfg))
 	if err != nil {
 		return err
 	}
+	locator := in.Service.Locator
 
 	fh, err := os.Open(*obsPath)
 	if err != nil {

@@ -65,6 +65,7 @@ import (
 	"indoorloc/internal/locmap"
 	"indoorloc/internal/server"
 	"indoorloc/internal/trainingdb"
+	"indoorloc/internal/venue"
 )
 
 func main() {
@@ -80,13 +81,17 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("locserved", flag.ContinueOnError)
 	var (
-		dbPath   = fs.String("db", "", "training database (required unless -map-file)")
-		mapFile  = fs.String("map-file", "", "compiled radio-map artifact (v2 binary) to serve, memory-mapped; replaces -db")
-		algo     = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
-		planPath = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
-		listen   = fs.String("listen", "127.0.0.1:8080", "listen address")
-		shards   = fs.Int("shards", 0, "row shards per radio-map scan (0 = one per CPU)")
-		cutover  = fs.Int("shard-cutover", 0,
+		dbPath       = fs.String("db", "", "training database (required unless -map-file or -venues)")
+		mapFile      = fs.String("map-file", "", "compiled radio-map artifact (v2 binary) to serve, memory-mapped; replaces -db")
+		venueDir     = fs.String("venues", "", "artifact directory for multi-venue serving (<id>.ilr / <id>.tdb per venue); replaces -db/-map-file and exposes /v1/venues/{venue}/...")
+		venueBudget  = fs.Int64("venues-budget", 0, "LRU memory budget in bytes over resident venues (0 = unbounded)")
+		venueDefault = fs.String("default-venue", "", "venue the legacy unversioned routes alias onto (empty = aliases answer venue_not_found)")
+		venueWALDir  = fs.String("venues-wal-dir", "", "directory of per-venue ingest journals; gives every .tdb venue live training")
+		algo         = fs.String("algo", core.AlgoProbabilistic, fmt.Sprintf("algorithm %v", core.Algorithms()))
+		planPath     = fs.String("plan", "", "annotated plan supplying AP positions (geometric algorithms)")
+		listen       = fs.String("listen", "127.0.0.1:8080", "listen address")
+		shards       = fs.Int("shards", 0, "row shards per radio-map scan (0 = one per CPU)")
+		cutover      = fs.Int("shard-cutover", 0,
 			fmt.Sprintf("min training entries before a scan shards (0 = %d)", localize.DefaultShardCutover))
 		batchMax  = fs.Int("batch-max", server.DefaultMaxBatch, "max observations per /locate/batch request")
 		maxBody   = fs.Int64("max-body", 0, "request body cap in bytes for every route (0 = per-route defaults: 1 MiB, 8 MiB batch/train)")
@@ -107,8 +112,20 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*dbPath == "") == (*mapFile == "") {
-		return errors.New("need exactly one of -db FILE or -map-file FILE")
+	sources := 0
+	for _, set := range []bool{*dbPath != "", *mapFile != "", *venueDir != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return errors.New("need exactly one of -db FILE, -map-file FILE or -venues DIR")
+	}
+	if *venueDir == "" && (*venueBudget != 0 || *venueDefault != "" || *venueWALDir != "") {
+		return errors.New("-venues-budget, -default-venue and -venues-wal-dir need -venues DIR")
+	}
+	if *venueDir != "" && *trainWAL != "" {
+		return errors.New("-venues uses per-venue journals via -venues-wal-dir, not -train-wal")
 	}
 	if *batchMax <= 0 {
 		return errors.New("-batch-max must be positive")
@@ -172,21 +189,49 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	var srv *server.Server
 	var mgr *ingest.Manager
-	if *mapFile != "" {
-		// Artifact mode: the v2 binary is memory-mapped and served
-		// directly — no raw database, no recompilation at startup.
-		svc, closeMap, err := core.ServiceFromCompiledFile(*mapFile, *algo, cfg)
+	var venues *venue.Registry
+	switch {
+	case *venueDir != "":
+		// Multi-venue mode: one process hosts every venue in the
+		// directory, lazily loaded and LRU-evicted under the budget.
+		var err error
+		venues, err = venue.NewRegistry(venue.Config{
+			Dir:       *venueDir,
+			Algorithm: *algo,
+			Build:     cfg,
+			MaxBytes:  *venueBudget,
+			WALDir:    *venueWALDir,
+			Ingest: ingest.Config{
+				SyncEveryAppend: *trainSync,
+				QueueDepth:      *trainQueue,
+				FlushReports:    *trainCount,
+				FlushInterval:   *trainIvl,
+				SnapRadius:      *trainSnap,
+			},
+			Default: *venueDefault,
+		})
 		if err != nil {
 			return err
 		}
-		defer closeMap()
-		if planNames != nil {
-			svc.Names = planNames
-		}
-		if srv, err = server.New(svc, nil, opts...); err != nil {
+		defer venues.Close()
+		if srv, err = server.NewMultiVenue(venues, nil, opts...); err != nil {
 			return err
 		}
-	} else {
+	case *mapFile != "":
+		// Artifact mode: the v2 binary is memory-mapped and served
+		// directly — no raw database, no recompilation at startup.
+		in, err := core.New(core.WithCompiledFile(*mapFile), core.WithAlgorithm(*algo), core.WithConfig(cfg))
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		if planNames != nil {
+			in.Service.Names = planNames
+		}
+		if srv, err = server.New(in.Service, nil, opts...); err != nil {
+			return err
+		}
+	default:
 		db, err := trainingdb.LoadFile(*dbPath)
 		if err != nil {
 			return err
@@ -197,20 +242,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		// training locations themselves — including any entries live
 		// training founded).
 		rebuild := func(db *trainingdb.DB) (*core.Service, error) {
-			locator, err := core.BuildLocator(*algo, db, cfg)
+			nopts := []core.Option{core.WithDB(db), core.WithAlgorithm(*algo), core.WithConfig(cfg)}
+			if planNames != nil {
+				nopts = append(nopts, core.WithNames(planNames))
+			} else {
+				nopts = append(nopts, core.WithEntryNames())
+			}
+			in, err := core.New(nopts...)
 			if err != nil {
 				return nil, err
 			}
-			names := planNames
-			if names == nil {
-				names = locmap.New()
-				for _, name := range db.Names() {
-					if err := names.Add(name, db.Entries[name].Pos); err != nil {
-						return nil, err
-					}
-				}
-			}
-			return &core.Service{DB: db, Locator: locator, Names: names}, nil
+			return in.Service, nil
 		}
 
 		if *trainWAL != "" {
@@ -246,17 +288,30 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	snap := srv.Snapshot()
-	mode := "static map"
-	if *mapFile != "" {
-		mode = fmt.Sprintf("compiled artifact %s", *mapFile)
+	if venues != nil {
+		list, err := venues.List()
+		if err != nil {
+			return err
+		}
+		mode := fmt.Sprintf("budget %d bytes", *venueBudget)
+		if *venueBudget == 0 {
+			mode = "unbounded budget"
+		}
+		fmt.Fprintf(out, "locserved: %s algorithm over %d venues in %s (%s, lazy load), listening on %s\n",
+			*algo, len(list), *venueDir, mode, ln.Addr())
+	} else {
+		snap := srv.Snapshot()
+		mode := "static map"
+		if *mapFile != "" {
+			mode = fmt.Sprintf("compiled artifact %s", *mapFile)
+		}
+		if mgr != nil {
+			st := mgr.Stats()
+			mode = fmt.Sprintf("live training via %s (%d replayed)", *trainWAL, st.Replayed)
+		}
+		fmt.Fprintf(out, "locserved: %s algorithm over %d locations (%s), listening on %s\n",
+			snap.Service.Locator.Name(), snap.Service.DB.Len(), mode, ln.Addr())
 	}
-	if mgr != nil {
-		st := mgr.Stats()
-		mode = fmt.Sprintf("live training via %s (%d replayed)", *trainWAL, st.Replayed)
-	}
-	fmt.Fprintf(out, "locserved: %s algorithm over %d locations (%s), listening on %s\n",
-		snap.Service.Locator.Name(), snap.Service.DB.Len(), mode, ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

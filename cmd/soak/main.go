@@ -180,9 +180,31 @@ func run(args []string, out io.Writer) error {
 		window    = fs.Duration("window", 5*time.Second, "allocs/op sampling window")
 		outPath   = fs.String("out", "", "write the JSON report here (default stdout only)")
 		refPath   = fs.String("ref", "BENCH_serving.json", "serving benchmark file for the reference section ('' = skip)")
+
+		venues       = fs.Int("venues", 0, "city-scale mode: soak N synthetic venues behind /v1/venues under an LRU budget (replaces the single-venue mix)")
+		venuesBudget = fs.Int64("venues-budget", 0, "LRU memory budget in bytes for -venues mode (0 = a quarter of the generated city)")
+		venuesDir    = fs.String("venues-dir", "", "reuse/emit city artifacts here instead of a temp dir (-venues mode)")
+		zipfS        = fs.Float64("zipf-s", 1.1, "zipf skew of the venue popularity distribution (-venues mode; must be > 1)")
+		seed         = fs.Int64("seed", 1, "city generation and traffic seed (-venues mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *venues > 0 {
+		return runVenues(venueSoakOpts{
+			venues:   *venues,
+			budget:   *venuesBudget,
+			duration: *duration,
+			workers:  *workers,
+			qps:      *qps,
+			zipfS:    *zipfS,
+			seed:     *seed,
+			outPath:  *outPath,
+			dir:      *venuesDir,
+		}, out)
+	}
+	if *venuesBudget != 0 || *venuesDir != "" {
+		return errors.New("-venues-budget and -venues-dir need -venues N")
 	}
 	if *duration <= 0 || *workers <= 0 || *batchSize <= 0 || *window <= 0 {
 		return errors.New("-duration, -workers, -batch-size and -window must be positive")
@@ -493,11 +515,15 @@ func startInProcess() (string, func(), error) {
 		return "", nil, err
 	}
 	rebuild := func(db *trainingdb.DB) (*core.Service, error) {
-		loc, err := core.BuildLocator(core.AlgoProbabilistic, db, core.BuildConfig{})
+		in, err := core.New(
+			core.WithDB(db),
+			core.WithAlgorithm(core.AlgoProbabilistic),
+			core.WithNames(grid),
+		)
 		if err != nil {
 			return nil, err
 		}
-		return &core.Service{DB: db, Locator: loc, Names: grid}, nil
+		return in.Service, nil
 	}
 	walDir, err := os.MkdirTemp("", "soak-wal-")
 	if err != nil {

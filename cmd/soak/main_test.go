@@ -113,9 +113,63 @@ func TestSoakFlagErrors(t *testing.T) {
 		{"-workers", "0"},
 		{"-batch-size", "0"},
 		{"-mix", "locate=50"},
+		{"-venues-budget", "1024"},          // needs -venues
+		{"-venues", "10", "-zipf-s", "1.0"}, // zipf skew must exceed 1
 	} {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestSoakVenuesSmoke runs the city-scale mode end to end at CI size:
+// 100 venues, a budget tight enough that the zipf tail forces
+// evictions, a few seconds of traffic. It asserts the three claims
+// BENCH_venues.json documents at 1000 venues — errors stay zero while
+// venues churn, the resident set respects the LRU budget, and
+// evictions actually happened — and it must finish well inside the
+// 60-second CI allowance, generation included.
+func TestSoakVenuesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city generation is seconds of work; skipped in -short")
+	}
+	outPath := filepath.Join(t.TempDir(), "venues.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-venues", "100", "-duration", "3s", "-workers", "4",
+		"-out", outPath, "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep venueReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Config.Venues != 100 {
+		t.Errorf("generated %d venues, want 100", rep.Config.Venues)
+	}
+	if rep.SteadyState.Errors != 0 {
+		t.Errorf("%d errored requests", rep.SteadyState.Errors)
+	}
+	if rep.SteadyState.Requests == 0 || rep.SteadyState.RequestsSec <= 0 {
+		t.Errorf("implausible steady state: %+v", rep.SteadyState)
+	}
+	if rep.SteadyState.DistinctHit < 2 {
+		t.Errorf("zipf traffic hit only %d venues", rep.SteadyState.DistinctHit)
+	}
+	if rep.ColdLoad.Loads == 0 || rep.ColdLoad.LoadErrors != 0 || rep.ColdLoad.P99us <= 0 {
+		t.Errorf("implausible cold-load record: %+v", rep.ColdLoad)
+	}
+	if rep.Memory.Evictions == 0 {
+		t.Error("no evictions under a quarter-city budget; LRU not exercised")
+	}
+	if rep.Memory.ResidentEndBytes > rep.Memory.BudgetBytes {
+		t.Errorf("resident %d bytes ended above the %d budget",
+			rep.Memory.ResidentEndBytes, rep.Memory.BudgetBytes)
 	}
 }

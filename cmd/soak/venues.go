@@ -1,0 +1,348 @@
+package main
+
+// The -venues mode: a city-scale soak of the multi-venue registry.
+// It generates N synthetic venues as compiled v2 artifacts (the
+// internal/sim city fixture), boots an in-process multi-venue server
+// under a fixed LRU memory budget, and drives zipf-distributed locate
+// traffic across every venue — a few venues hot, a long tail cold —
+// over real loopback HTTP. BENCH_venues.json, its output, is the
+// evidence for the registry's three load-bearing claims: cold loads
+// are cheap (artifact mmap, no compilation), residency stays under the
+// budget while the long tail churns through the LRU, and steady-state
+// throughput on resident venues holds up while evictions happen
+// underneath.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indoorloc/internal/core"
+	"indoorloc/internal/geom"
+	"indoorloc/internal/metrics"
+	"indoorloc/internal/server"
+	"indoorloc/internal/sim"
+	"indoorloc/internal/venue"
+)
+
+// venueSoakOpts parameterizes one city soak run.
+type venueSoakOpts struct {
+	venues   int           // city size (campuses; one floor each)
+	budget   int64         // LRU budget in bytes (0 = quarter of the city)
+	duration time.Duration // traffic phase length
+	workers  int
+	qps      float64 // 0 = unpaced
+	zipfS    float64 // zipf skew; must be > 1
+	seed     int64
+	outPath  string
+	dir      string // artifact dir ("" = temp, removed after)
+}
+
+type venueReport struct {
+	Description string            `json:"description"`
+	Date        string            `json:"date"`
+	Config      venueReportConfig `json:"config"`
+	Generate    venueGenRec       `json:"generate"`
+	ColdLoad    venueColdRec      `json:"cold_load"`
+	SteadyState venueSteadyRec    `json:"steady_state"`
+	Memory      venueMemRec       `json:"memory"`
+}
+
+type venueReportConfig struct {
+	Venues      int     `json:"venues"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	Duration    string  `json:"duration"`
+	Workers     int     `json:"workers"`
+	QPS         float64 `json:"qps"`
+	ZipfS       float64 `json:"zipf_s"`
+	Seed        int64   `json:"seed"`
+}
+
+type venueGenRec struct {
+	Seconds       float64 `json:"seconds"`
+	ArtifactBytes int64   `json:"artifact_bytes_total"`
+	MeanBytes     int64   `json:"artifact_bytes_mean"`
+}
+
+type venueColdRec struct {
+	Loads      uint64 `json:"loads"`
+	LoadErrors uint64 `json:"load_errors"`
+	P50us      int64  `json:"p50_us"`
+	P99us      int64  `json:"p99_us"`
+}
+
+type venueSteadyRec struct {
+	DurationS   float64 `json:"duration_s"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	RequestsSec float64 `json:"requests_per_sec"`
+	P50us       int64   `json:"p50_us"`
+	P99us       int64   `json:"p99_us"`
+	DistinctHit int     `json:"distinct_venues_hit"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type venueMemRec struct {
+	BudgetBytes      int64  `json:"budget_bytes"`
+	ResidentMaxBytes int64  `json:"resident_bytes_max"`
+	ResidentEndBytes int64  `json:"resident_bytes_end"`
+	Evictions        uint64 `json:"evictions"`
+	LoadedEnd        int    `json:"venues_loaded_end"`
+}
+
+// runVenues executes the city soak and writes the report.
+func runVenues(opts venueSoakOpts, out io.Writer) error {
+	if opts.venues <= 0 || opts.workers <= 0 || opts.duration <= 0 {
+		return errors.New("-venues, -workers and -duration must be positive")
+	}
+	if opts.zipfS <= 1 {
+		return errors.New("-zipf-s must be > 1")
+	}
+
+	dir := opts.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "soak-city-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	cfg := sim.CityConfig{Campuses: opts.venues, Floors: 1, Seed: opts.seed}
+	t0 := time.Now()
+	ids, err := sim.WriteArtifacts(dir, cfg)
+	if err != nil {
+		return err
+	}
+	genSecs := time.Since(t0).Seconds()
+	var totalBytes int64
+	for _, id := range ids {
+		fi, err := os.Stat(filepath.Join(dir, id+".ilr"))
+		if err != nil {
+			return err
+		}
+		totalBytes += fi.Size()
+	}
+	budget := opts.budget
+	if budget <= 0 {
+		// A quarter of the city: the zipf head stays resident, the tail
+		// churns — evictions are guaranteed, not incidental.
+		budget = totalBytes / 4
+	}
+
+	vr, err := venue.NewRegistry(venue.Config{
+		Dir:       dir,
+		Algorithm: core.AlgoProbabilistic,
+		MaxBytes:  budget,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.NewMultiVenue(vr, nil)
+	if err != nil {
+		vr.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		vr.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Close()
+		srv.Close()
+		vr.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+
+	bodies, err := buildVenueBodies(cfg, ids)
+	if err != nil {
+		return err
+	}
+	paths := make([]string, len(ids))
+	for i, id := range ids {
+		paths[i] = "/v1/venues/" + id + "/locate"
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.workers * 2,
+		MaxIdleConnsPerHost: opts.workers * 2,
+	}}
+
+	var (
+		hist     metrics.Histogram // Observe is wait-free; shared across workers
+		requests atomic.Uint64
+		errCount atomic.Uint64
+		hits     = make([]atomic.Uint64, len(ids))
+	)
+	interval := time.Duration(0)
+	if opts.qps > 0 {
+		interval = time.Duration(float64(opts.workers) * float64(time.Second) / opts.qps)
+	}
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	residentMax := int64(0)
+	start := time.Now()
+	deadline := start.Add(opts.duration)
+	stopGauge := make(chan struct{})
+	var gaugeWG sync.WaitGroup
+	gaugeWG.Add(1)
+	go func() { // residency high-water mark under the LRU budget
+		defer gaugeWG.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopGauge:
+				return
+			case <-tick.C:
+			}
+			if rb := vr.Stats().ResidentBytes; rb > residentMax {
+				residentMax = rb
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, opts.zipfS, 1, uint64(len(ids)-1))
+			next := time.Now()
+			for time.Now().Before(deadline) {
+				if interval > 0 {
+					if now := time.Now(); now.Before(next) {
+						time.Sleep(next.Sub(now))
+					}
+					next = next.Add(interval)
+					if time.Since(next) > time.Second {
+						next = time.Now()
+					}
+				}
+				idx := int(zipf.Uint64())
+				t0 := time.Now()
+				ok := post(client, base+paths[idx], bodies[idx])
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				hits[idx].Add(1)
+				if !ok {
+					errCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopGauge)
+	gaugeWG.Wait()
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	distinct := 0
+	for i := range hits {
+		if hits[i].Load() > 0 {
+			distinct++
+		}
+	}
+	stats := vr.Stats()
+	if stats.ResidentBytes > residentMax {
+		residentMax = stats.ResidentBytes
+	}
+	totalReq := requests.Load()
+	allocsPerOp := 0.0
+	if totalReq > 0 {
+		allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalReq)
+	}
+
+	report := venueReport{
+		Description: "City-scale multi-venue soak: zipf locate traffic across every venue of a synthetic city served from compiled artifacts under a fixed LRU memory budget. Cold-load quantiles are registry-side (mmap open to first snapshot); latency quantiles are client-observed over loopback HTTP.",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Config: venueReportConfig{
+			Venues: len(ids), BudgetBytes: budget, Duration: opts.duration.String(),
+			Workers: opts.workers, QPS: opts.qps, ZipfS: opts.zipfS, Seed: opts.seed,
+		},
+		Generate: venueGenRec{
+			Seconds:       genSecs,
+			ArtifactBytes: totalBytes,
+			MeanBytes:     totalBytes / int64(len(ids)),
+		},
+		ColdLoad: venueColdRec{
+			Loads:      stats.Loads,
+			LoadErrors: stats.LoadErrors,
+			P50us:      stats.ColdLoadP50.Microseconds(),
+			P99us:      stats.ColdLoadP99.Microseconds(),
+		},
+		SteadyState: venueSteadyRec{
+			DurationS:   elapsed.Seconds(),
+			Requests:    totalReq,
+			Errors:      errCount.Load(),
+			RequestsSec: float64(totalReq) / elapsed.Seconds(),
+			P50us:       hist.Quantile(0.50).Microseconds(),
+			P99us:       hist.Quantile(0.99).Microseconds(),
+			DistinctHit: distinct,
+			AllocsPerOp: allocsPerOp,
+		},
+		Memory: venueMemRec{
+			BudgetBytes:      budget,
+			ResidentMaxBytes: residentMax,
+			ResidentEndBytes: stats.ResidentBytes,
+			Evictions:        stats.Evictions,
+			LoadedEnd:        stats.Loaded,
+		},
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if opts.outPath != "" {
+		if err := os.WriteFile(opts.outPath, enc, 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = out.Write(enc)
+	return err
+}
+
+// buildVenueBodies precomputes one locate payload per venue, captured
+// from that venue's own simulation (BSSIDs are venue-unique, so bodies
+// cannot be shared). The capture point sits mid-floor, inside every
+// venue's outline regardless of its campus-dependent width.
+func buildVenueBodies(cfg sim.CityConfig, ids []string) ([][]byte, error) {
+	bodies := make([][]byte, len(ids))
+	for i := range ids {
+		s := sim.CityScenario(i, 0)
+		env, err := s.Environment()
+		if err != nil {
+			return nil, fmt.Errorf("venue %s: %w", ids[i], err)
+		}
+		sc := sim.NewScanner(env, cfg.Seed+int64(i)+999983)
+		obs := map[string]float64{}
+		for _, r := range sc.Capture(geom.Pt(18, 15), 6, 0) {
+			obs[r.BSSID] = float64(r.RSSI)
+		}
+		b, err := json.Marshal(map[string]any{"observation": obs})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}

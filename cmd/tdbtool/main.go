@@ -18,6 +18,12 @@
 //	tdbtool compile -db train.tdb -out c.ilr -keep-float64
 //	tdbtool inspect campus.ilr                        # header + section table
 //	tdbtool verify campus.ilr                         # full CRC + payload check
+//
+// The city subcommand generates a synthetic multi-venue artifact
+// directory — the fixture `locserved -venues DIR` serves and the
+// multi-venue soak measures:
+//
+//	tdbtool city -out ./city -campuses 10 -floors 4   # 40 venues
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"os"
 	"sort"
 
+	"indoorloc/internal/sim"
 	"indoorloc/internal/trainingdb"
 )
 
@@ -46,6 +53,8 @@ func run(args []string, out io.Writer) error {
 			return runInspect(args[1:], out)
 		case "verify":
 			return runVerify(args[1:], out)
+		case "city":
+			return runCity(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("tdbtool", flag.ContinueOnError)
@@ -230,6 +239,46 @@ func runCompile(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "compiled %s → %s: %d locations × %d APs, %d matrix bytes, %d on disk (quantized=%v float64=%v)\n",
 		*dbPath, *outPath, c.NumEntries(), c.NumAPs(), c.MatrixBytes(), st.Size(),
 		c.Quant != nil, c.Mean != nil)
+	return nil
+}
+
+// runCity is `tdbtool city`: generate a synthetic city of venues as
+// quantized v2 artifacts, one <venue-id>.ilr per floor, in the layout
+// venue.Registry serves from. The fixture is deterministic in -seed,
+// so two runs with the same flags produce byte-identical directories.
+func runCity(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdbtool city", flag.ContinueOnError)
+	var (
+		outDir   = fs.String("out", "", "artifact directory to write (required)")
+		campuses = fs.Int("campuses", 1, "buildings in the city")
+		floors   = fs.Int("floors", 1, "floors per building; campuses × floors venues total")
+		sweeps   = fs.Int("sweeps", 0, "training sweeps per grid point (0 = 3)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("city needs -out DIR")
+	}
+	if *campuses <= 0 || *floors <= 0 || *sweeps < 0 {
+		return fmt.Errorf("-campuses and -floors must be positive, -sweeps non-negative")
+	}
+	cfg := sim.CityConfig{Campuses: *campuses, Floors: *floors, Seed: *seed, Sweeps: *sweeps}
+	ids, err := sim.WriteArtifacts(*outDir, cfg)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, id := range ids {
+		st, err := os.Stat(fmt.Sprintf("%s/%s.ilr", *outDir, id))
+		if err != nil {
+			return err
+		}
+		total += st.Size()
+	}
+	fmt.Fprintf(out, "wrote %d venues (%s … %s) to %s, %d bytes total\n",
+		len(ids), ids[0], ids[len(ids)-1], *outDir, total)
 	return nil
 }
 

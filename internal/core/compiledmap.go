@@ -5,11 +5,20 @@ import (
 	"fmt"
 
 	"indoorloc/internal/localize"
-	"indoorloc/internal/locmap"
 	"indoorloc/internal/trainingdb"
 )
 
 // BuildLocatorFromCompiled constructs a registered algorithm directly
+// over a compiled radio-map view.
+//
+// Deprecated: use New with WithCompiled, WithAlgorithm and WithConfig;
+// the built locator is Instance.Service.Locator. This wrapper remains
+// for source compatibility.
+func BuildLocatorFromCompiled(name string, c *trainingdb.Compiled, cfg BuildConfig) (localize.Locator, error) {
+	return buildLocatorFromCompiled(name, c, cfg)
+}
+
+// buildLocatorFromCompiled constructs a registered algorithm directly
 // over a compiled radio-map view — the serving shape of a v2 artifact,
 // where the raw training database never existed in this process. Only
 // the algorithms whose entire working state derives from the compiled
@@ -19,8 +28,8 @@ import (
 //
 // The view's own floor parameters govern scoring. cfg.FloorRSSI is
 // ignored; Quantize, TopK, K, Shards and ShardCutover apply as in
-// BuildLocator.
-func BuildLocatorFromCompiled(name string, c *trainingdb.Compiled, cfg BuildConfig) (localize.Locator, error) {
+// buildLocator.
+func buildLocatorFromCompiled(name string, c *trainingdb.Compiled, cfg BuildConfig) (localize.Locator, error) {
 	if c == nil {
 		return nil, errors.New("core: nil compiled view")
 	}
@@ -69,28 +78,20 @@ func BuildLocatorFromCompiled(name string, c *trainingdb.Compiled, cfg BuildConf
 
 // ServiceFromCompiledFile opens a v2 radio-map artifact (memory-mapped
 // where supported), builds the named algorithm over it, and wraps it
-// as a ready-to-serve Service: the skeleton database backs the HTTP
-// layer's /locations and /healthz handlers, and the training locations
-// themselves become the name resolver.
+// as a ready-to-serve Service.
 //
-// close releases the mapping; call it only after the service has
-// stopped answering (and nothing retains estimate strings).
+// The returned close is idempotent — every call after the first
+// returns the first call's error without re-closing — and error paths
+// inside this function always release the mapping themselves. Call it
+// only after the service has stopped answering (and nothing retains
+// estimate strings).
+//
+// Deprecated: use New with WithCompiledFile; the service is
+// Instance.Service and Instance.Close releases the mapping.
 func ServiceFromCompiledFile(path, algo string, cfg BuildConfig) (svc *Service, close func() error, err error) {
-	c, closeMap, err := trainingdb.OpenCompiledFile(path)
+	in, err := New(WithCompiledFile(path), WithAlgorithm(algo), WithConfig(cfg))
 	if err != nil {
 		return nil, nil, err
 	}
-	loc, err := BuildLocatorFromCompiled(algo, c, cfg)
-	if err != nil {
-		closeMap()
-		return nil, nil, err
-	}
-	names := locmap.New()
-	for i, name := range c.Names {
-		if err := names.Add(name, c.Pos[i]); err != nil {
-			closeMap()
-			return nil, nil, fmt.Errorf("core: artifact entry %d: %w", i, err)
-		}
-	}
-	return &Service{DB: c.Skeleton(), Locator: loc, Names: names}, closeMap, nil
+	return in.Service, in.Close, nil
 }

@@ -85,12 +85,22 @@ type BuildConfig struct {
 }
 
 // BuildLocator constructs a registered algorithm over a training
+// database.
+//
+// Deprecated: use New with WithDB, WithAlgorithm and WithConfig; the
+// built locator is Instance.Service.Locator. This wrapper remains for
+// source compatibility.
+func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Locator, error) {
+	return buildLocator(name, db, cfg)
+}
+
+// buildLocator constructs a registered algorithm over a training
 // database. The returned locator is warmed: compiled radio maps,
 // histogram tables and identifying codes are built here, once, so
 // every consumer — the HTTP server, localize.Batch fanouts, the CLI
 // tools and the experiment harness — serves its first query at full
 // speed.
-func BuildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Locator, error) {
+func buildLocator(name string, db *trainingdb.DB, cfg BuildConfig) (localize.Locator, error) {
 	if db == nil {
 		return nil, errors.New("core: nil training database")
 	}
@@ -321,7 +331,7 @@ func (p *Pipeline) Train() (*Service, []string, error) {
 		msg += fmt.Sprintf("; skipped unmapped %v", skipped)
 	}
 	trace = append(trace, msg)
-	loc, err := BuildLocator(algo, db, BuildConfig{APPositions: apPos})
+	loc, err := buildLocator(algo, db, BuildConfig{APPositions: apPos})
 	if err != nil {
 		return nil, trace, fmt.Errorf("core: step 4: %w", err)
 	}

@@ -51,6 +51,13 @@ const (
 	defaultMaxBody = 1 << 20
 )
 
+// venuePrefix roots the versioned multi-venue namespace. Paths under
+// it carry a venue id as their first segment: /v1/venues/{venue}/...
+// The router parses the segment allocation-free (two string slices and
+// a map probe); handlers re-derive the id the same way, so nothing is
+// stashed per request.
+const venuePrefix = "/v1/venues/"
+
 // Router-level error bodies. Routing errors are JSON like every other
 // error the service emits — the satellite fix for /track/'s old
 // fall-through statuses.
@@ -68,6 +75,7 @@ type routeDef struct {
 	name    string // metrics / access-log label
 	path    string // exact path, or the prefix (ending in '/') when prefix is set
 	prefix  bool   // /track/-style: path names a prefix, the suffix is one segment
+	venue   bool   // venue-tier route: path is the sub-path after /v1/venues/{venue}
 	get     http.HandlerFunc
 	post    http.HandlerFunc
 	del     http.HandlerFunc
@@ -92,6 +100,12 @@ type router struct {
 	exact      map[string]*route
 	prefix     *route // the single prefix route; nil when absent
 	prefixPath string
+	// vtier maps the venue sub-path ("" for the bare-id status route,
+	// "/locate", ...) to its route; nil disables the venue namespace.
+	// vtrack is the venue tier's one sub-prefix route (/track/{client}).
+	vtier      map[string]*route
+	vtrack     *route
+	vtrackPath string
 	metrics    *metrics.Registry
 	otherIdx   int // metrics slot for unroutable requests
 	alog       *accessLogger
@@ -113,9 +127,17 @@ func newRouter(defs []routeDef, alog *accessLogger) *router {
 			allow:   allowHeader(d),
 			maxBody: d.maxBody, timeout: d.timeout,
 		}
-		if d.prefix {
+		switch {
+		case d.venue && d.prefix:
+			rt.vtrack, rt.vtrackPath = e, d.path
+		case d.venue:
+			if rt.vtier == nil {
+				rt.vtier = make(map[string]*route)
+			}
+			rt.vtier[d.path] = e
+		case d.prefix:
 			rt.prefix, rt.prefixPath = e, d.path
-		} else {
+		default:
 			rt.exact[d.path] = e
 		}
 	}
@@ -271,6 +293,10 @@ func (rt *router) lookup(path string) *route {
 	if !cleanPath(path) {
 		return nil
 	}
+	if rt.vtier != nil && len(path) > len(venuePrefix) &&
+		path[:len(venuePrefix)] == venuePrefix {
+		return rt.lookupVenue(path[len(venuePrefix):])
+	}
 	if rt.prefix != nil && len(path) > len(rt.prefixPath) &&
 		path[:len(rt.prefixPath)] == rt.prefixPath {
 		// The suffix must be a single non-empty segment: /track/a/b is
@@ -278,6 +304,31 @@ func (rt *router) lookup(path string) *route {
 		if !strings.Contains(path[len(rt.prefixPath):], "/") {
 			return rt.prefix
 		}
+	}
+	return nil
+}
+
+// lookupVenue resolves the venue tier: rest is the path after
+// /v1/venues/, so {venue-id}[/sub-path]. The shape is matched here —
+// allocation-free, two slices and a map probe; the id's validity and
+// existence are the handler's problem (so an unknown venue can answer
+// venue_not_found instead of the router's structural no_route). An
+// empty id cannot reach here: /v1/venues/ alone fails the length
+// check in lookup, and /v1/venues//x fails cleanPath.
+//
+//loclint:hotpath
+func (rt *router) lookupVenue(rest string) *route {
+	sub := ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		sub = rest[i:]
+	}
+	if e, ok := rt.vtier[sub]; ok {
+		return e
+	}
+	if rt.vtrack != nil && len(sub) > len(rt.vtrackPath) &&
+		sub[:len(rt.vtrackPath)] == rt.vtrackPath &&
+		!strings.Contains(sub[len(rt.vtrackPath):], "/") {
+		return rt.vtrack
 	}
 	return nil
 }

@@ -98,11 +98,11 @@ func TestRouterTable(t *testing.T) {
 				t.Errorf("Allow %q, want %q", rec.Header().Get("Allow"), tt.wantAllow)
 			}
 			if tt.want >= 400 {
-				// Every routing-layer error is JSON with an error field
-				// and carries the request id.
+				// Every routing-layer error is JSON with a coded error
+				// envelope and carries the request id.
 				var e errorResponse
-				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
-					t.Errorf("error body %q not JSON: %v", rec.Body.String(), err)
+				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+					t.Errorf("error body %q not a coded JSON envelope: %v", rec.Body.String(), err)
 				}
 				if rec.Header().Get("X-Request-Id") == "" {
 					t.Errorf("error response missing X-Request-Id")
@@ -133,8 +133,8 @@ func TestRouterPanicRecovery(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
 		t.Fatalf("panic body not JSON: %v", err)
 	}
-	if strings.Contains(e.Error, "exploded") {
-		t.Errorf("panic value leaked to the client: %q", e.Error)
+	if strings.Contains(e.Error.Message, "exploded") {
+		t.Errorf("panic value leaked to the client: %q", e.Error.Message)
 	}
 	if n := rt.panics.Load(); n != 1 {
 		t.Errorf("panics counter %d, want 1", n)

@@ -82,6 +82,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -91,6 +92,7 @@ import (
 	"indoorloc/internal/localize"
 	"indoorloc/internal/metrics"
 	"indoorloc/internal/track"
+	"indoorloc/internal/venue"
 	"indoorloc/internal/wiscan"
 )
 
@@ -114,6 +116,10 @@ type Server struct {
 	// ing is the live training pipeline; nil for a static server (no
 	// /train/report endpoint, static /healthz counters).
 	ing *ingest.Manager
+	// venues is the multi-tenant registry; nil for a single-venue
+	// server. When set, reg and ing are nil and every serving route
+	// resolves its venue from the path (or the registry default).
+	venues *venue.Registry
 	// started stamps Close-less uptime for the /metrics gauge.
 	started time.Time
 
@@ -195,7 +201,7 @@ func New(svc *core.Service, filterFactory func() filter.PositionFilter, opts ...
 	if err != nil {
 		return nil, errors.New("server: nil service")
 	}
-	return newServer(reg, nil, filterFactory, opts)
+	return newServer(reg, nil, nil, filterFactory, opts)
 }
 
 // NewLive builds a server over a live ingest pipeline: requests are
@@ -206,10 +212,10 @@ func NewLive(mgr *ingest.Manager, filterFactory func() filter.PositionFilter, op
 	if mgr == nil {
 		return nil, errors.New("server: nil ingest manager")
 	}
-	return newServer(mgr.Registry(), mgr, filterFactory, opts)
+	return newServer(mgr.Registry(), mgr, nil, filterFactory, opts)
 }
 
-func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory func() filter.PositionFilter, opts []Option) (*Server, error) {
+func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, vr *venue.Registry, filterFactory func() filter.PositionFilter, opts []Option) (*Server, error) {
 	if filterFactory == nil {
 		filterFactory = func() filter.PositionFilter {
 			return &filter.Kalman{Dt: 1, ProcessNoise: 0.6, MeasurementNoise: 7}
@@ -222,6 +228,7 @@ func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory fu
 	s := &Server{
 		reg:       reg,
 		ing:       mgr,
+		venues:    vr,
 		MaxBatch:  DefaultMaxBatch,
 		newFilter: filterFactory,
 		started:   time.Now(),
@@ -235,20 +242,46 @@ func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, filterFactory fu
 	defs := []routeDef{
 		{name: "healthz", path: "/healthz", get: s.handleHealth},
 		{name: "algorithms", path: "/algorithms", get: s.handleAlgorithms},
-		{name: "locations", path: "/locations", get: s.handleLocations},
 	}
 	if !o.noMetrics {
 		defs = append(defs, routeDef{name: "metrics", path: "/metrics", get: s.handleMetrics})
 	}
-	defs = append(defs,
-		routeDef{name: "locate", path: "/locate", post: s.handleLocate, maxBody: bodyCap(defaultMaxBody)},
-		routeDef{name: "locate_batch", path: "/locate/batch", post: s.handleLocateBatch, maxBody: bodyCap(maxBatchBody)},
-		routeDef{name: "track", path: "/track/", prefix: true,
-			post: s.handleTrackPost, del: s.handleTrackDelete, maxBody: bodyCap(defaultMaxBody)},
-	)
-	if mgr != nil {
-		defs = append(defs, routeDef{name: "train_report", path: "/train/report",
-			post: s.handleTrainReport, maxBody: bodyCap(maxTrainBody)})
+	if vr != nil {
+		// The versioned namespace, plus the legacy unversioned routes as
+		// aliases onto the registry's default venue (the venue handlers
+		// fall back to the default when the path carries no venue id).
+		defs = append(defs,
+			routeDef{name: "venues", path: "/v1/venues", get: s.handleVenues},
+			routeDef{name: "venue_status", venue: true, path: "", get: s.handleVenueStatus},
+			routeDef{name: "venue_locations", venue: true, path: "/locations", get: s.handleVenueLocations},
+			routeDef{name: "venue_locate", venue: true, path: "/locate",
+				post: s.handleVenueLocate, maxBody: bodyCap(defaultMaxBody)},
+			routeDef{name: "venue_locate_batch", venue: true, path: "/locate/batch",
+				post: s.handleVenueLocateBatch, maxBody: bodyCap(maxBatchBody)},
+			routeDef{name: "venue_track", venue: true, path: "/track/", prefix: true,
+				post: s.handleVenueTrackPost, del: s.handleVenueTrackDelete, maxBody: bodyCap(defaultMaxBody)},
+			routeDef{name: "venue_train", venue: true, path: "/train/report",
+				post: s.handleVenueTrainReport, maxBody: bodyCap(maxTrainBody)},
+			routeDef{name: "locations", path: "/locations", get: s.handleVenueLocations},
+			routeDef{name: "locate", path: "/locate", post: s.handleVenueLocate, maxBody: bodyCap(defaultMaxBody)},
+			routeDef{name: "locate_batch", path: "/locate/batch", post: s.handleVenueLocateBatch, maxBody: bodyCap(maxBatchBody)},
+			routeDef{name: "track", path: "/track/", prefix: true,
+				post: s.handleVenueTrackPost, del: s.handleVenueTrackDelete, maxBody: bodyCap(defaultMaxBody)},
+			routeDef{name: "train_report", path: "/train/report",
+				post: s.handleVenueTrainReport, maxBody: bodyCap(maxTrainBody)},
+		)
+	} else {
+		defs = append(defs,
+			routeDef{name: "locations", path: "/locations", get: s.handleLocations},
+			routeDef{name: "locate", path: "/locate", post: s.handleLocate, maxBody: bodyCap(defaultMaxBody)},
+			routeDef{name: "locate_batch", path: "/locate/batch", post: s.handleLocateBatch, maxBody: bodyCap(maxBatchBody)},
+			routeDef{name: "track", path: "/track/", prefix: true,
+				post: s.handleTrackPost, del: s.handleTrackDelete, maxBody: bodyCap(defaultMaxBody)},
+		)
+		if mgr != nil {
+			defs = append(defs, routeDef{name: "train_report", path: "/train/report",
+				post: s.handleTrainReport, maxBody: bodyCap(maxTrainBody)})
+		}
 	}
 	if o.routeTimeout > 0 {
 		for i := range defs {
@@ -322,10 +355,42 @@ type locateResponse struct {
 	Algorithm        string  `json:"algorithm"`
 }
 
-// errorResponse is every error body.
+// errorResponse is every error body the service emits, from the
+// routing layer down to the handlers: an envelope carrying a stable
+// machine-readable code next to the human-readable message.
+//
+//	{"error": {"code": "venue_not_found", "message": "venue: unknown venue: \"x\""}}
+//
+// Clients branch on the code; the message is for humans and carries no
+// stability promise. The two 404 families stay distinguishable —
+// no_route (the path names no endpoint) versus venue_not_found /
+// track_not_found (the endpoint exists, the resource does not).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// The stable error codes. Add, never repurpose.
+const (
+	codeBadRequest       = "bad_request"
+	codeNoRoute          = "no_route"
+	codeVenueNotFound    = "venue_not_found"
+	codeTrackNotFound    = "track_not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeBodyTooLarge     = "body_too_large"
+	codeBatchTooLarge    = "batch_too_large"
+	codePathTooLong      = "path_too_long"
+	codeUnprocessable    = "unprocessable"
+	codeQueueFull        = "queue_full"
+	codeVenueFrozen      = "venue_frozen"
+	codeVenueLoadFailed  = "venue_load_failed"
+	codeInternal         = "internal"
+	codeTimeout          = "timeout"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -333,11 +398,72 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError derives the code from the error and status; call sites
+// with a more specific code use writeErrorCode directly.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeErrorCode(w, status, codeFor(status, err), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
+}
+
+// codeFor maps an error (and its HTTP status) to the stable code.
+func codeFor(status int, err error) string {
+	switch {
+	case errors.Is(err, errNoRoute):
+		return codeNoRoute
+	case errors.Is(err, errMethodNotAllowed):
+		return codeMethodNotAllowed
+	case errors.Is(err, errPathTooLong):
+		return codePathTooLong
+	case errors.Is(err, errRouteTimeout):
+		return codeTimeout
+	case errors.Is(err, errBodyTooLarge):
+		return codeBodyTooLarge
+	case errors.Is(err, errBatchTooLarge):
+		return codeBatchTooLarge
+	case errors.Is(err, ingest.ErrQueueFull):
+		return codeQueueFull
+	case errors.Is(err, ingest.ErrInvalidReport):
+		return codeBadRequest
+	case errors.Is(err, venue.ErrUnknownVenue), errors.Is(err, venue.ErrInvalidID):
+		return codeVenueNotFound
+	case errors.Is(err, venue.ErrFrozen):
+		return codeVenueFrozen
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusNotFound:
+		return codeNoRoute
+	case http.StatusMethodNotAllowed:
+		return codeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return codeBodyTooLarge
+	case http.StatusRequestURITooLong:
+		return codePathTooLong
+	case http.StatusUnprocessableEntity:
+		return codeUnprocessable
+	case http.StatusTooManyRequests:
+		return codeQueueFull
+	case http.StatusServiceUnavailable:
+		return codeTimeout
+	default:
+		return codeInternal
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.venues != nil {
+		st := s.venues.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"mode":   "multi-venue",
+			"venues": st,
+		})
+		return
+	}
 	snap := s.current()
 	svc := snap.Service
 	body := map[string]any{
@@ -363,12 +489,16 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLocations(w http.ResponseWriter, r *http.Request) {
+	s.locations(w, s.current().Service)
+}
+
+func (s *Server) locations(w http.ResponseWriter, svc *core.Service) {
 	type loc struct {
 		Name string  `json:"name"`
 		X    float64 `json:"x"`
 		Y    float64 `json:"y"`
 	}
-	db := s.current().Service.DB
+	db := svc.DB
 	out := make([]loc, 0, db.Len())
 	for _, name := range db.Names() {
 		e := db.Entries[name]
@@ -431,12 +561,15 @@ func decodeStatus(err error) int {
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	s.locate(w, r, s.current().Service)
+}
+
+func (s *Server) locate(w http.ResponseWriter, r *http.Request, svc *core.Service) {
 	obs, err := parseObservation(r)
 	if err != nil {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
-	svc := s.current().Service
 	res, err := svc.Locate(obs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -727,6 +860,12 @@ func (a *batchArena) decodeSlow(max int) (int, error) {
 }
 
 func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	// One snapshot answers the whole batch: the fan-out, the name and
+	// room lookups, and the reported algorithm all come from it.
+	s.locateBatch(w, r, s.current().Service)
+}
+
+func (s *Server) locateBatch(w http.ResponseWriter, r *http.Request, svc *core.Service) {
 	max := s.MaxBatch
 	if max <= 0 {
 		max = DefaultMaxBatch
@@ -747,9 +886,6 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch: need at least one observation"))
 		return
 	}
-	// One snapshot answers the whole batch: the fan-out, the name and
-	// room lookups, and the reported algorithm all come from it.
-	svc := s.current().Service
 	for len(a.results) < n {
 		a.results = append(a.results, localize.BatchResult{})
 	}
@@ -797,28 +933,52 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	w.Write(a.out.Bytes())
 }
 
-// trackClient extracts the client id from a /track/{client} path. The
-// router guarantees the suffix is one non-empty segment — an unknown
+// trackClient extracts the client id from a .../track/{client} path —
+// the legacy /track/{client} and the venue tier's
+// /v1/venues/{venue}/track/{client} alike. The router guarantees the
+// suffix after the last /track/ is one non-empty segment — an unknown
 // subpath like /track/a/b never reaches these handlers (uniform 404).
-func trackClient(r *http.Request) string { return r.URL.Path[len("/track/"):] }
+//
+//loclint:hotpath
+func trackClient(r *http.Request) string {
+	p := r.URL.Path
+	return p[strings.LastIndex(p, "/track/")+len("/track/"):]
+}
 
 func (s *Server) handleTrackDelete(w http.ResponseWriter, r *http.Request) {
+	s.trackDelete(w, r, "")
+}
+
+// trackDelete forgets keyPrefix+client's tracking state. keyPrefix
+// scopes the tracker table per venue ("" for a single-venue server).
+func (s *Server) trackDelete(w http.ResponseWriter, r *http.Request, keyPrefix string) {
 	client := trackClient(r)
-	if _, existed := s.trackers.LoadAndDelete(client); !existed {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no track for %q", client))
+	key := client
+	if keyPrefix != "" {
+		key = keyPrefix + client
+	}
+	if _, existed := s.trackers.LoadAndDelete(key); !existed {
+		writeErrorCode(w, http.StatusNotFound, codeTrackNotFound, fmt.Errorf("no track for %q", client))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "forgotten"})
 }
 
 func (s *Server) handleTrackPost(w http.ResponseWriter, r *http.Request) {
+	s.trackPost(w, r, s.current().Service, "")
+}
+
+func (s *Server) trackPost(w http.ResponseWriter, r *http.Request, svc *core.Service, keyPrefix string) {
 	client := trackClient(r)
+	key := client
+	if keyPrefix != "" {
+		key = keyPrefix + client
+	}
 	obs, err := parseObservation(r)
 	if err != nil {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
-	svc := s.current().Service
 	est, err := svc.Locator.Locate(obs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -830,9 +990,9 @@ func (s *Server) handleTrackPost(w http.ResponseWriter, r *http.Request) {
 	// update may orphan the slot after we fetched it — the update
 	// then lands on state the next POST will rebuild, which is the
 	// same outcome as the DELETE arriving a moment later.
-	slotAny, ok := s.trackers.Load(client)
+	slotAny, ok := s.trackers.Load(key)
 	if !ok {
-		slotAny, _ = s.trackers.LoadOrStore(client, &clientTrack{})
+		slotAny, _ = s.trackers.LoadOrStore(key, &clientTrack{})
 	}
 	slot := slotAny.(*clientTrack)
 	slot.mu.Lock()
@@ -840,7 +1000,7 @@ func (s *Server) handleTrackPost(w http.ResponseWriter, r *http.Request) {
 		tr, err := track.New(svc.Locator, s.newFilter())
 		if err != nil {
 			slot.mu.Unlock()
-			s.trackers.Delete(client)
+			s.trackers.Delete(key)
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -880,13 +1040,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	buf := metricsBufPool.Get().(*bytes.Buffer)
 	defer metricsBufPool.Put(buf)
 	buf.Reset()
-	snap := s.current()
 	gauges := make([]metrics.Gauge, 0, 16)
+	if s.venues != nil {
+		st := s.venues.Stats()
+		gauges = append(gauges,
+			metrics.Gauge{Name: "indoorloc_venues_loaded",
+				Help: "Venues resident in memory.", Value: float64(st.Loaded)},
+			metrics.Gauge{Name: "indoorloc_venues_resident_bytes",
+				Help: "Accounted bytes of resident venues.", Value: float64(st.ResidentBytes)},
+			metrics.Gauge{Name: "indoorloc_venues_budget_bytes",
+				Help: "Configured venue memory budget (0 = unbounded).", Value: float64(st.MaxBytes)},
+			metrics.Gauge{Name: "indoorloc_venue_loads_total", Counter: true,
+				Help: "Completed venue cold loads.", Value: float64(st.Loads)},
+			metrics.Gauge{Name: "indoorloc_venue_load_errors_total", Counter: true,
+				Help: "Failed venue cold loads.", Value: float64(st.LoadErrors)},
+			metrics.Gauge{Name: "indoorloc_venue_evictions_total", Counter: true,
+				Help: "Venues evicted by the LRU memory budget.", Value: float64(st.Evictions)},
+			metrics.Gauge{Name: "indoorloc_venue_cold_load_p50_seconds",
+				Help: "Median venue cold-load latency.", Value: st.ColdLoadP50.Seconds()},
+			metrics.Gauge{Name: "indoorloc_venue_cold_load_p99_seconds",
+				Help: "99th-percentile venue cold-load latency.", Value: st.ColdLoadP99.Seconds()},
+		)
+	} else {
+		snap := s.current()
+		gauges = append(gauges,
+			metrics.Gauge{Name: "indoorloc_snapshot_generation",
+				Help: "Radio-map generation of the serving snapshot.", Value: float64(snap.Generation)},
+			metrics.Gauge{Name: "indoorloc_snapshot_locations",
+				Help: "Training locations in the serving snapshot.", Value: float64(snap.Service.DB.Len())},
+		)
+	}
 	gauges = append(gauges,
-		metrics.Gauge{Name: "indoorloc_snapshot_generation",
-			Help: "Radio-map generation of the serving snapshot.", Value: float64(snap.Generation)},
-		metrics.Gauge{Name: "indoorloc_snapshot_locations",
-			Help: "Training locations in the serving snapshot.", Value: float64(snap.Service.DB.Len())},
 		metrics.Gauge{Name: "indoorloc_tracks_active",
 			Help: "Clients with live tracking state.", Value: float64(s.ActiveTracks())},
 		metrics.Gauge{Name: "indoorloc_uptime_seconds",
@@ -932,6 +1116,10 @@ type trainRequest struct {
 const maxTrainBody = 8 << 20
 
 func (s *Server) handleTrainReport(w http.ResponseWriter, r *http.Request) {
+	s.trainReport(w, r, s.ing)
+}
+
+func (s *Server) trainReport(w http.ResponseWriter, r *http.Request, mgr *ingest.Manager) {
 	var req trainRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxTrainBody))
 	dec.DisallowUnknownFields()
@@ -951,12 +1139,12 @@ func (s *Server) handleTrainReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty request: need a report or reports"))
 		return
 	}
-	if err := s.ing.Submit(reports...); err != nil {
+	if err := mgr.Submit(reports...); err != nil {
 		if errors.Is(err, ingest.ErrQueueFull) {
 			// The backpressure contract: nothing was journaled, the
 			// client should retry the whole batch after the advertised
 			// backoff.
-			secs := int(s.ing.RetryAfter().Round(time.Second) / time.Second)
+			secs := int(mgr.RetryAfter().Round(time.Second) / time.Second)
 			if secs < 1 {
 				secs = 1
 			}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"indoorloc/internal/filter"
+	"indoorloc/internal/venue"
+)
+
+// This file is the HTTP face of multi-tenancy: the /v1/venues
+// namespace over a venue.Registry. Every serving handler follows the
+// same frame — resolve the venue from the path (or the configured
+// default for the legacy unversioned aliases), pin it for the request,
+// answer from its snapshot, release. The resolution adds zero
+// allocations on the resident-venue hot path: the id is sliced out of
+// r.URL.Path (the router already proved the shape), Acquire is a
+// lock-free map read, and the pin is two atomics.
+
+// NewMultiVenue builds a server over a venue registry: one process,
+// many venues, each lazily loaded and LRU-evicted under the registry's
+// memory budget.
+//
+//	GET    /v1/venues                       → venue listing + registry stats
+//	GET    /v1/venues/{venue}               → one venue's status
+//	GET    /v1/venues/{venue}/locations     → training locations
+//	POST   /v1/venues/{venue}/locate        → localize one observation
+//	POST   /v1/venues/{venue}/locate/batch  → localize many observations
+//	POST   /v1/venues/{venue}/track/{client}   → stateful tracking
+//	DELETE /v1/venues/{venue}/track/{client}   → forget a track
+//	POST   /v1/venues/{venue}/train/report  → live training (WAL venues)
+//
+// The unversioned routes (/locate, /locate/batch, /locations,
+// /track/{client}, /train/report) remain as deprecated aliases onto
+// the registry's default venue; with no default configured they answer
+// venue_not_found. Tracking state is scoped per venue — client "cart-7"
+// in one venue never collides with "cart-7" in another, and the legacy
+// aliases share the default venue's scope.
+func NewMultiVenue(vr *venue.Registry, filterFactory func() filter.PositionFilter, opts ...Option) (*Server, error) {
+	if vr == nil {
+		return nil, errors.New("server: nil venue registry")
+	}
+	return newServer(nil, nil, vr, filterFactory, opts)
+}
+
+// Venues returns the registry a multi-venue server serves from; nil
+// for single-venue servers.
+func (s *Server) Venues() *venue.Registry { return s.venues }
+
+// venueID slices the venue id out of a /v1/venues/{venue}... path;
+// empty for the legacy alias routes (no venue segment).
+//
+//loclint:hotpath
+func venueID(r *http.Request) string {
+	p := r.URL.Path
+	if len(p) <= len(venuePrefix) || p[:len(venuePrefix)] != venuePrefix {
+		return ""
+	}
+	rest := p[len(venuePrefix):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// errNoDefaultVenue answers legacy-alias requests when the registry
+// has no default venue configured.
+var errNoDefaultVenue = errors.New("no default venue configured; use /v1/venues/{venue}/...")
+
+// resolveVenue pins the request's venue: the path's id, or the default
+// for legacy aliases. On false the error response has been written.
+// The caller must Release the returned venue.
+func (s *Server) resolveVenue(w http.ResponseWriter, r *http.Request) (*venue.Venue, bool) {
+	id := venueID(r)
+	if id == "" {
+		id = s.venues.DefaultID()
+		if id == "" {
+			writeErrorCode(w, http.StatusNotFound, codeVenueNotFound, errNoDefaultVenue)
+			return nil, false
+		}
+	}
+	v, err := s.venues.Acquire(id)
+	if err != nil {
+		if errors.Is(err, venue.ErrUnknownVenue) || errors.Is(err, venue.ErrInvalidID) {
+			writeErrorCode(w, http.StatusNotFound, codeVenueNotFound, err)
+		} else {
+			writeErrorCode(w, http.StatusInternalServerError, codeVenueLoadFailed, err)
+		}
+		return nil, false
+	}
+	return v, true
+}
+
+// venuesResponse is the GET /v1/venues body.
+type venuesResponse struct {
+	Venues   []venue.Status `json:"venues"`
+	Registry venue.Stats    `json:"registry"`
+}
+
+func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
+	list, err := s.venues.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, venuesResponse{Venues: list, Registry: s.venues.Stats()})
+}
+
+func (s *Server) handleVenueStatus(w http.ResponseWriter, r *http.Request) {
+	// Status never forces a cold load: probing a venue must not churn
+	// the LRU or spend a load on an operator's curiosity.
+	st, err := s.venues.Status(venueID(r))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleVenueLocations(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	s.locations(w, v.Snapshot().Service)
+}
+
+//loclint:hotpath
+func (s *Server) handleVenueLocate(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	s.locate(w, r, v.Snapshot().Service)
+}
+
+//loclint:hotpath
+func (s *Server) handleVenueLocateBatch(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	// One snapshot answers the whole batch, as in the single-venue
+	// path; the venue pin additionally keeps its mapping alive.
+	s.locateBatch(w, r, v.Snapshot().Service)
+}
+
+func (s *Server) handleVenueTrackPost(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	// The venue id scopes the tracker key; '\x00' cannot appear in a
+	// venue id, so scopes can never collide by concatenation.
+	s.trackPost(w, r, v.Snapshot().Service, v.ID+"\x00")
+}
+
+func (s *Server) handleVenueTrackDelete(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	s.trackDelete(w, r, v.ID+"\x00")
+}
+
+func (s *Server) handleVenueTrainReport(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.resolveVenue(w, r)
+	if !ok {
+		return
+	}
+	defer v.Release()
+	mgr := v.Manager()
+	if mgr == nil {
+		// Artifact-backed venues (and .tdb venues without a WAL dir) are
+		// frozen: 409, not 404 — the endpoint and venue both exist, the
+		// venue just cannot accept training.
+		writeErrorCode(w, http.StatusConflict, codeVenueFrozen, venue.ErrFrozen)
+		return
+	}
+	s.trainReport(w, r, mgr)
+}

@@ -3,6 +3,7 @@ package trainingdb
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // OpenCompiledFile loads a v2 artifact for serving: the file is
@@ -61,7 +62,7 @@ func OpenCompiledFile(path string) (c *Compiled, close func() error, err error) 
 			closer()
 			return nil, nil, err
 		}
-		return c, closer, nil
+		return c, idempotentClose(closer), nil
 	}
 	data, err := os.ReadFile(path)
 	f.Close()
@@ -73,4 +74,20 @@ func OpenCompiledFile(path string) (c *Compiled, close func() error, err error) 
 		return nil, nil, err
 	}
 	return c, func() error { return nil }, nil
+}
+
+// idempotentClose makes a close func safe to call more than once:
+// double-closing a munmap'd region would unmap whatever got remapped
+// there in between, so every call after the first returns the first
+// call's result without re-closing. The close funcs this package hands
+// out flow through several owners (service, instance, venue registry,
+// deferred cleanup on error paths) and the cheapest correct contract
+// is that all of them may call it.
+func idempotentClose(f func() error) func() error {
+	var once sync.Once
+	var err error
+	return func() error {
+		once.Do(func() { err = f() })
+		return err
+	}
 }
