@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak bench-venues fuzz-smoke
+.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak bench-venues bench-repl fuzz-smoke
 
 check: build vet lint race ## full CI gate
 
@@ -26,6 +26,7 @@ fuzz-smoke: ## 10s smoke run of each fuzz target
 	$(GO) test -run '^$$' -fuzz FuzzWiscanParse -fuzztime 10s ./internal/wiscan/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/ingest/
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 10s ./internal/trainingdb/
+	$(GO) test -run '^$$' -fuzz FuzzReplFrameDecode -fuzztime 10s ./internal/repl/
 
 bench: ## hot-path localization benchmarks (see BENCH_hotpath.json)
 	$(GO) test -run '^$$' -bench 'BenchmarkProbabilisticLargeMap$$|BenchmarkProbabilisticLocalize$$|BenchmarkHistogramLocalize$$|BenchmarkKNNSweep/k=3$$|BenchmarkBatchLocalize/workers=4$$|BenchmarkServerLocate$$' -benchmem -benchtime=2s .
@@ -41,3 +42,7 @@ bench-soak: ## 60s mixed-traffic soak of the serving front end (see BENCH_soak.j
 
 bench-venues: ## 1000-venue city soak under an LRU budget (see BENCH_venues.json)
 	$(GO) run ./cmd/soak -venues 1000 -duration 30s -workers 8 -out BENCH_venues.json
+
+bench-repl: ## trainer + 2-follower replication fleet soak over a 100k-entry map (see BENCH_repl.json)
+	$(GO) run ./cmd/soak -followers 2 -duration 15s -workers 4 -preload 5000 \
+		-map-entries 100000 -locate-qps 50 -out BENCH_repl.json

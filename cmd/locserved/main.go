@@ -46,9 +46,20 @@
 // -train-sync fsyncs the journal on every accepted batch. On startup
 // the journal is replayed, so a crash or restart loses no accepted
 // report.
+//
+// Replication turns one trainer into a read fleet. On the trainer,
+// -replicate (needs -train-wal) exposes GET /v1/replicate/snapshot
+// and GET /v1/replicate/wal; on each follower, -follow=<trainer-url>
+// replaces -db/-map-file entirely — the follower bootstraps its radio
+// map from the trainer's snapshot, tails the WAL folding every report
+// exactly as the trainer does, and hot-swaps on every trainer publish.
+// Followers are read-only (POST /train/report answers 409
+// venue_frozen) and report replication lag on /healthz and /metrics.
+// -follow-timeout bounds the wait for the first bootstrap.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +74,7 @@ import (
 	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
 	"indoorloc/internal/locmap"
+	"indoorloc/internal/repl"
 	"indoorloc/internal/server"
 	"indoorloc/internal/trainingdb"
 	"indoorloc/internal/venue"
@@ -108,18 +120,36 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		trainSnap     = fs.Float64("train-snap-radius", 0, "feet within which coordinate reports fold into an existing entry (0 = 10)")
 		trainSync     = fs.Bool("train-sync", false, "fsync the report journal on every accepted batch")
 		trainArtifact = fs.String("train-artifact", "", "write the compiled radio map as a v2 artifact here after every swap")
+
+		replicate = fs.Bool("replicate", false, "expose GET /v1/replicate/{snapshot,wal} for followers; needs -train-wal")
+		follow    = fs.String("follow", "", "trainer base URL; serve as a read-only replication follower (replaces -db/-map-file)")
+		followTO  = fs.Duration("follow-timeout", 0, "max wait for the follower's first snapshot bootstrap (0 = 1m)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sources := 0
-	for _, set := range []bool{*dbPath != "", *mapFile != "", *venueDir != ""} {
+	for _, set := range []bool{*dbPath != "", *mapFile != "", *venueDir != "", *follow != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return errors.New("need exactly one of -db FILE, -map-file FILE or -venues DIR")
+		return errors.New("need exactly one of -db FILE, -map-file FILE, -venues DIR or -follow URL")
+	}
+	if *follow != "" && (*trainWAL != "" || *planPath != "") {
+		// A follower's map and names come from the trainer; local
+		// training would fork the replicated history.
+		return errors.New("-follow replicates the trainer's map; -train-wal and -plan do not apply")
+	}
+	if *follow == "" && *followTO != 0 {
+		return errors.New("-follow-timeout needs -follow URL")
+	}
+	if *followTO < 0 {
+		return errors.New("-follow-timeout must be non-negative")
+	}
+	if *replicate && *trainWAL == "" {
+		return errors.New("-replicate streams the report journal; it needs -train-wal FILE")
 	}
 	if *venueDir == "" && (*venueBudget != 0 || *venueDefault != "" || *venueWALDir != "") {
 		return errors.New("-venues-budget, -default-venue and -venues-wal-dir need -venues DIR")
@@ -190,7 +220,35 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	var srv *server.Server
 	var mgr *ingest.Manager
 	var venues *venue.Registry
+	var fol *repl.Follower
 	switch {
+	case *follow != "":
+		// Follower mode: the radio map is the trainer's, bootstrapped
+		// from its snapshot endpoint and kept current by tailing its
+		// WAL. The process serves reads only.
+		to := *followTO
+		if to == 0 {
+			to = time.Minute
+		}
+		var err error
+		fol, err = repl.NewFollower(repl.FollowerConfig{
+			TrainerURL: *follow,
+			Algorithm:  *algo,
+			Build:      cfg,
+		})
+		if err != nil {
+			return err
+		}
+		bctx, cancel := context.WithTimeout(context.Background(), to)
+		err = fol.Start(bctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		defer fol.Close()
+		if srv, err = server.NewFollower(fol, nil, opts...); err != nil {
+			return err
+		}
 	case *venueDir != "":
 		// Multi-venue mode: one process hosts every venue in the
 		// directory, lazily loaded and LRU-evicted under the budget.
@@ -256,7 +314,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		}
 
 		if *trainWAL != "" {
-			mgr, err = ingest.NewManager(db, rebuild, ingest.Config{
+			icfg := ingest.Config{
 				WALPath:         *trainWAL,
 				SyncEveryAppend: *trainSync,
 				QueueDepth:      *trainQueue,
@@ -264,11 +322,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 				FlushInterval:   *trainIvl,
 				SnapRadius:      *trainSnap,
 				ArtifactPath:    *trainArtifact,
-			})
+			}
+			var src *repl.Source
+			if *replicate {
+				src = repl.NewSource(repl.SourceConfig{})
+				icfg.OnPublish = src.OnPublish
+				opts = append(opts, server.WithReplicationSource(src))
+			}
+			mgr, err = ingest.NewManager(db, rebuild, icfg)
 			if err != nil {
 				return err
 			}
 			defer mgr.Close()
+			if src != nil {
+				src.Bind(mgr)
+			}
 			if srv, err = server.NewLive(mgr, nil, opts...); err != nil {
 				return err
 			}
@@ -308,6 +376,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if mgr != nil {
 			st := mgr.Stats()
 			mode = fmt.Sprintf("live training via %s (%d replayed)", *trainWAL, st.Replayed)
+			if *replicate {
+				mode += ", replicating"
+			}
+		}
+		if fol != nil {
+			mode = fmt.Sprintf("following %s at generation %d", *follow, fol.Stats().Generation)
 		}
 		fmt.Fprintf(out, "locserved: %s algorithm over %d locations (%s), listening on %s\n",
 			snap.Service.Locator.Name(), snap.Service.DB.Len(), mode, ln.Addr())

@@ -181,6 +181,14 @@ func run(args []string, out io.Writer) error {
 		outPath   = fs.String("out", "", "write the JSON report here (default stdout only)")
 		refPath   = fs.String("ref", "BENCH_serving.json", "serving benchmark file for the reference section ('' = skip)")
 
+		followers  = fs.Int("followers", 0, "replication mode: soak 1 in-process trainer + N followers (replaces the single-venue mix)")
+		preload    = fs.Int("preload", 2000, "reports folded into the trainer before cold catch-up is timed (-followers mode)")
+		reportsQPS = fs.Float64("reports-qps", 200, "trainer ingest rate during the steady-state phase (-followers mode)")
+		locateQPS  = fs.Float64("locate-qps", 300, "paced locate rate per node during the steady-state phase (-followers mode)")
+		capSlice   = fs.Duration("cap-slice", 0, "saturated capacity slice per node (-followers mode; 0 = duration/2 clamped to [500ms, 5s])")
+		mapEntries = fs.Int("map-entries", 0, "replicate a synthetic map this large instead of the paper house (-followers mode)")
+		mapAPs     = fs.Int("map-aps", 0, "APs in the synthetic map (-followers mode with -map-entries; 0 = 8)")
+
 		venues       = fs.Int("venues", 0, "city-scale mode: soak N synthetic venues behind /v1/venues under an LRU budget (replaces the single-venue mix)")
 		venuesBudget = fs.Int64("venues-budget", 0, "LRU memory budget in bytes for -venues mode (0 = a quarter of the generated city)")
 		venuesDir    = fs.String("venues-dir", "", "reuse/emit city artifacts here instead of a temp dir (-venues mode)")
@@ -189,6 +197,23 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *followers > 0 {
+		if *venues > 0 {
+			return errors.New("-followers and -venues are mutually exclusive")
+		}
+		return runFollow(followSoakOpts{
+			followers:  *followers,
+			preload:    *preload,
+			duration:   *duration,
+			capSlice:   *capSlice,
+			workers:    *workers,
+			reportsQPS: *reportsQPS,
+			locateQPS:  *locateQPS,
+			mapEntries: *mapEntries,
+			mapAPs:     *mapAPs,
+			outPath:    *outPath,
+		}, out)
 	}
 	if *venues > 0 {
 		return runVenues(venueSoakOpts{

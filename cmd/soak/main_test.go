@@ -106,6 +106,75 @@ func TestSoakSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakFollowSmoke runs the replication fleet mode end to end at CI
+// size: one trainer, two followers, a small preload, two seconds of
+// steady state and sub-second capacity slices. It asserts the claims
+// BENCH_repl.json documents — every follower bootstraps exactly once
+// and ends streaming at the trainer's generation, steady-state traffic
+// sees zero errors, and two followers' summed saturated throughput
+// clears 1.8× a single node — and it must finish well inside the
+// 60-second CI allowance.
+func TestSoakFollowSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-node fleet; skipped in -short")
+	}
+	outPath := filepath.Join(t.TempDir(), "repl.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-followers", "2", "-duration", "2s", "-workers", "2",
+		"-preload", "300", "-reports-qps", "100", "-locate-qps", "200",
+		"-cap-slice", "750ms", "-out", outPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep followReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if len(rep.ColdCatchup) != 2 {
+		t.Fatalf("%d cold catch-up records, want 2", len(rep.ColdCatchup))
+	}
+	for _, c := range rep.ColdCatchup {
+		if c.Seconds <= 0 || c.HeadSeq < 300 {
+			t.Errorf("implausible catch-up record: %+v", c)
+		}
+	}
+	ss := rep.SteadyState
+	if ss.Reports == 0 || ss.ReportErrors != 0 || ss.LocateErrors != 0 {
+		t.Errorf("steady state not clean: %+v", ss)
+	}
+	if ss.LagSamples == 0 {
+		t.Error("no lag samples collected")
+	}
+	if ss.Trainer.Count == 0 || ss.Follower.Count == 0 ||
+		ss.Trainer.P50us <= 0 || ss.Follower.P50us <= 0 {
+		t.Errorf("locate latency records implausible: trainer %+v follower %+v", ss.Trainer, ss.Follower)
+	}
+	if rep.Capacity.SingleRPS <= 0 || len(rep.Capacity.PerFollower) != 2 {
+		t.Fatalf("implausible capacity record: %+v", rep.Capacity)
+	}
+	// The acceptance bar: two read replicas together must beat 1.8× one
+	// node. They run the same serving stack measured sequentially, so
+	// anything below that means replication taxed the hot path.
+	if rep.Capacity.Scaling < 1.8 {
+		t.Errorf("fleet scaling %.2f× vs single node, want ≥ 1.8×", rep.Capacity.Scaling)
+	}
+	for _, f := range rep.Followers {
+		if f.State != "streaming" || f.Bootstraps != 1 || f.Folded == 0 {
+			t.Errorf("follower %d ended unhealthy: %+v", f.Follower, f)
+		}
+	}
+	if rep.Followers[0].Generation != rep.Followers[1].Generation {
+		t.Errorf("followers ended at different generations: %d vs %d",
+			rep.Followers[0].Generation, rep.Followers[1].Generation)
+	}
+}
+
 func TestSoakFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	for _, args := range [][]string{
@@ -115,6 +184,9 @@ func TestSoakFlagErrors(t *testing.T) {
 		{"-mix", "locate=50"},
 		{"-venues-budget", "1024"},          // needs -venues
 		{"-venues", "10", "-zipf-s", "1.0"}, // zipf skew must exceed 1
+		{"-followers", "2", "-preload", "0"},
+		{"-followers", "2", "-reports-qps", "0"},
+		{"-followers", "1", "-venues", "5"}, // mutually exclusive modes
 	} {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)

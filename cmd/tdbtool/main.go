@@ -33,6 +33,7 @@ import (
 	"os"
 	"sort"
 
+	"indoorloc/internal/ingest"
 	"indoorloc/internal/sim"
 	"indoorloc/internal/trainingdb"
 )
@@ -307,6 +308,13 @@ func runInspect(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "%s (%s payloads, %d bytes)\n", info.Version, order, len(data))
 	fmt.Fprintf(out, "generation: %d\nlocations: %d\nAPs: %d\nfloor: %.1f dBm (σ %.1f)\n",
 		info.Generation, info.NumEntries, info.NumAPs, info.FloorRSSI, info.FloorSigma)
+	// A live trainer writes a "<FILE>.manifest" sidecar tying the
+	// artifact to its WAL position; surface it when present so an
+	// operator can line a follower's snapshot up with the journal.
+	if am, err := ingest.ReadArtifactManifest(fs.Arg(0)); err == nil {
+		fmt.Fprintf(out, "wal watermark: %d (epoch %016x, built %s)\n",
+			am.Watermark, am.Epoch, am.BuiltAt.Format("2006-01-02T15:04:05Z07:00"))
+	}
 	fmt.Fprintf(out, "matrices: quantized=%v float64=%v\n", info.Quantized, info.HasFloat64)
 	fmt.Fprintf(out, "sections (%d):\n", len(info.Sections))
 	for _, s := range info.Sections {

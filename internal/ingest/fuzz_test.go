@@ -66,7 +66,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Appending to the repaired log must survive a reopen.
 		add := Report{Name: "fuzz", Observation: map[string]float64{"aa:bb": -50}}
-		if err := w2.Append(add); err != nil {
+		if _, err := w2.Append(add); err != nil {
 			t.Fatalf("append after repair: %v", err)
 		}
 		if err := w2.Close(); err != nil {

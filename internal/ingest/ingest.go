@@ -1,8 +1,11 @@
 package ingest
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,7 +89,42 @@ type Config struct {
 	// serving path. The locator must expose its compiled view
 	// (localize.CompiledSource); a rebuild whose locator does not is
 	// counted as an artifact error and the snapshot still serves.
+	// A "<ArtifactPath>.manifest" sidecar records the generation, WAL
+	// watermark and epoch of each write, so operators (tdbtool inspect)
+	// can correlate the artifact with trainer state.
 	ArtifactPath string
+	// OnPublish, when set, is called on the compactor goroutine after
+	// every snapshot publish (including the initial build) with the
+	// frozen state the snapshot was built from. The replication source
+	// uses it to capture the artifact + exact-resume payload a follower
+	// bootstraps from. The callback must not block for long — it runs
+	// on the fold/recompile path (never the serving path) — and must
+	// treat the event's DB and Compiled as immutable.
+	OnPublish func(PublishEvent)
+}
+
+// PublishEvent describes one published snapshot to Config.OnPublish.
+type PublishEvent struct {
+	// Snapshot is what was published to the registry.
+	Snapshot *core.Snapshot
+	// DB is the frozen database view the snapshot was built from. Its
+	// entries are protected by the compactor's copy-on-write discipline:
+	// they are never mutated after the freeze, so the callback may read
+	// them at any later time.
+	DB *trainingdb.DB
+	// Compiled is the locator's dense radio-map view, nil when the
+	// snapshot's locator does not expose one (then the snapshot cannot
+	// be replicated from).
+	Compiled *trainingdb.Compiled
+	// Watermark is the WAL sequence folded into the snapshot: every
+	// record with seq ≤ Watermark is reflected (folded, or counted
+	// dropped by the resolution rules), none above it are.
+	Watermark uint64
+	// Epoch is the WAL lifetime identifier (WAL.Epoch).
+	Epoch uint64
+	// SnapRadius is the coordinate-snap rule the trainer folds with; a
+	// follower must mirror it exactly to stay byte-identical.
+	SnapRadius float64
 }
 
 func (c *Config) fillDefaults() {
@@ -148,6 +186,12 @@ type Stats struct {
 	ArtifactErrors uint64 `json:"artifact_errors"`
 	// Replayed counts reports recovered from the WAL at startup.
 	Replayed int `json:"replayed"`
+	// Applied is the WAL sequence of the last report the compactor
+	// resolved.
+	Applied uint64 `json:"applied_seq"`
+	// Watermark is the WAL sequence captured by the latest published
+	// snapshot (what a replication bootstrap resumes from).
+	Watermark uint64 `json:"snapshot_watermark"`
 	// LastSwap is when the current snapshot was published (zero before
 	// the first swap).
 	LastSwap time.Time `json:"last_swap"`
@@ -172,9 +216,23 @@ type Manager struct {
 	// slots is the admission semaphore and queue the report buffer:
 	// Submit acquires a slot (non-blocking; failure is backpressure),
 	// journals, then enqueues — so the send can never block. The
-	// compactor releases the slot after dequeueing.
+	// compactor releases the slot after dequeueing. Each queued report
+	// carries its WAL sequence so the compactor can watermark
+	// snapshots for replication.
 	slots chan struct{}
-	queue chan Report
+	queue chan queuedReport
+	// appendMu orders journal append and queue insertion together (see
+	// Submit).
+	appendMu sync.Mutex
+
+	// applied is the WAL sequence of the last report the compactor
+	// resolved (folded or dropped); snapshots are watermarked with it.
+	// Written by the compactor (and NewManager's replay), read by
+	// Stats.
+	applied atomic.Uint64
+	// watermark is the applied sequence captured by the latest
+	// published snapshot.
+	watermark atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -213,7 +271,7 @@ func NewManager(db *trainingdb.DB, rebuild Rebuilder, cfg Config) (*Manager, err
 		master:    db,
 		published: make(map[string]bool, db.Len()),
 		slots:     make(chan struct{}, cfg.QueueDepth),
-		queue:     make(chan Report, cfg.QueueDepth),
+		queue:     make(chan queuedReport, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -226,17 +284,19 @@ func NewManager(db *trainingdb.DB, rebuild Rebuilder, cfg Config) (*Manager, err
 	_ = dropped // torn-tail records were never acknowledged; nothing to recover
 	for i := range recovered {
 		m.fold(recovered[i])
+		m.applied.Store(uint64(i + 1))
 	}
-	snap, err := m.buildSnapshot()
+	snap, frozen, err := m.buildSnapshot()
 	if err != nil {
 		return nil, errors.Join(fmt.Errorf("ingest: initial snapshot: %w", err), wal.Close())
 	}
 	if m.reg, err = core.NewSnapshotRegistry(snap); err != nil {
 		return nil, errors.Join(err, wal.Close())
 	}
-	// Emit the initial artifact too, so a configured path is valid from
-	// the first request, not only after the first live swap.
-	m.writeArtifact(snap)
+	// Emit the initial artifact (and publish event) too, so a
+	// configured path — and a replication source — is valid from the
+	// first request, not only after the first live swap.
+	m.finishPublish(snap, frozen)
 	go m.compact()
 	return m, nil
 }
@@ -275,18 +335,52 @@ func (m *Manager) Submit(reports ...Report) error {
 			return ErrQueueFull
 		}
 	}
-	if err := m.wal.Append(reports...); err != nil {
+	// The append lock spans journal + enqueue so the compactor folds in
+	// exactly WAL order: without it two concurrent submissions could
+	// enqueue in the opposite order of their journal sequences, and a
+	// follower replaying the WAL (strictly in sequence order) would fold
+	// the same reports in a different order than the trainer did —
+	// Welford updates do not commute bit-for-bit. The critical section
+	// adds one buffered-channel send per report over what the WAL mutex
+	// already serialized.
+	m.appendMu.Lock()
+	last, err := m.wal.Append(reports...)
+	if err != nil {
+		m.appendMu.Unlock()
 		for range reports {
 			<-m.slots
 		}
 		return err
 	}
+	first := last - uint64(len(reports)) + 1
 	for i := range reports {
-		m.queue <- reports[i] // cannot block: slots bound occupancy
+		// Cannot block: slots bound occupancy.
+		m.queue <- queuedReport{r: reports[i], seq: first + uint64(i)}
 	}
+	m.appendMu.Unlock()
 	m.accepted.Add(uint64(len(reports)))
 	return nil
 }
+
+// queuedReport pairs an accepted report with its WAL sequence on the
+// way to the compactor.
+type queuedReport struct {
+	r   Report
+	seq uint64
+}
+
+// WAL exposes the manager's journal for replication: the source tails
+// it (via its own TailReader), reads the head sequence, size and
+// epoch, and waits on its change notification. The returned WAL must
+// only be read — appends belong to Submit.
+func (m *Manager) WAL() *WAL { return m.wal }
+
+// Applied returns the WAL sequence of the last report the compactor
+// has resolved into the master database.
+func (m *Manager) Applied() uint64 { return m.applied.Load() }
+
+// SnapRadius returns the coordinate-snap rule the manager folds with.
+func (m *Manager) SnapRadius() float64 { return m.cfg.SnapRadius }
 
 // compact is the background loop: fold queued reports into the master
 // database and, on the count or interval cadence, recompile and
@@ -300,9 +394,10 @@ func (m *Manager) compact() {
 	pending := 0
 	for {
 		select {
-		case r := <-m.queue:
+		case q := <-m.queue:
 			<-m.slots
-			m.fold(r)
+			m.fold(q.r)
+			m.applied.Store(q.seq)
 			pending++
 			if pending >= m.cfg.FlushReports {
 				m.swap()
@@ -318,9 +413,10 @@ func (m *Manager) compact() {
 			// everything it acknowledged; the WAL covers a crash.
 			for {
 				select {
-				case r := <-m.queue:
+				case q := <-m.queue:
 					<-m.slots
-					m.fold(r)
+					m.fold(q.r)
+					m.applied.Store(q.seq)
 					pending++
 				default:
 					if pending > 0 {
@@ -333,26 +429,39 @@ func (m *Manager) compact() {
 	}
 }
 
-// fold applies one report to the master database under the
-// copy-on-write discipline. Resolution order: an existing name wins
-// (its surveyed coordinate is authoritative); a known coordinate snaps
-// to the nearest entry within SnapRadius; otherwise the report founds
-// a new entry — named, or auto-named from its coordinate.
-func (m *Manager) fold(r Report) {
-	name := r.Name
-	var pos geom.Point
+// ResolveReport applies the fold resolution rules against db without
+// mutating it: an existing name wins (its surveyed coordinate is
+// authoritative); a coordinate-only report snaps to the nearest entry
+// within snapRadius, else founds a new entry auto-named from its
+// coordinate; a never-seen name with no coordinate is undecidable
+// (ok=false — the caller counts it dropped). The rules live in one
+// exported function because a replication follower must re-resolve
+// WAL records against its replica database exactly the way the
+// trainer's compactor did — any divergence here forks the radio map.
+func ResolveReport(db *trainingdb.DB, r Report, snapRadius float64) (name string, pos geom.Point, ok bool) {
+	name = r.Name
 	if r.Pos != nil {
 		pos = geom.Point{X: r.Pos.X, Y: r.Pos.Y}
 	}
 	if name == "" {
-		if e, ok := m.master.NearestEntry(pos); ok && e.Pos.Dist(pos) <= m.cfg.SnapRadius {
+		if e, found := db.NearestEntry(pos); found && e.Pos.Dist(pos) <= snapRadius {
 			name, pos = e.Name, e.Pos
 		} else {
 			name = fmt.Sprintf("xy:%.1f,%.1f", pos.X, pos.Y)
 		}
-	} else if e, ok := m.master.Entries[name]; ok {
+	} else if e, found := db.Entries[name]; found {
 		pos = e.Pos
 	} else if r.Pos == nil {
+		return "", geom.Point{}, false
+	}
+	return name, pos, true
+}
+
+// fold applies one report to the master database under the
+// copy-on-write discipline, using the shared resolution rules.
+func (m *Manager) fold(r Report) {
+	name, pos, ok := ResolveReport(m.master, r, m.cfg.SnapRadius)
+	if !ok {
 		// A name the database has never seen and no coordinate to found
 		// it at: undecidable, count and drop.
 		m.dropped.Add(1)
@@ -370,17 +479,19 @@ func (m *Manager) fold(r Report) {
 
 // buildSnapshot freezes the master database and rebuilds the serving
 // state from it. Every entry in the frozen view is marked published,
-// so the next fold into it clones first.
-func (m *Manager) buildSnapshot() (*core.Snapshot, error) {
+// so the next fold into it clones first. The frozen view is returned
+// alongside so the publish hook can hand replication the exact state
+// the snapshot was built from.
+func (m *Manager) buildSnapshot() (*core.Snapshot, *trainingdb.DB, error) {
 	frozen := m.master.Snapshot()
 	svc, err := m.rebuild(frozen)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for name := range frozen.Entries {
 		m.published[name] = true
 	}
-	return &core.Snapshot{Generation: frozen.Generation(), Service: svc, BuiltAt: time.Now()}, nil
+	return &core.Snapshot{Generation: frozen.Generation(), Service: svc, BuiltAt: time.Now()}, frozen, nil
 }
 
 // swap recompiles and publishes. A failed rebuild (e.g. a geometric
@@ -388,7 +499,7 @@ func (m *Manager) buildSnapshot() (*core.Snapshot, error) {
 // and is only counted — live training must never take the service
 // down.
 func (m *Manager) swap() {
-	snap, err := m.buildSnapshot()
+	snap, frozen, err := m.buildSnapshot()
 	if err != nil {
 		m.swapErrors.Add(1)
 		return
@@ -396,22 +507,77 @@ func (m *Manager) swap() {
 	m.reg.Publish(snap)
 	m.swaps.Add(1)
 	m.lastSwap.Store(snap.BuiltAt.UnixNano())
-	m.writeArtifact(snap)
+	m.finishPublish(snap, frozen)
+}
+
+// finishPublish runs the post-publish work on the compactor goroutine:
+// watermark bookkeeping, the artifact write, and the replication hook.
+// The watermark is the applied sequence at this instant — the
+// compactor folds and publishes on one goroutine, so nothing has been
+// applied since the freeze.
+func (m *Manager) finishPublish(snap *core.Snapshot, frozen *trainingdb.DB) {
+	watermark := m.applied.Load()
+	m.watermark.Store(watermark)
+	c := compiledView(snap)
+	m.writeArtifact(c, snap, watermark)
+	if m.cfg.OnPublish != nil {
+		m.cfg.OnPublish(PublishEvent{
+			Snapshot:   snap,
+			DB:         frozen,
+			Compiled:   c,
+			Watermark:  watermark,
+			Epoch:      m.wal.Epoch(),
+			SnapRadius: m.cfg.SnapRadius,
+		})
+	}
+}
+
+// compiledView extracts the snapshot locator's dense radio-map view,
+// nil when the locator does not expose one.
+func compiledView(snap *core.Snapshot) *trainingdb.Compiled {
+	src, ok := snap.Service.Locator.(localize.CompiledSource)
+	if !ok {
+		return nil
+	}
+	return src.CompiledView()
+}
+
+// ArtifactManifest is the "<ArtifactPath>.manifest" sidecar written
+// next to every artifact: the trainer state the artifact captures, so
+// an operator (or tdbtool inspect) can correlate a follower's snapshot
+// with the trainer's WAL position without decoding the artifact.
+type ArtifactManifest struct {
+	// Generation is the radio-map generation of the artifact.
+	Generation uint64 `json:"generation"`
+	// Watermark is the WAL sequence folded into the artifact.
+	Watermark uint64 `json:"wal_watermark"`
+	// Epoch is the WAL lifetime the watermark counts within.
+	Epoch uint64 `json:"wal_epoch"`
+	// BuiltAt is when the snapshot was published.
+	BuiltAt time.Time `json:"built_at"`
+}
+
+// ReadArtifactManifest loads the sidecar for the artifact at path
+// (i.e. "<path>.manifest").
+func ReadArtifactManifest(path string) (*ArtifactManifest, error) {
+	raw, err := os.ReadFile(path + ".manifest")
+	if err != nil {
+		return nil, err
+	}
+	var am ArtifactManifest
+	if err := json.Unmarshal(raw, &am); err != nil {
+		return nil, fmt.Errorf("ingest: parse artifact manifest: %w", err)
+	}
+	return &am, nil
 }
 
 // writeArtifact emits the snapshot's compiled radio map as a v2 binary
-// artifact, after Publish so serving never waits on the disk. Runs on
-// the compactor goroutine only.
-func (m *Manager) writeArtifact(snap *core.Snapshot) {
+// artifact plus its manifest sidecar, after Publish so serving never
+// waits on the disk. Runs on the compactor goroutine only.
+func (m *Manager) writeArtifact(c *trainingdb.Compiled, snap *core.Snapshot, watermark uint64) {
 	if m.cfg.ArtifactPath == "" {
 		return
 	}
-	src, ok := snap.Service.Locator.(localize.CompiledSource)
-	if !ok {
-		m.artifactErrors.Add(1)
-		return
-	}
-	c := src.CompiledView()
 	if c == nil {
 		m.artifactErrors.Add(1)
 		return
@@ -419,6 +585,18 @@ func (m *Manager) writeArtifact(snap *core.Snapshot) {
 	if err := trainingdb.WriteCompiledFile(m.cfg.ArtifactPath, c); err != nil {
 		m.artifactErrors.Add(1)
 		return
+	}
+	am := ArtifactManifest{
+		Generation: snap.Generation,
+		Watermark:  watermark,
+		Epoch:      m.wal.Epoch(),
+		BuiltAt:    snap.BuiltAt,
+	}
+	if raw, err := json.Marshal(am); err == nil {
+		if werr := os.WriteFile(m.cfg.ArtifactPath+".manifest", append(raw, '\n'), 0o644); werr != nil {
+			m.artifactErrors.Add(1)
+			return
+		}
 	}
 	m.artifacts.Add(1)
 }
@@ -436,6 +614,8 @@ func (m *Manager) Stats() Stats {
 		Artifacts:      m.artifacts.Load(),
 		ArtifactErrors: m.artifactErrors.Load(),
 		Replayed:       m.replayed,
+		Applied:        m.applied.Load(),
+		Watermark:      m.watermark.Load(),
 	}
 	if ns := m.lastSwap.Load(); ns != 0 {
 		s.LastSwap = time.Unix(0, ns)

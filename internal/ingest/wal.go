@@ -26,6 +26,7 @@ package ingest
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -33,6 +34,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -48,6 +51,17 @@ const maxWALRecord = 1 << 20
 
 // WAL is the append-only report journal. Append is safe for
 // concurrent use; Open replays and positions the file for appending.
+//
+// Every record carries an implicit sequence number: its 1-based
+// ordinal in the file. Replay establishes the base; Append extends it.
+// Sequence numbers are the replication protocol's currency — a
+// follower resumes a tail by the last sequence it applied — so they
+// are never reused within one WAL lifetime. A WAL lifetime is named by
+// its epoch, a random identifier persisted in a "<path>.epoch" sidecar
+// and regenerated whenever the file is initialized from scratch:
+// deleting the WAL (sequence numbers restart at 1) changes the epoch,
+// which is how a follower distinguishes "same history, trainer
+// restarted" from "new history, my position is meaningless".
 type WAL struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -56,8 +70,17 @@ type WAL struct {
 	path string
 	// frame is the reusable 8-byte length+CRC header buffer.
 	frame [8]byte
-	// records counts appended + replayed records (telemetry only).
+	// records counts appended + replayed records; the last record's
+	// sequence number is exactly this count.
 	records int
+	// off is the append position: the byte offset just past the last
+	// durable record (replication lag in bytes reads it).
+	off int64
+	// epoch names this WAL lifetime (see type doc).
+	epoch uint64
+	// notify is closed and replaced after every successful append, so
+	// tailers can wait for growth without polling.
+	notify chan struct{}
 }
 
 // OpenWAL opens (creating if needed) the log at path, replays every
@@ -76,7 +99,8 @@ func OpenWAL(path string, syncEach bool) (w *WAL, reports []Report, dropped int,
 		f.Close()
 		return nil, nil, 0, err
 	}
-	if goodOff == 0 {
+	fresh := goodOff == 0
+	if fresh {
 		// Fresh (or empty) file: write the magic.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
@@ -97,9 +121,46 @@ func OpenWAL(path string, syncEach bool) (w *WAL, reports []Report, dropped int,
 		f.Close()
 		return nil, nil, 0, fmt.Errorf("ingest: seek wal: %w", err)
 	}
-	w = &WAL{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEach, path: path}
+	epoch, err := loadEpoch(path, fresh)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	w = &WAL{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEach, path: path,
+		off: goodOff, epoch: epoch, notify: make(chan struct{})}
 	w.records = len(reports)
 	return w, reports, dropped, nil
+}
+
+// loadEpoch reads (or mints) the WAL's lifetime identifier from the
+// "<path>.epoch" sidecar. A freshly initialized WAL always gets a new
+// epoch — its sequence numbers restart, so any follower position taken
+// against the old file must be invalidated. An existing WAL with no
+// sidecar (pre-replication deployments) gets one minted now and keeps
+// it from then on.
+func loadEpoch(path string, fresh bool) (uint64, error) {
+	side := path + ".epoch"
+	if !fresh {
+		if raw, err := os.ReadFile(side); err == nil {
+			if e, perr := strconv.ParseUint(strings.TrimSpace(string(raw)), 16, 64); perr == nil && e != 0 {
+				return e, nil
+			}
+			// Unparsable sidecar: fall through and mint a fresh epoch —
+			// safer to make followers re-bootstrap than to guess.
+		}
+	}
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("ingest: mint wal epoch: %w", err)
+	}
+	e := binary.LittleEndian.Uint64(buf[:])
+	if e == 0 {
+		e = 1 // zero is the "no epoch yet" sentinel on the follower side
+	}
+	if err := os.WriteFile(side, []byte(strconv.FormatUint(e, 16)+"\n"), 0o644); err != nil {
+		return 0, fmt.Errorf("ingest: persist wal epoch: %w", err)
+	}
+	return e, nil
 }
 
 // replay scans the log from the start, returning the intact reports,
@@ -167,44 +228,82 @@ func replay(f *os.File) (reports []Report, goodOff int64, dropped int, err error
 // (and to stable storage when the WAL was opened with syncEach) before
 // returning. A batch is one lock acquisition and one flush; either all
 // of its records reach the log or the error aborts the acknowledgement.
+// It returns the sequence number of the batch's last record (the
+// batch occupies last-len+1 … last), assigned atomically under the
+// WAL lock so concurrent appenders never interleave numbering.
 //
 //loclint:hotpath
-func (w *WAL) Append(reports ...Report) error {
+func (w *WAL) Append(reports ...Report) (last uint64, err error) {
 	if len(reports) == 0 {
-		return nil
+		return 0, nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return errors.New("ingest: wal closed")
+		return 0, errors.New("ingest: wal closed")
 	}
+	var grew int64
 	for i := range reports {
 		payload, err := json.Marshal(&reports[i])
 		if err != nil {
-			return fmt.Errorf("ingest: encode report: %w", err)
+			return 0, fmt.Errorf("ingest: encode report: %w", err)
 		}
 		if len(payload) > maxWALRecord {
-			return fmt.Errorf("ingest: report exceeds max WAL record (%d > %d bytes)", len(payload), maxWALRecord)
+			return 0, fmt.Errorf("ingest: report exceeds max WAL record (%d > %d bytes)", len(payload), maxWALRecord)
 		}
 		binary.LittleEndian.PutUint32(w.frame[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(w.frame[4:8], crc32.ChecksumIEEE(payload))
 		if _, err := w.bw.Write(w.frame[:]); err != nil {
-			return fmt.Errorf("ingest: append wal: %w", err)
+			return 0, fmt.Errorf("ingest: append wal: %w", err)
 		}
 		if _, err := w.bw.Write(payload); err != nil {
-			return fmt.Errorf("ingest: append wal: %w", err)
+			return 0, fmt.Errorf("ingest: append wal: %w", err)
 		}
+		grew += int64(8 + len(payload))
 	}
 	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("ingest: flush wal: %w", err)
+		return 0, fmt.Errorf("ingest: flush wal: %w", err)
 	}
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("ingest: sync wal: %w", err)
+			return 0, fmt.Errorf("ingest: sync wal: %w", err)
 		}
 	}
 	w.records += len(reports)
-	return nil
+	w.off += grew
+	// Wake every waiting tailer; the next wait gets a fresh channel.
+	// One channel header per *batch*, amortized across its records and
+	// dwarfed by the per-record JSON encoding above.
+	close(w.notify)
+	w.notify = make(chan struct{}) //loclint:allow hotpathalloc
+	return uint64(w.records), nil
+}
+
+// Seq returns the sequence number of the last durable record (0 for an
+// empty log).
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return uint64(w.records)
+}
+
+// Size returns the byte offset just past the last durable record.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Epoch returns the WAL's lifetime identifier (see the type doc).
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Changed returns a channel closed at the next successful append.
+// Callers re-arm by calling Changed again after each wake-up; checking
+// Seq between the two closes any notify/append race window.
+func (w *WAL) Changed() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.notify
 }
 
 // Records returns how many records the WAL holds (replayed at open
@@ -230,5 +329,10 @@ func (w *WAL) Close() error {
 		err = cerr
 	}
 	w.f = nil
+	// Wake waiting tailers once; the replacement channel never closes,
+	// so a woken tailer that re-arms waits on its own timeout instead of
+	// spinning against a permanently closed channel.
+	close(w.notify)
+	w.notify = make(chan struct{})
 	return err
 }

@@ -33,10 +33,10 @@ func TestWALReplayRoundTrip(t *testing.T) {
 	if len(got) != 0 || dropped != 0 {
 		t.Fatalf("fresh WAL replayed %d records, dropped %d", len(got), dropped)
 	}
-	if err := w.Append(reports[0], reports[1]); err != nil {
+	if _, err := w.Append(reports[0], reports[1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(reports[2]); err != nil {
+	if _, err := w.Append(reports[2]); err != nil {
 		t.Fatal(err)
 	}
 	if w.Records() != 3 {
@@ -59,7 +59,7 @@ func TestWALReplayRoundTrip(t *testing.T) {
 	}
 	// The reopened WAL keeps appending where it left off.
 	extra := Report{Name: "porch", Observation: map[string]float64{"aa:bb": -90}}
-	if err := w2.Append(extra); err != nil {
+	if _, err := w2.Append(extra); err != nil {
 		t.Fatal(err)
 	}
 	w2.Close()
@@ -81,7 +81,7 @@ func TestWALTruncatedTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(reports...); err != nil {
+	if _, err := w.Append(reports...); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -108,7 +108,7 @@ func TestWALTruncatedTail(t *testing.T) {
 		}
 		// Open truncated the damage away; appending must produce a log
 		// that replays cleanly.
-		if err := w.Append(reports[2]); err != nil {
+		if _, err := w.Append(reports[2]); err != nil {
 			t.Fatal(err)
 		}
 		w.Close()
@@ -131,7 +131,7 @@ func TestWALChecksumMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(reports...); err != nil {
+	if _, err := w.Append(reports...); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -194,7 +194,7 @@ func TestWALEmptyAndSubMagic(t *testing.T) {
 		if len(got) != 0 || dropped != 0 {
 			t.Errorf("content %q: replayed %d dropped %d", content, len(got), dropped)
 		}
-		if err := w.Append(sampleReports()[0]); err != nil {
+		if _, err := w.Append(sampleReports()[0]); err != nil {
 			t.Fatal(err)
 		}
 		w.Close()

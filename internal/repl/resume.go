@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"indoorloc/internal/trainingdb"
+)
+
+// The resume blob ships the one piece of trainer state the compiled
+// artifact destroys: the exact per-cell standard deviations. Compile
+// clamps Sigma to stats.MinSigma (σ=0 cells — every sample equal —
+// are common) and AddSample recovers Welford's second moment from the
+// stored σ, so resuming a fold from the clamped matrix would diverge
+// from the trainer on the very next record. Shipping the raw float64
+// bits restores the trainer's exact accumulator state: both sides run
+// the identical σ → m2 → σ round trip from identical bits, so every
+// subsequent fold lands on identical bits too.
+//
+// Layout (all little endian):
+//
+//	8  bytes  magic "ILRSIGM1"
+//	u32       entry count (must match the artifact)
+//	u32       AP count (must match the artifact)
+//	u64       trained-cell count
+//	f64 × n   raw StdDev per trained cell, entry-major artifact order
+const resumeMagic = "ILRSIGM1"
+
+const resumeHeaderSize = 8 + 4 + 4 + 8
+
+// EncodeResume captures the raw standard deviations for every trained
+// cell of c from the frozen database it was compiled from, in the
+// artifact's entry-major cell order.
+func EncodeResume(c *trainingdb.Compiled, db *trainingdb.DB) ([]byte, error) {
+	nE, nAP := c.NumEntries(), c.NumAPs()
+	trained := 0
+	for _, t := range c.Trained {
+		if t {
+			trained++
+		}
+	}
+	out := make([]byte, resumeHeaderSize, resumeHeaderSize+8*trained)
+	copy(out, resumeMagic)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(nE))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(nAP))
+	binary.LittleEndian.PutUint64(out[16:24], uint64(trained))
+	var cell [8]byte
+	for i, name := range c.Names {
+		e := db.Entries[name]
+		if e == nil {
+			return nil, fmt.Errorf("repl: resume: entry %q in artifact but not in database", name)
+		}
+		base := i * nAP
+		for j, b := range c.BSSIDs {
+			if !c.Trained[base+j] {
+				continue
+			}
+			s := e.PerAP[b]
+			if s == nil {
+				return nil, fmt.Errorf("repl: resume: cell ⟨%s, %s⟩ trained in artifact but missing in database", name, b)
+			}
+			binary.LittleEndian.PutUint64(cell[:], math.Float64bits(s.StdDev))
+			out = append(out, cell[:]...)
+		}
+	}
+	return out, nil
+}
+
+// DecodeResume validates the blob against the artifact's dimensions
+// and returns the raw sigmas in trained-cell order.
+func DecodeResume(data []byte, c *trainingdb.Compiled) ([]float64, error) {
+	if len(data) < resumeHeaderSize || string(data[:8]) != resumeMagic {
+		return nil, fmt.Errorf("repl: resume blob has bad magic")
+	}
+	nE := int(binary.LittleEndian.Uint32(data[8:12]))
+	nAP := int(binary.LittleEndian.Uint32(data[12:16]))
+	count := binary.LittleEndian.Uint64(data[16:24])
+	if nE != c.NumEntries() || nAP != c.NumAPs() {
+		return nil, fmt.Errorf("repl: resume blob is %d×%d, artifact is %d×%d", nE, nAP, c.NumEntries(), c.NumAPs())
+	}
+	trained := 0
+	for _, t := range c.Trained {
+		if t {
+			trained++
+		}
+	}
+	if count != uint64(trained) {
+		return nil, fmt.Errorf("repl: resume blob has %d cells, artifact has %d trained", count, trained)
+	}
+	if int64(len(data)-resumeHeaderSize) != int64(count)*8 {
+		return nil, fmt.Errorf("repl: resume blob length %d does not frame %d cells", len(data), count)
+	}
+	sigmas := make([]float64, count)
+	for i := range sigmas {
+		off := resumeHeaderSize + i*8
+		sigmas[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+	}
+	return sigmas, nil
+}
+
+// BuildReplica reconstructs a training database bit-identical (in
+// every field Compile and ResolveReport read) to the trainer's frozen
+// master at the artifact's generation: entry positions and per-cell
+// ⟨N, Mean⟩ come from the artifact's float64 matrices, the raw StdDev
+// from the resume blob. Raw sample lists are not replicated — nothing
+// on the follower's serve or fold path reads them (the follower is
+// restricted to compiled-servable algorithms). The replica's
+// generation counter is aligned to the artifact's, so trainer and
+// follower folding the same WAL suffix produce the same generation
+// numbers.
+func BuildReplica(c *trainingdb.Compiled, sigmas []float64) (*trainingdb.DB, error) {
+	if c.Mean == nil || c.N == nil {
+		return nil, fmt.Errorf("repl: artifact lacks float64 matrices; cannot reconstruct a replica")
+	}
+	nAP := c.NumAPs()
+	db := &trainingdb.DB{
+		Entries: make(map[string]*trainingdb.Entry, len(c.Names)),
+		BSSIDs:  append([]string(nil), c.BSSIDs...),
+	}
+	k := 0
+	for i, name := range c.Names {
+		e := &trainingdb.Entry{Name: name, Pos: c.Pos[i], PerAP: make(map[string]*trainingdb.APStats)}
+		base := i * nAP
+		for j, b := range c.BSSIDs {
+			cell := base + j
+			if !c.Trained[cell] {
+				continue
+			}
+			if k >= len(sigmas) {
+				return nil, fmt.Errorf("repl: resume blob exhausted at cell ⟨%s, %s⟩", name, b)
+			}
+			mean := c.Mean[cell]
+			e.PerAP[b] = &trainingdb.APStats{
+				BSSID:  b,
+				N:      int(c.N[cell]),
+				Mean:   mean,
+				StdDev: sigmas[k],
+				Min:    mean,
+				Max:    mean,
+			}
+			k++
+		}
+		db.Entries[name] = e
+	}
+	if k != len(sigmas) {
+		return nil, fmt.Errorf("repl: resume blob has %d extra cells", len(sigmas)-k)
+	}
+	db.SetGeneration(c.Generation)
+	return db, nil
+}

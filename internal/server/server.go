@@ -91,6 +91,7 @@ import (
 	"indoorloc/internal/ingest"
 	"indoorloc/internal/localize"
 	"indoorloc/internal/metrics"
+	"indoorloc/internal/repl"
 	"indoorloc/internal/track"
 	"indoorloc/internal/venue"
 	"indoorloc/internal/wiscan"
@@ -120,6 +121,14 @@ type Server struct {
 	// server. When set, reg and ing are nil and every serving route
 	// resolves its venue from the path (or the registry default).
 	venues *venue.Registry
+	// follower is the replication follower this server reads from; nil
+	// unless built with NewFollower. A follower server is read-only:
+	// /train/report answers 409 venue_frozen, and /healthz + /metrics
+	// carry the replication lag gauges.
+	follower *repl.Follower
+	// replSrc is the trainer-side replication source; nil unless
+	// WithReplicationSource mounted the /v1/replicate endpoints.
+	replSrc *repl.Source
 	// started stamps Close-less uptime for the /metrics gauge.
 	started time.Time
 
@@ -153,6 +162,7 @@ type serverOptions struct {
 	accessLog     io.Writer
 	accessLogRing int
 	noMetrics     bool
+	replSrc       *repl.Source
 }
 
 // WithRouteTimeout puts every route under a deadline: a handler that
@@ -192,6 +202,14 @@ func WithAccessLogRing(n int) Option {
 	return func(o *serverOptions) { o.accessLogRing = n }
 }
 
+// WithReplicationSource mounts the trainer-side replication endpoints
+// (GET /v1/replicate/snapshot, GET /v1/replicate/wal) backed by src.
+// The WAL endpoint is a deliberately unbounded chunked stream, so
+// both replication routes are exempt from WithRouteTimeout.
+func WithReplicationSource(src *repl.Source) Option {
+	return func(o *serverOptions) { o.replSrc = src }
+}
+
 // New builds a static server over a trained service: the service is
 // wrapped as the registry's one forever-current snapshot. filterFactory
 // supplies the per-client tracking filter for /track; nil uses a
@@ -201,7 +219,7 @@ func New(svc *core.Service, filterFactory func() filter.PositionFilter, opts ...
 	if err != nil {
 		return nil, errors.New("server: nil service")
 	}
-	return newServer(reg, nil, nil, filterFactory, opts)
+	return newServer(reg, nil, nil, nil, filterFactory, opts)
 }
 
 // NewLive builds a server over a live ingest pipeline: requests are
@@ -212,10 +230,23 @@ func NewLive(mgr *ingest.Manager, filterFactory func() filter.PositionFilter, op
 	if mgr == nil {
 		return nil, errors.New("server: nil ingest manager")
 	}
-	return newServer(mgr.Registry(), mgr, nil, filterFactory, opts)
+	return newServer(mgr.Registry(), mgr, nil, nil, filterFactory, opts)
 }
 
-func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, vr *venue.Registry, filterFactory func() filter.PositionFilter, opts []Option) (*Server, error) {
+// NewFollower builds a read-only server over a started replication
+// follower: requests are answered from whatever snapshot the follower
+// last published (the same hot-swap consistency as a live server),
+// POST /train/report answers 409 venue_frozen (this node holds no
+// authority over the radio map — reports belong at the trainer), and
+// /healthz + /metrics expose the replication lag and catch-up state.
+func NewFollower(f *repl.Follower, filterFactory func() filter.PositionFilter, opts ...Option) (*Server, error) {
+	if f == nil || f.Registry() == nil {
+		return nil, errors.New("server: follower not started")
+	}
+	return newServer(f.Registry(), nil, nil, f, filterFactory, opts)
+}
+
+func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, vr *venue.Registry, fol *repl.Follower, filterFactory func() filter.PositionFilter, opts []Option) (*Server, error) {
 	if filterFactory == nil {
 		filterFactory = func() filter.PositionFilter {
 			return &filter.Kalman{Dt: 1, ProcessNoise: 0.6, MeasurementNoise: 7}
@@ -229,6 +260,8 @@ func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, vr *venue.Regist
 		reg:       reg,
 		ing:       mgr,
 		venues:    vr,
+		follower:  fol,
+		replSrc:   o.replSrc,
 		MaxBatch:  DefaultMaxBatch,
 		newFilter: filterFactory,
 		started:   time.Now(),
@@ -282,9 +315,29 @@ func newServer(reg *core.SnapshotRegistry, mgr *ingest.Manager, vr *venue.Regist
 			defs = append(defs, routeDef{name: "train_report", path: "/train/report",
 				post: s.handleTrainReport, maxBody: bodyCap(maxTrainBody)})
 		}
+		if fol != nil {
+			// The follower is read-only: the endpoint exists so clients get
+			// a truthful 409 instead of a misleading 404, but reports
+			// belong at the trainer.
+			defs = append(defs, routeDef{name: "train_report", path: "/train/report",
+				post: s.handleTrainReportFrozen, maxBody: bodyCap(maxTrainBody)})
+		}
+	}
+	if o.replSrc != nil {
+		defs = append(defs,
+			routeDef{name: "replicate_snapshot", path: "/v1/replicate/snapshot", get: o.replSrc.ServeSnapshot},
+			routeDef{name: "replicate_wal", path: "/v1/replicate/wal", get: o.replSrc.ServeWAL},
+		)
 	}
 	if o.routeTimeout > 0 {
 		for i := range defs {
+			// The replication endpoints are streams (the WAL tail is
+			// unbounded by design; the snapshot body can be large): a
+			// buffered timeout guard would either kill healthy followers
+			// or buffer an artifact per request.
+			if strings.HasPrefix(defs[i].name, "replicate_") {
+				continue
+			}
 			defs[i].timeout = o.routeTimeout
 		}
 	}
@@ -480,6 +533,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if !st.LastSwap.IsZero() {
 			body["last_swap"] = st.LastSwap.UTC().Format(time.RFC3339Nano)
 		}
+	}
+	if s.follower != nil {
+		body["mode"] = "follower"
+		body["replication"] = s.follower.Stats()
+	}
+	if s.replSrc != nil {
+		body["replication_source"] = s.replSrc.Stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -1099,6 +1159,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Help: "Published radio-map snapshots.", Value: float64(st.Swaps)},
 		)
 	}
+	if s.follower != nil {
+		st := s.follower.Stats()
+		caughtUp := 0.0
+		if st.State == repl.StateStreaming {
+			caughtUp = 1
+		}
+		gauges = append(gauges,
+			metrics.Gauge{Name: "indoorloc_repl_lag_seqs",
+				Help: "WAL sequences the follower is behind the trainer head.", Value: float64(st.LagSeqs)},
+			metrics.Gauge{Name: "indoorloc_repl_lag_bytes",
+				Help: "WAL bytes the follower is behind the trainer head.", Value: float64(st.LagBytes)},
+			metrics.Gauge{Name: "indoorloc_repl_lag_seconds",
+				Help: "Seconds since replication last made progress (0 when caught up).", Value: st.LagSeconds},
+			metrics.Gauge{Name: "indoorloc_repl_applied_seq",
+				Help: "Last WAL sequence folded into the replica.", Value: float64(st.AppliedSeq)},
+			metrics.Gauge{Name: "indoorloc_repl_caught_up",
+				Help: "1 while streaming at the trainer head, 0 while bootstrapping, catching up or disconnected.", Value: caughtUp},
+			metrics.Gauge{Name: "indoorloc_repl_bootstraps_total", Counter: true,
+				Help: "Successful snapshot bootstraps.", Value: float64(st.Bootstraps)},
+			metrics.Gauge{Name: "indoorloc_repl_reconnects_total", Counter: true,
+				Help: "WAL stream teardowns and reconnect attempts.", Value: float64(st.Reconnects)},
+			metrics.Gauge{Name: "indoorloc_repl_regressions_total", Counter: true,
+				Help: "World resets: trainer epoch changes, head regressions, divergences.", Value: float64(st.Regressions)},
+			metrics.Gauge{Name: "indoorloc_repl_recompiles_total", Counter: true,
+				Help: "Replica recompiles triggered by trainer publishes.", Value: float64(st.Recompiles)},
+		)
+	}
+	if s.replSrc != nil {
+		st := s.replSrc.Stats()
+		ready := 0.0
+		if st.Ready {
+			ready = 1
+		}
+		gauges = append(gauges,
+			metrics.Gauge{Name: "indoorloc_repl_source_ready",
+				Help: "1 when a bootstrap bundle is captured and servable.", Value: ready},
+			metrics.Gauge{Name: "indoorloc_repl_source_generation",
+				Help: "Generation of the captured bootstrap bundle.", Value: float64(st.Generation)},
+			metrics.Gauge{Name: "indoorloc_repl_source_captures_total", Counter: true,
+				Help: "Publish events captured as bootstrap bundles.", Value: float64(st.Captures)},
+			metrics.Gauge{Name: "indoorloc_repl_source_capture_errors_total", Counter: true,
+				Help: "Publish events that could not be captured.", Value: float64(st.CaptureErrors)},
+		)
+	}
 	s.rt.metrics.WritePrometheus(buf, gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes())
@@ -1117,6 +1221,14 @@ const maxTrainBody = 8 << 20
 
 func (s *Server) handleTrainReport(w http.ResponseWriter, r *http.Request) {
 	s.trainReport(w, r, s.ing)
+}
+
+// handleTrainReportFrozen is the follower's write path: always 409.
+// The same code (venue_frozen) as an artifact-backed venue — in both
+// cases the node serves a radio map it has no authority to mutate.
+func (s *Server) handleTrainReportFrozen(w http.ResponseWriter, r *http.Request) {
+	writeErrorCode(w, http.StatusConflict, codeVenueFrozen,
+		errors.New("read-only follower: submit training reports to the trainer"))
 }
 
 func (s *Server) trainReport(w http.ResponseWriter, r *http.Request, mgr *ingest.Manager) {

@@ -41,7 +41,7 @@ func NewMultiVenue(vr *venue.Registry, filterFactory func() filter.PositionFilte
 	if vr == nil {
 		return nil, errors.New("server: nil venue registry")
 	}
-	return newServer(nil, nil, vr, filterFactory, opts)
+	return newServer(nil, nil, vr, nil, filterFactory, opts)
 }
 
 // Venues returns the registry a multi-venue server serves from; nil

@@ -99,6 +99,14 @@ func (db *DB) Generation() uint64 { return db.gen }
 // bumpGeneration records one mutation.
 func (db *DB) bumpGeneration() { db.gen++ }
 
+// SetGeneration overwrites the mutation counter. It exists for exactly
+// one caller: replication, which reconstructs a replica database from
+// a compiled artifact plus exact per-cell resume state and must align
+// the replica's counter with the source's so that subsequent Folds
+// produce the same generation numbers on both sides. Anything else
+// that reaches for this is defeating the staleness contract.
+func (db *DB) SetGeneration(gen uint64) { db.gen = gen }
+
 // Options controls Generate.
 type Options struct {
 	// SkipUnmapped drops wi-scan files whose location is missing from
