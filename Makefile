@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ingest bench-mapv2 bench-soak bench-venues bench-repl fuzz-smoke
+.PHONY: check build vet lint lint-fix-check test race bench bench-ingest bench-mapv2 bench-soak bench-venues bench-repl fuzz-smoke
 
-check: build vet lint race ## full CI gate
+check: build vet lint lint-fix-check race ## full CI gate
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-lint: ## loclint analyzers + gofmt gate over the whole module
+lint: ## loclint analyzers + gofmt gate over the whole module (LOCLINT_DEBUG=timing for per-analyzer wall time)
 	$(GO) build -o bin/loclint ./cmd/loclint
-	$(GO) vet -vettool=$(CURDIR)/bin/loclint ./...
+	bin/loclint ./...
 	@fmt_out=$$(gofmt -l $$(find . -name '*.go' -not -path './vendor/*' -not -path '*/testdata/*')); \
 	if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+lint-fix-check: ## validate //loclint: directive grammar (typoed allow names, missing mmapdecode reasons)
+	$(GO) build -o bin/loclint ./cmd/loclint
+	bin/loclint -check ./...
 
 test:
 	$(GO) test ./...

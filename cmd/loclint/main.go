@@ -2,7 +2,7 @@
 // invariants encoded in internal/analysis (see DESIGN.md "Enforced
 // invariants").
 //
-// It runs in two modes:
+// It runs in three modes:
 //
 //	loclint [packages]            standalone: analyzes the given
 //	                              package patterns (default ./...) by
@@ -11,27 +11,56 @@
 //	                              command, one compilation unit at a
 //	                              time, with full type information and
 //	                              build caching
+//	loclint -check [packages]     directive lint: parse-only validation
+//	                              of every //loclint: directive —
+//	                              unknown directives, allow lists
+//	                              naming unknown analyzers, mmapdecode
+//	                              without a reason
 //
-// Both modes exit non-zero when any diagnostic fires.
+// With LOCLINT_DEBUG=timing in the environment, the standalone mode
+// aggregates per-analyzer wall time across all compilation units and
+// prints a table to stderr, so new analyzers can be budgeted.
+//
+// All modes exit non-zero when any diagnostic fires.
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"indoorloc/internal/analysis/directive"
 	"indoorloc/internal/analysis/loclint"
 )
 
+// timingEnv points unitchecker children at the shared append-only
+// timing file the standalone parent aggregates.
+const timingEnv = "LOCLINT_TIMING_FILE"
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-check" {
+		os.Exit(checkDirectives(os.Args[2:]))
+	}
 	// The go command drives a vettool with flag-style arguments
 	// (-V=full, -flags) and JSON config files (*.cfg); bare package
 	// patterns mean a human invoked us standalone.
 	if unitcheckerInvocation(os.Args[1:]) {
-		unitchecker.Main(loclint.All()...) // never returns
+		suite := loclint.All()
+		if path := os.Getenv(timingEnv); path != "" {
+			instrumentTimings(suite, path)
+		}
+		unitchecker.Main(suite...) // never returns
 	}
 	patterns := os.Args[1:]
 	if len(patterns) == 0 {
@@ -47,11 +76,25 @@ func main() {
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+	var timingFile string
+	if os.Getenv("LOCLINT_DEBUG") == "timing" {
+		tf, err := os.CreateTemp("", "loclint-timing-*")
+		if err == nil {
+			tf.Close()
+			timingFile = tf.Name()
+			defer os.Remove(timingFile)
+			cmd.Env = append(os.Environ(), timingEnv+"="+timingFile)
+		}
+	}
+	runErr := cmd.Run()
+	if timingFile != "" {
+		reportTimings(timingFile)
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
 		}
-		fmt.Fprintf(os.Stderr, "loclint: %v\n", err)
+		fmt.Fprintf(os.Stderr, "loclint: %v\n", runErr)
 		os.Exit(2)
 	}
 }
@@ -65,4 +108,109 @@ func unitcheckerInvocation(args []string) bool {
 		}
 	}
 	return false
+}
+
+// instrumentTimings wraps every analyzer Run with a wall-clock timer
+// appending "name nanoseconds" lines to path. Appends of short lines
+// are effectively atomic, so parallel vet workers can share the file.
+func instrumentTimings(suite []*analysis.Analyzer, path string) {
+	for _, a := range suite {
+		a := a
+		orig := a.Run
+		a.Run = func(pass *analysis.Pass) (any, error) {
+			start := time.Now()
+			res, err := orig(pass)
+			elapsed := time.Since(start)
+			if f, ferr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644); ferr == nil {
+				fmt.Fprintf(f, "%s %d\n", a.Name, elapsed.Nanoseconds())
+				f.Close()
+			}
+			return res, err
+		}
+	}
+}
+
+// reportTimings aggregates the per-unit timing lines and prints a
+// per-analyzer total table, slowest first.
+func reportTimings(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	totals := make(map[string]time.Duration)
+	units := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, nsText, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !ok {
+			continue
+		}
+		ns, err := strconv.ParseInt(nsText, 10, 64)
+		if err != nil {
+			continue
+		}
+		totals[name] += time.Duration(ns)
+		units[name]++
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return totals[names[i]] > totals[names[j]] })
+	fmt.Fprintf(os.Stderr, "loclint timing (per analyzer, summed over %s compilation units):\n", pluralUnits(units))
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-14s %10.2fms over %d units\n", n, float64(totals[n])/float64(time.Millisecond), units[n])
+	}
+}
+
+func pluralUnits(units map[string]int) string {
+	max := 0
+	for _, c := range units {
+		if c > max {
+			max = c
+		}
+	}
+	return strconv.Itoa(max)
+}
+
+// checkDirectives parses every Go file of the given package patterns
+// (default ./...) without type-checking and validates the //loclint:
+// directive grammar against the registered analyzer names.
+func checkDirectives(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	out, err := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}"}, patterns...)...).Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loclint -check: go list: %v\n", err)
+		return 2
+	}
+	known := loclint.Names()
+	fset := token.NewFileSet()
+	bad := 0
+	for _, dir := range strings.Fields(strings.TrimSpace(string(out))) {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			continue
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loclint -check: %v\n", err)
+				bad++
+				continue
+			}
+			for _, p := range directive.Validate(f, known) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(p.Pos), p.Msg)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "loclint -check: %d malformed directive(s)\n", bad)
+		return 1
+	}
+	return 0
 }

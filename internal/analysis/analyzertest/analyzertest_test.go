@@ -1,0 +1,89 @@
+package analyzertest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// badcall is the harness's own toy analyzer: it flags every call to a
+// function named Bad or bad, which the fix fixture provokes through a
+// local call, a sibling-fixture import, and two want-comment forms.
+var badcall = &analysis.Analyzer{
+	Name: "badcall",
+	Doc:  "flag calls to functions named bad",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var name string
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if strings.EqualFold(name, "bad") {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestHarnessMatchesWants runs the full harness over the fix fixture:
+// sibling import (dep), stdlib import (strings), double-quoted and
+// backquoted wants, and diagnostic-free lines all in one package.
+func TestHarnessMatchesWants(t *testing.T) {
+	Run(t, TestData(), badcall, "fix")
+}
+
+// TestLoaderImportOrder pins the resolution rule fixture analyzers
+// rely on: a testdata/src sibling wins over the standard library, and
+// anything else falls through to the source importer.
+func TestLoaderImportOrder(t *testing.T) {
+	l := newLoader(TestData())
+	pkg, err := l.Import("dep")
+	if err != nil {
+		t.Fatalf("Import(dep): %v", err)
+	}
+	if pkg.Path() != "dep" || pkg.Scope().Lookup("Bad") == nil {
+		t.Errorf("dep did not resolve to the fixture package: %v", pkg)
+	}
+	std, err := l.Import("strings")
+	if err != nil {
+		t.Fatalf("Import(strings): %v", err)
+	}
+	if std.Scope().Lookup("ToUpper") == nil {
+		t.Error("strings did not resolve to the standard library")
+	}
+	if _, err := l.load("no-such-fixture"); err == nil {
+		t.Error("missing fixture loaded without error")
+	}
+}
+
+// TestWantRx pins the two accepted pattern quoting forms, including
+// escaped quotes inside the double-quoted form.
+func TestWantRx(t *testing.T) {
+	text := `// want "plain" "esc\"aped" ` + "`back.?quoted`"
+	ms := wantRx.FindAllStringSubmatch(text[strings.Index(text, "// want ")+len("// want "):], -1)
+	var pats []string
+	for _, m := range ms {
+		if m[2] != "" {
+			pats = append(pats, m[2])
+		} else {
+			pats = append(pats, m[1])
+		}
+	}
+	want := []string{"plain", `esc\"aped`, "back.?quoted"}
+	if strings.Join(pats, "|") != strings.Join(want, "|") {
+		t.Errorf("patterns %v, want %v", pats, want)
+	}
+}

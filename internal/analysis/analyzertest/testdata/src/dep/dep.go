@@ -1,0 +1,10 @@
+// Package dep is a sibling fixture: fix imports it by its
+// testdata/src-relative path, exercising the loader's
+// fixture-before-stdlib import resolution.
+package dep
+
+// Bad exists to be flagged at call sites.
+func Bad() {}
+
+// Fine exists to not be.
+func Fine() {}

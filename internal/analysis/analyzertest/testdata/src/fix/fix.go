@@ -1,0 +1,26 @@
+// Package fix is the harness's own fixture, checked by the toy
+// analyzer in analyzertest_test.go that flags every call to a
+// function named Bad.
+package fix
+
+import (
+	"strings"
+
+	"dep"
+)
+
+func bad() {}
+
+func local() {
+	bad() // want "call to bad"
+	bad() // want `call to bad`
+}
+
+func imported() {
+	dep.Bad() // want "call to bad"
+	dep.Fine()
+}
+
+func clean() string {
+	return strings.ToUpper("ok")
+}

@@ -1,0 +1,151 @@
+// Package callwalk is the shared cross-function layer of the loclint
+// suite. The PR-4 analyzers were all intraprocedural; the invariants
+// grown since (pin/unpin balance, goroutine stop signals, mutex
+// acquisition order) only hold across call chains, so pinbalance,
+// goroutinelife and lockorder all need the same three ingredients this
+// package provides:
+//
+//   - Decls: the package's function objects mapped to their bodies
+//   - Callees: the statically resolvable calls inside any subtree
+//   - Transitive: a bottom-up fixpoint that folds a per-function local
+//     summary over the same-package call graph, with an escape hatch
+//     for functions declared elsewhere (imported facts)
+//
+// Summaries are string sets — general enough for "which mutexes may
+// this call chain acquire" and "does this call chain ever receive a
+// stop signal" alike — and the fixpoint is deliberately conservative:
+// dynamic calls (interface methods, function values) contribute
+// nothing, so analyzers built on it must treat absence of evidence
+// as the suspicious case only where the issue rules say so.
+package callwalk
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Decls maps every function and method declared in the pass's package
+// (with a body) to its declaration.
+func Decls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// Callees returns every statically resolvable function called within
+// n, in source order, duplicates included. Calls through function
+// values and interface methods resolve to nothing and are skipped.
+func Callees(info *types.Info, n ast.Node) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := typeutil.Callee(info, call).(*types.Func); ok {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// Set is a summary: a set of opaque evidence strings.
+type Set map[string]bool
+
+// Merge folds src into dst and reports whether dst grew.
+func (dst Set) Merge(src Set) bool {
+	grew := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Transitive computes, for every declared function, the union of its
+// local summary and the summaries of everything it (transitively)
+// calls. seed supplies the local contribution of one declaration;
+// external supplies the contribution of a callee declared outside the
+// package (typically an imported object fact) and may be nil. The
+// fixpoint resolves same-package cycles (mutual recursion) without
+// divergence because summaries only grow.
+func Transitive(
+	info *types.Info,
+	decls map[*types.Func]*ast.FuncDecl,
+	seed func(*types.Func, *ast.FuncDecl) Set,
+	external func(*types.Func) Set,
+) map[*types.Func]Set {
+	result := make(map[*types.Func]Set, len(decls))
+	callees := make(map[*types.Func][]*types.Func, len(decls))
+	for fn, fd := range decls {
+		s := Set{}
+		s.Merge(seed(fn, fd))
+		result[fn] = s
+		callees[fn] = Callees(info, fd.Body)
+	}
+	extCache := make(map[*types.Func]Set)
+	ext := func(fn *types.Func) Set {
+		if external == nil {
+			return nil
+		}
+		if s, ok := extCache[fn]; ok {
+			return s
+		}
+		s := external(fn)
+		extCache[fn] = s
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range decls {
+			for _, callee := range callees[fn] {
+				var src Set
+				if _, local := decls[callee]; local {
+					src = result[callee]
+				} else {
+					src = ext(callee)
+				}
+				if result[fn].Merge(src) {
+					changed = true
+				}
+			}
+		}
+	}
+	return result
+}
+
+// ReceiverNamed returns the named type behind fn's receiver, looking
+// through pointers; nil for plain functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return Named(sig.Recv().Type())
+}
+
+// Named returns the named type behind t, looking through pointers and
+// aliases; nil when t has none.
+func Named(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}

@@ -6,10 +6,21 @@
 //	//loclint:allow              (end of line) suppress every loclint
 //	                             diagnostic on that line
 //	//loclint:allow name,name    suppress only the named analyzers
+//	//loclint:mmapdecode reason  (decl doc) bless the declaration's
+//	                             unsafe zero-copy casts for unsafebound;
+//	                             the reason is mandatory
+//	//loclint:errenvelope        (function doc) mark the function as a
+//	                             unified error-envelope emitter that
+//	                             errenvelope trusts to write error bodies
 //
-// Suppressions are deliberate, reviewable escapes: the comment sits on
-// the flagged line, so the exemption and its justification travel with
-// the code.
+// An allow list may carry a trailing justification after an "—" or
+// "--" separator: //loclint:allow nofloateq — exact compare is the
+// contract. Suppressions are deliberate, reviewable escapes: the
+// comment sits on the flagged line, so the exemption and its
+// justification travel with the code. Validate machine-checks the
+// grammar of every directive so a typoed name fails `make
+// lint-fix-check` instead of silently not suppressing (or worse,
+// silently blessing nothing).
 package directive
 
 import (
@@ -21,8 +32,10 @@ import (
 )
 
 const (
-	hotpathDirective = "//loclint:hotpath"
-	allowDirective   = "//loclint:allow"
+	hotpathDirective     = "//loclint:hotpath"
+	allowDirective       = "//loclint:allow"
+	mmapdecodeDirective  = "//loclint:mmapdecode"
+	errenvelopeDirective = "//loclint:errenvelope"
 )
 
 // Hotpath reports whether the function declaration carries the
@@ -119,6 +132,97 @@ func (s *Suppressor) Reportf(pos token.Pos, format string, args ...any) {
 		return
 	}
 	s.pass.Reportf(pos, format, args...)
+}
+
+// Mmapdecode reports whether the doc comment group carries the
+// //loclint:mmapdecode directive and returns its reason text. The
+// group form (rather than *ast.FuncDecl) lets package-level `var`
+// blocks with unsafe initializers carry the blessing too.
+func Mmapdecode(doc *ast.CommentGroup) (reason string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if rest, found := strings.CutPrefix(c.Text, mmapdecodeDirective); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// Errenvelope reports whether the doc comment group carries the
+// //loclint:errenvelope directive marking a blessed error emitter.
+func Errenvelope(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, errenvelopeDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// Problem is a grammar defect in a //loclint: directive.
+type Problem struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Validate scans a file's comments for //loclint: directives and
+// returns every grammar problem: unknown directive words, allow lists
+// naming unknown analyzers, and mmapdecode blessings with no reason.
+// knownAnalyzers is the registered suite (loclint.All names).
+func Validate(f *ast.File, knownAnalyzers map[string]bool) []Problem {
+	var probs []Problem
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//loclint:")
+			if !ok {
+				continue
+			}
+			word, args, _ := strings.Cut(rest, " ")
+			args = strings.TrimSpace(args)
+			switch word {
+			case "hotpath", "errenvelope":
+				if args != "" {
+					probs = append(probs, Problem{c.Pos(), "//loclint:" + word + " takes no arguments"})
+				}
+			case "mmapdecode":
+				if args == "" {
+					probs = append(probs, Problem{c.Pos(), "//loclint:mmapdecode requires a reason"})
+				}
+			case "allow":
+				for _, n := range strings.FieldsFunc(args, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					if n == "—" || n == "--" {
+						break // justification text follows
+					}
+					if !knownAnalyzers[n] {
+						probs = append(probs, Problem{c.Pos(), "//loclint:allow names unknown analyzer " + strconvQuote(n)})
+					}
+				}
+			default:
+				probs = append(probs, Problem{c.Pos(), "unknown loclint directive " + strconvQuote(word)})
+			}
+		}
+	}
+	return probs
+}
+
+// strconvQuote is a minimal %q without importing strconv/fmt into a
+// package every analyzer links.
+func strconvQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // InTestFile reports whether pos lands in a *_test.go file. The suite

@@ -1,0 +1,191 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestHotpath(t *testing.T) {
+	_, f := parse(t, `package p
+
+// Fast is hot.
+//
+//loclint:hotpath
+func Fast() {}
+
+// Slow is not.
+func Slow() {}
+
+func Bare() {}
+`)
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		fd := d.(*ast.FuncDecl)
+		got[fd.Name.Name] = Hotpath(fd)
+	}
+	want := map[string]bool{"Fast": true, "Slow": false, "Bare": false}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("Hotpath(%s) = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestMmapdecode(t *testing.T) {
+	_, f := parse(t, `package p
+
+// decode reinterprets bytes.
+//
+//loclint:mmapdecode caller-checked: header validates bounds
+func decode() {}
+
+// plain has no blessing.
+func plain() {}
+`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	reason, ok := Mmapdecode(fd.Doc)
+	if !ok || reason != "caller-checked: header validates bounds" {
+		t.Errorf("Mmapdecode = %q, %v", reason, ok)
+	}
+	if _, ok := Mmapdecode(f.Decls[1].(*ast.FuncDecl).Doc); ok {
+		t.Error("unblessed decl reported blessed")
+	}
+	if _, ok := Mmapdecode(nil); ok {
+		t.Error("nil doc reported blessed")
+	}
+}
+
+func TestErrenvelope(t *testing.T) {
+	_, f := parse(t, `package p
+
+//loclint:errenvelope
+func writeError() {}
+
+func other() {}
+`)
+	if !Errenvelope(f.Decls[0].(*ast.FuncDecl).Doc) {
+		t.Error("blessed emitter not recognized")
+	}
+	if Errenvelope(f.Decls[1].(*ast.FuncDecl).Doc) {
+		t.Error("unblessed function recognized")
+	}
+	if Errenvelope(nil) {
+		t.Error("nil doc recognized")
+	}
+}
+
+// TestSuppressor covers the three allow forms against a fake pass:
+// bare (suppress everything), named-and-matching, named-but-other.
+func TestSuppressor(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func a() {} //loclint:allow
+func b() {} //loclint:allow nofloateq
+func c() {} //loclint:allow walerr — justified elsewhere
+func d() {}
+`)
+	var reported []string
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "nofloateq"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { reported = append(reported, d.Message) },
+	}
+	s := NewSuppressor(pass)
+	for _, d := range f.Decls {
+		fd := d.(*ast.FuncDecl)
+		s.Reportf(fd.Pos(), "diag at %s", fd.Name.Name)
+	}
+	// a: bare allow. b: allow names this analyzer. c: allow names a
+	// different analyzer, so the report goes through. d: no directive.
+	want := []string{"diag at c", "diag at d"}
+	if strings.Join(reported, "|") != strings.Join(want, "|") {
+		t.Errorf("reported %v, want %v", reported, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	known := map[string]bool{"nofloateq": true, "walerr": true}
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings of expected problems, in order
+	}{
+		{"clean", `package p
+
+//loclint:hotpath
+func a() {} //loclint:allow nofloateq,walerr
+
+//loclint:mmapdecode bounds checked by header
+func b() {} //loclint:allow walerr — exact compare is the contract
+
+func c() {} //loclint:allow nofloateq -- ascii separator too
+`, nil},
+		{"unknown directive", `package p
+//loclint:hotpat
+func a() {}
+`, []string{`unknown loclint directive "hotpat"`}},
+		{"hotpath with args", `package p
+//loclint:hotpath really fast
+func a() {}
+`, []string{"takes no arguments"}},
+		{"errenvelope with args", `package p
+//loclint:errenvelope because
+func a() {}
+`, []string{"takes no arguments"}},
+		{"mmapdecode without reason", `package p
+//loclint:mmapdecode
+func a() {}
+`, []string{"requires a reason"}},
+		{"allow unknown analyzer", `package p
+func a() {} //loclint:allow nofloateqq
+`, []string{`unknown analyzer "nofloateqq"`}},
+		{"justification not treated as names", `package p
+func a() {} //loclint:allow walerr — wal frames are best effort
+`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, f := parse(t, tc.src)
+			probs := Validate(f, known)
+			if len(probs) != len(tc.want) {
+				t.Fatalf("got %d problems %v, want %d", len(probs), probs, len(tc.want))
+			}
+			for i, p := range probs {
+				if !p.Pos.IsValid() {
+					t.Errorf("problem %d has no position", i)
+				}
+				if !strings.Contains(p.Msg, tc.want[i]) {
+					t.Errorf("problem %d = %q, want substring %q", i, p.Msg, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestInTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	tf := fset.AddFile("p_test.go", -1, 100)
+	pf := fset.AddFile("p.go", -1, 100)
+	if !InTestFile(fset, tf.Pos(1)) {
+		t.Error("test file not recognized")
+	}
+	if InTestFile(fset, pf.Pos(1)) {
+		t.Error("non-test file flagged")
+	}
+}

@@ -1,0 +1,263 @@
+// Package errenvelope enforces the unified HTTP error contract: every
+// error a handler emits goes through a blessed envelope helper and
+// carries a code from the registered stable set, so clients (and the
+// replication follower) can switch on {"error":{code,message}} without
+// parsing prose. Within the scoped packages (server, repl) it flags:
+//
+//   - raw http.Error calls — plain-text bodies with no code
+//   - fmt.Fprint*/io.WriteString straight onto a ResponseWriter
+//   - w.WriteHeader with a constant error status (>= 400) outside a
+//     blessed emitter — the envelope helper owns the status line
+//   - json.NewEncoder(w).Encode onto a ResponseWriter outside a
+//     blessed emitter — ad-hoc JSON shapes drift
+//   - a code argument to a blessed emitter that is not a constant in
+//     the registered set (and, inside blessed string-returning
+//     mappers, constant returns outside the set)
+//
+// Blessed emitters carry //loclint:errenvelope in their doc comment
+// and must live in the checked package (the directive is resolved on
+// package-local declarations). Methods of types that themselves
+// implement WriteHeader are middleware plumbing (status recorders,
+// timeout writers) and are exempt from the raw-write rules: they
+// relay statuses, they do not originate error bodies.
+//
+// The stable set is append-only ("add, never repurpose"); growing it
+// means updating the analyzer default, DESIGN.md, and the server
+// constants together.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/callwalk"
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the errenvelope analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc: "require the unified {\"error\":{code,message}} envelope and registered codes for HTTP errors\n\n" +
+		"Ad-hoc error bodies drift per endpoint and break machine clients;\n" +
+		"the envelope helpers and the stable code set are the only sanctioned path.",
+	Run: run,
+}
+
+var (
+	scopedPkgs = "server,repl"
+	codeSet    = "bad_request,no_route,venue_not_found,track_not_found,method_not_allowed," +
+		"body_too_large,batch_too_large,path_too_long,unprocessable,queue_full," +
+		"venue_frozen,venue_load_failed,internal,timeout,not_ready,generation_conflict"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&scopedPkgs, "pkgs", scopedPkgs,
+		"comma-separated package names whose HTTP handlers are held to the envelope contract")
+	Analyzer.Flags.StringVar(&codeSet, "codes", codeSet,
+		"comma-separated registered stable error codes")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	scoped := splitSet(scopedPkgs)
+	if !scoped[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	codes := splitSet(codeSet)
+	sup := directive.NewSuppressor(pass)
+	decls := callwalk.Decls(pass)
+	blessed := make(map[*types.Func]*ast.FuncDecl)
+	for fn, fd := range decls {
+		if directive.Errenvelope(fd.Doc) {
+			blessed[fn] = fd
+		}
+	}
+	for fn, fd := range decls {
+		if directive.InTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		_, isBlessed := blessed[fn]
+		plumbing := isResponseWriter(recvType(fn))
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if bfd, ok := blessed[callee]; ok {
+				checkCodeArg(pass, sup, blessed, codes, call, bfd)
+			}
+			if isBlessed || plumbing {
+				return true
+			}
+			checkEmission(pass, sup, call, callee)
+			return true
+		})
+		if isBlessed && returnsString(fn) {
+			checkMapperReturns(pass, sup, fd, codes)
+		}
+	}
+	return nil, nil
+}
+
+// checkEmission applies the raw-write rules (a–d) to one call.
+func checkEmission(pass *analysis.Pass, sup *directive.Suppressor, call *ast.CallExpr, callee *types.Func) {
+	info := pass.TypesInfo
+	if callee == nil {
+		return
+	}
+	pkgPath := ""
+	if callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+	}
+	switch {
+	case pkgPath == "net/http" && callee.Name() == "Error":
+		sup.Reportf(call.Pos(), "http.Error bypasses the unified error envelope; use the blessed //loclint:errenvelope helper")
+	case (pkgPath == "fmt" && strings.HasPrefix(callee.Name(), "Fprint")) ||
+		(pkgPath == "io" && callee.Name() == "WriteString"):
+		if len(call.Args) > 0 && isResponseWriter(info.TypeOf(call.Args[0])) {
+			sup.Reportf(call.Pos(), "%s.%s writes straight to the ResponseWriter; emit error bodies through the unified envelope helper", callee.Pkg().Name(), callee.Name())
+		}
+	case pkgPath == "encoding/json" && callee.Name() == "NewEncoder":
+		if len(call.Args) == 1 && isResponseWriter(info.TypeOf(call.Args[0])) {
+			sup.Reportf(call.Pos(), "ad-hoc JSON encoded straight to the ResponseWriter; emit errors through the unified envelope helper")
+		}
+	case callee.Name() == "WriteHeader" && len(call.Args) == 1:
+		if status, ok := constInt(info, call.Args[0]); ok && status >= 400 {
+			sup.Reportf(call.Pos(), "error status %d written without the unified envelope; use the blessed //loclint:errenvelope helper", status)
+		}
+	}
+}
+
+// checkCodeArg enforces the registered stable set on the `code`
+// parameter of a blessed emitter call. A call to a blessed mapper
+// (codeFor) is fine: its own returns are checked at the source.
+func checkCodeArg(pass *analysis.Pass, sup *directive.Suppressor, blessed map[*types.Func]*ast.FuncDecl, codes map[string]bool, call *ast.CallExpr, bfd *ast.FuncDecl) {
+	idx := paramIndex(bfd, "code")
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	arg := ast.Unparen(call.Args[idx])
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if innerCallee, _ := typeutil.Callee(pass.TypesInfo, inner).(*types.Func); innerCallee != nil {
+			if _, ok := blessed[innerCallee]; ok {
+				return
+			}
+		}
+	}
+	if s, ok := constString(pass.TypesInfo, arg); ok {
+		if !codes[s] {
+			sup.Reportf(arg.Pos(), "error code %q is not in the registered stable set; register it (analyzer -codes, server constants, DESIGN.md) before use", s)
+		}
+		return
+	}
+	sup.Reportf(arg.Pos(), "error code argument must be a registered constant or a blessed mapper call")
+}
+
+// checkMapperReturns verifies every constant string a blessed mapper
+// returns is registered.
+func checkMapperReturns(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl, codes map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if s, ok := constString(pass.TypesInfo, res); ok && !codes[s] {
+				sup.Reportf(res.Pos(), "error code %q is not in the registered stable set; register it (analyzer -codes, server constants, DESIGN.md) before use", s)
+			}
+		}
+		return true
+	})
+}
+
+// paramIndex returns the flat index of the named parameter in fd's
+// signature, or -1.
+func paramIndex(fd *ast.FuncDecl, name string) int {
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name == name {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// isResponseWriter reports whether t's method set carries
+// WriteHeader(int) — the structural signature of net/http's
+// ResponseWriter and everything wrapping one.
+func isResponseWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "WriteHeader")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+func returnsString(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if basic, ok := sig.Results().At(i).Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	return n, ok
+}
+
+func splitSet(csv string) map[string]bool {
+	set := make(map[string]bool)
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			set[s] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), errenvelope.Analyzer, "server", "other")
+}

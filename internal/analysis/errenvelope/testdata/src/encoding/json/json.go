@@ -1,0 +1,11 @@
+// Package json is a minimal encoding/json stand-in for errenvelope
+// fixtures (matched by import path).
+package json
+
+import "io"
+
+type Encoder struct{ w io.Writer }
+
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+func (e *Encoder) Encode(v any) error { return nil }

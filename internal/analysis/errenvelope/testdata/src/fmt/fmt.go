@@ -1,0 +1,9 @@
+// Package fmt is a minimal fmt stand-in for errenvelope fixtures
+// (matched by import path).
+package fmt
+
+import "io"
+
+func Fprintf(w io.Writer, format string, a ...any) (int, error) { return 0, nil }
+
+func Fprintln(w io.Writer, a ...any) (int, error) { return 0, nil }

@@ -1,0 +1,21 @@
+// Package http is a minimal net/http stand-in for errenvelope
+// fixtures: the analyzer matches by import path and method shape, so
+// the fixture does not need to compile the real net/http tree.
+package http
+
+type Header map[string][]string
+
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+func Error(w ResponseWriter, error string, code int) {}
+
+const (
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusConflict            = 409
+	StatusInternalServerError = 500
+)

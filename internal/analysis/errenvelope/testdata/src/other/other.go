@@ -1,0 +1,10 @@
+// Package other sits outside errenvelope's package scope: raw writes
+// are someone else's problem here.
+package other
+
+import "net/http"
+
+func rawIsFine(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest)
+	w.WriteHeader(http.StatusInternalServerError)
+}

@@ -1,0 +1,96 @@
+// Package server exercises the errenvelope in-scope rules.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+// writeError is the unified envelope emitter.
+//
+//loclint:errenvelope
+func writeError(w http.ResponseWriter, status int, code string, msg string) {
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: msg}})
+}
+
+// codeFor maps error kinds to registered codes.
+//
+//loclint:errenvelope
+func codeFor(kind int) string {
+	if kind == 0 {
+		return "bad_request"
+	}
+	return "internal"
+}
+
+// badMapper leaks an unregistered code from a blessed mapper.
+//
+//loclint:errenvelope
+func badMapper(kind int) string {
+	if kind == 1 {
+		return "surprise" // want `error code "surprise" is not in the registered stable set`
+	}
+	return "internal"
+}
+
+func good(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "bad_request", "nope")
+}
+
+func goodMapped(w http.ResponseWriter, kind int) {
+	writeError(w, http.StatusInternalServerError, codeFor(kind), "boom")
+}
+
+func rawHTTPError(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http.Error bypasses the unified error envelope`
+}
+
+func adHocBody(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest)   // want `error status 400 written without the unified envelope`
+	fmt.Fprintf(w, `{"error":%q}`, "nope") // want `fmt.Fprintf writes straight to the ResponseWriter`
+}
+
+func adHocJSON(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(map[string]string{"error": "nope"}) // want `ad-hoc JSON encoded straight to the ResponseWriter`
+}
+
+func unregisteredCode(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "nonsense_code", "nope") // want `error code "nonsense_code" is not in the registered stable set`
+}
+
+func nonConstantCode(w http.ResponseWriter, c string) {
+	writeError(w, http.StatusBadRequest, c, "nope") // want `error code argument must be a registered constant or a blessed mapper call`
+}
+
+func okStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK) // good: success statuses carry no error body
+}
+
+// statusWriter mirrors the router middleware plumbing: a type that is
+// itself a ResponseWriter relays statuses rather than emitting errors.
+type statusWriter struct {
+	w      http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) Header() http.Header         { return sw.w.Header() }
+func (sw *statusWriter) Write(b []byte) (int, error) { return sw.w.Write(b) }
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.w.WriteHeader(code)
+}
+
+func (sw *statusWriter) replay() {
+	sw.w.WriteHeader(http.StatusInternalServerError) // good: plumbing is exempt
+}

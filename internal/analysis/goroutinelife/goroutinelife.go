@@ -1,0 +1,189 @@
+// Package goroutinelife enforces shutdown discipline in the
+// long-lived subsystems (repl, ingest, venue): a goroutine those
+// packages start must take a stop signal — a context, a done channel,
+// or a closed-channel select — or the follower/compactor it runs
+// leaks across Close and fails the -race soak on shutdown.
+//
+// The check is calibrated to flag only goroutines that can actually
+// outlive their owner: the spawned body (transitively, over the
+// same-package call graph plus imported facts) must contain a loop.
+// Bounded one-shot goroutines (publish a result, fire a callback) are
+// fine without a signal. Stop-signal evidence is any channel receive,
+// a select with a receive clause (which covers <-ctx.Done()), or a
+// range over a channel (close(ch) ends it). Evidence resolution is
+// conservative: calls through function values or interfaces
+// contribute nothing, so a loop driven by an opaque callback needs
+// its receive at the spawn site.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/callwalk"
+	"indoorloc/internal/analysis/directive"
+)
+
+// LifeFact summarizes a function for cross-package callers: whether
+// its transitive body loops and whether it receives a stop signal.
+type LifeFact struct {
+	Signal bool
+	Loop   bool
+}
+
+func (*LifeFact) AFact() {}
+
+func (f *LifeFact) String() string {
+	switch {
+	case f.Signal && f.Loop:
+		return "loops+signal"
+	case f.Loop:
+		return "loops"
+	case f.Signal:
+		return "signal"
+	}
+	return "bounded"
+}
+
+// Analyzer is the goroutinelife analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: "require a stop signal (context, done channel, closed-channel select) for looping goroutines in long-lived subsystems\n\n" +
+		"A follower or compactor loop without a stop signal leaks across Close\n" +
+		"and keeps serving a dead registry.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LifeFact)(nil)},
+}
+
+var scopedPkgs = "repl,ingest,venue"
+
+func init() {
+	Analyzer.Flags.StringVar(&scopedPkgs, "pkgs", scopedPkgs,
+		"comma-separated package names whose goroutines must take a stop signal")
+}
+
+const (
+	evSignal = "signal"
+	evLoop   = "loop"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := callwalk.Decls(pass)
+	summaries := callwalk.Transitive(pass.TypesInfo, decls,
+		func(_ *types.Func, fd *ast.FuncDecl) callwalk.Set { return localEvidence(pass.TypesInfo, fd.Body) },
+		func(fn *types.Func) callwalk.Set {
+			var lf LifeFact
+			if !pass.ImportObjectFact(fn, &lf) {
+				return nil
+			}
+			s := callwalk.Set{}
+			if lf.Signal {
+				s[evSignal] = true
+			}
+			if lf.Loop {
+				s[evLoop] = true
+			}
+			return s
+		})
+	// Export summaries even when this package is out of scope: a
+	// scoped package may spawn goroutines running our functions.
+	for fn, s := range summaries {
+		if s[evSignal] || s[evLoop] {
+			pass.ExportObjectFact(fn, &LifeFact{Signal: s[evSignal], Loop: s[evLoop]})
+		}
+	}
+	scoped := false
+	for _, name := range strings.Split(scopedPkgs, ",") {
+		if strings.TrimSpace(name) == pass.Pkg.Name() {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return nil, nil
+	}
+	sup := directive.NewSuppressor(pass)
+	for _, fd := range decls {
+		if directive.InTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			ev := spawnEvidence(pass, decls, summaries, g.Call)
+			if ev[evLoop] && !ev[evSignal] {
+				sup.Reportf(g.Pos(), "goroutine loops without a stop signal; take a context, done channel, or closed-channel select so shutdown can reach it")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// spawnEvidence computes the evidence set of one go statement: the
+// spawned closure's own body plus everything the spawn (or closure)
+// statically calls.
+func spawnEvidence(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, summaries map[*types.Func]callwalk.Set, call *ast.CallExpr) callwalk.Set {
+	ev := callwalk.Set{}
+	resolve := func(fn *types.Func) {
+		if s, ok := summaries[fn]; ok {
+			ev.Merge(s)
+			return
+		}
+		var lf LifeFact
+		if pass.ImportObjectFact(fn, &lf) {
+			if lf.Signal {
+				ev[evSignal] = true
+			}
+			if lf.Loop {
+				ev[evLoop] = true
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ev.Merge(localEvidence(pass.TypesInfo, lit.Body))
+		for _, callee := range callwalk.Callees(pass.TypesInfo, lit.Body) {
+			resolve(callee)
+		}
+		return ev
+	}
+	if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok {
+		resolve(fn)
+	}
+	return ev
+}
+
+// localEvidence scans one body for direct loop and stop-signal
+// evidence.
+func localEvidence(info *types.Info, body ast.Node) callwalk.Set {
+	ev := callwalk.Set{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			ev[evLoop] = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					// close(ch) ends the range: loop AND signal.
+					ev[evSignal] = true
+				}
+			}
+			ev[evLoop] = true
+		case *ast.UnaryExpr:
+			// A unary <- is a channel receive wherever it appears:
+			// bare, in an assignment, or as a select receive clause
+			// (which is how <-ctx.Done() shows up).
+			if n.Op == token.ARROW {
+				ev[evSignal] = true
+			}
+		}
+		return true
+	})
+	return ev
+}

@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), goroutinelife.Analyzer, "repl", "other")
+}

@@ -1,0 +1,12 @@
+// Package other is outside goroutinelife's subsystem scope; its
+// goroutines are short-lived request work and not checked.
+package other
+
+func spin() {
+	for {
+	}
+}
+
+func Start() {
+	go spin()
+}

@@ -1,0 +1,73 @@
+// Package repl exercises goroutinelife inside a scoped package name.
+package repl
+
+type Follower struct {
+	stop chan struct{}
+}
+
+func (f *Follower) run() {
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (f *Follower) Start() {
+	go f.run() // good: run selects on the stop channel
+}
+
+func leakyLoop() {
+	for {
+		work()
+	}
+}
+
+func work() {}
+
+func (f *Follower) StartLeaky() {
+	go leakyLoop() // want `goroutine loops without a stop signal`
+}
+
+func (f *Follower) StartLeakyLit() {
+	go func() { // want `goroutine loops without a stop signal`
+		for {
+			work()
+		}
+	}()
+}
+
+func (f *Follower) StartBounded() {
+	go work() // good: one-shot body, nothing to stop
+}
+
+func (f *Follower) StartBoundedLit(done chan struct{}) {
+	go func() { close(done) }() // good: bounded
+}
+
+func (f *Follower) Drain(ch chan int) {
+	go func() { // good: close(ch) ends the range
+		for range ch {
+		}
+	}()
+}
+
+// helper receives transitively; spawning it is fine.
+func (f *Follower) helper() {
+	for {
+		if f.wait() {
+			return
+		}
+	}
+}
+
+func (f *Follower) wait() bool {
+	<-f.stop
+	return true
+}
+
+func (f *Follower) StartIndirect() {
+	go f.helper() // good: helper's callee receives the stop signal
+}

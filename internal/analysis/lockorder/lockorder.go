@@ -1,0 +1,278 @@
+// Package lockorder records mutex acquisition order as facts and
+// flags inversions. The registry eviction path holds Registry.mu
+// while finalizing a venue, which closes the venue's ingest manager
+// and takes the WAL mutex — so the established order is
+// Registry.mu → WAL.mu, and any code path that takes a venue-side
+// mutex first and then re-enters the registry can deadlock a fleet
+// node under load (eviction on one goroutine, the inverse path on
+// another).
+//
+// Mutexes are identified by owner: a sync.Mutex/RWMutex field keyed
+// "pkg.Owner.field", or a package-level mutex var keyed "pkg.var".
+// Function-local mutexes are skipped (they cannot participate in a
+// cross-function order). Each function is walked in source order with
+// a held-set: a plain Unlock releases, a deferred Unlock holds to
+// function end (defer subtrees are otherwise skipped — they run
+// after the locks of interest move), and a go statement's body is
+// skipped (a spawned goroutine does not hold the spawner's locks).
+// Calls contribute the callee's transitive may-acquire set, computed
+// by callwalk fixpoint within the package and imported Acquires facts
+// across packages; Edges package facts carry established order to
+// downstream packages.
+//
+// A cycle is reported once, at the edge that contradicts the order
+// established earlier (in source order, or in an imported package).
+// The self-edge A→A is skipped: recursive acquisition is a different
+// defect class with too many read-lock false positives.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/callwalk"
+	"indoorloc/internal/analysis/directive"
+)
+
+// Acquires is the per-function fact: mutex keys the function may
+// acquire, directly or transitively.
+type Acquires struct{ Keys []string }
+
+func (*Acquires) AFact() {}
+
+func (a *Acquires) String() string {
+	s := "acquires("
+	for i, k := range a.Keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k
+	}
+	return s + ")"
+}
+
+// Edges is the per-package fact: the acquisition order established by
+// this package's code, as (held, acquired) pairs.
+type Edges struct{ Pairs [][2]string }
+
+func (*Edges) AFact() {}
+
+func (e *Edges) String() string { return "lockedges" }
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "record mutex acquisition order as facts and flag reverse acquisition\n\n" +
+		"Registry.mu is held across venue finalize (which takes the WAL mutex);\n" +
+		"taking them in the other order deadlocks eviction against that path.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Acquires)(nil), (*Edges)(nil)},
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+	decls := callwalk.Decls(pass)
+
+	// Transitive may-acquire summaries, with imported facts for
+	// callees from other packages.
+	summaries := callwalk.Transitive(pass.TypesInfo, decls,
+		func(_ *types.Func, fd *ast.FuncDecl) callwalk.Set {
+			s := callwalk.Set{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, isLock := mutexOp(pass, call, lockMethods); isLock {
+						s[key] = true
+					}
+				}
+				return true
+			})
+			return s
+		},
+		func(fn *types.Func) callwalk.Set { return importedAcquires(pass, fn) })
+	for fn, s := range summaries {
+		if len(s) > 0 {
+			pass.ExportObjectFact(fn, &Acquires{Keys: sortedKeys(s)})
+		}
+	}
+
+	// Established order from upstream packages.
+	established := make(map[[2]string]bool)
+	for _, imp := range pass.Pkg.Imports() {
+		var e Edges
+		if pass.ImportPackageFact(imp, &e) {
+			for _, p := range e.Pairs {
+				established[p] = true
+			}
+		}
+	}
+
+	// Walk functions in source order so "earlier edge wins" is
+	// deterministic; report the contradicting (later) edge.
+	type edgeSite struct {
+		pair [2]string
+		pos  token.Pos
+	}
+	local := make(map[[2]string]bool)
+	var sites []edgeSite
+	for _, f := range pass.Files {
+		if directive.InTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkHeld(pass, decls, summaries, fd.Body, func(held []string, acquired string, pos token.Pos) {
+				for _, h := range held {
+					if h == acquired {
+						continue
+					}
+					pair := [2]string{h, acquired}
+					local[pair] = true
+					sites = append(sites, edgeSite{pair, pos})
+				}
+			})
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for i, s := range sites {
+		rev := [2]string{s.pair[1], s.pair[0]}
+		inverted := established[rev]
+		if !inverted {
+			for _, earlier := range sites[:i] {
+				if earlier.pair == rev {
+					inverted = true
+					break
+				}
+			}
+		}
+		if inverted && !reported[s.pos] {
+			reported[s.pos] = true
+			sup.Reportf(s.pos, "lock order inversion: %s acquired while holding %s, but the established order is %s before %s",
+				s.pair[1], s.pair[0], s.pair[1], s.pair[0])
+		}
+	}
+	pairs := make([][2]string, 0, len(local))
+	for p := range local {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	if len(pairs) > 0 {
+		pass.ExportPackageFact(&Edges{Pairs: pairs})
+	}
+	return nil, nil
+}
+
+// walkHeld simulates fd's body in source order, invoking onAcquire
+// for every direct lock and every call that may transitively lock,
+// with the currently held keys.
+func walkHeld(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, summaries map[*types.Func]callwalk.Set, body ast.Node, onAcquire func(held []string, acquired string, pos token.Pos)) {
+	var held []string
+	drop := func(key string) {
+		for i, h := range held {
+			if h == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock means "held to the end": by skipping
+			// the subtree the release is simply never seen. Deferred
+			// cleanup bodies run after the function's lock region.
+			return false
+		case *ast.GoStmt:
+			return false // the goroutine does not hold our locks
+		case *ast.CallExpr:
+			if key, ok := mutexOp(pass, n, lockMethods); ok {
+				onAcquire(held, key, n.Pos())
+				held = append(held, key)
+				return true
+			}
+			if key, ok := mutexOp(pass, n, unlockMethods); ok {
+				drop(key)
+				return true
+			}
+			if fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func); ok && len(held) > 0 {
+				var may callwalk.Set
+				if _, local := decls[fn]; local {
+					may = summaries[fn]
+				} else {
+					may = importedAcquires(pass, fn)
+				}
+				for _, key := range sortedKeys(may) {
+					onAcquire(held, key, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is a sync.Mutex/RWMutex method in ops
+// on an identifiable mutex, returning its stable key.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr, ops map[string]bool) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !ops[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := callwalk.ReceiverNamed(fn)
+	if recv == nil || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		owner := callwalk.Named(pass.TypesInfo.TypeOf(x.X))
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return "", false
+		}
+		return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + x.Sel.Name, true
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+func importedAcquires(pass *analysis.Pass, fn *types.Func) callwalk.Set {
+	var a Acquires
+	if !pass.ImportObjectFact(fn, &a) {
+		return nil
+	}
+	s := callwalk.Set{}
+	for _, k := range a.Keys {
+		s[k] = true
+	}
+	return s
+}
+
+func sortedKeys(s callwalk.Set) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

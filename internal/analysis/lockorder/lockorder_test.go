@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), lockorder.Analyzer, "a")
+}

@@ -1,0 +1,67 @@
+// Package a exercises lockorder. Source order matters: the first
+// function establishes Registry.mu → WAL.mu; later inversions are
+// the flagged sites.
+package a
+
+import "sync"
+
+type Registry struct{ mu sync.Mutex }
+
+type WAL struct{ mu sync.Mutex }
+
+func lockAB(r *Registry, w *WAL) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+func lockB(w *WAL) {
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+func lockA(r *Registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// indirectAB repeats the established order through a callee summary.
+func indirectAB(r *Registry, w *WAL) {
+	r.mu.Lock()
+	lockB(w)
+	r.mu.Unlock()
+}
+
+func lockBA(r *Registry, w *WAL) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r.mu.Lock() // want `lock order inversion: a.Registry.mu acquired while holding a.WAL.mu`
+	r.mu.Unlock()
+}
+
+// indirectBA inverts the order through a call: lockA may take
+// Registry.mu while WAL.mu is held.
+func indirectBA(r *Registry, w *WAL) {
+	w.mu.Lock()
+	lockA(r) // want `lock order inversion: a.Registry.mu acquired while holding a.WAL.mu`
+	w.mu.Unlock()
+}
+
+// sequential is fine: the first lock is released before the second.
+func sequential(r *Registry, w *WAL) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// spawned goroutines do not hold the spawner's locks.
+func spawns(r *Registry, w *WAL) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		r.mu.Lock()
+		r.mu.Unlock()
+	}()
+}

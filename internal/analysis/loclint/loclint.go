@@ -1,16 +1,25 @@
 // Package loclint aggregates the project's serving-path invariant
 // analyzers into the suite cmd/loclint runs. Each analyzer encodes
-// one rule PRs 1–3 established informally; see DESIGN.md "Enforced
-// invariants" for the catalogue.
+// one rule the PRs established informally; see DESIGN.md "Enforced
+// invariants" for the catalogue. The first five date from the PR-4
+// suite (compiled read path, live ingestion); the second five enforce
+// the fleet-serving invariants grown since — venue pinning, the
+// unified error envelope, blessed unsafe decodes, goroutine lifetime,
+// and mutex acquisition order.
 package loclint
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"indoorloc/internal/analysis/errenvelope"
 	"indoorloc/internal/analysis/genbump"
+	"indoorloc/internal/analysis/goroutinelife"
 	"indoorloc/internal/analysis/hotpathalloc"
+	"indoorloc/internal/analysis/lockorder"
 	"indoorloc/internal/analysis/nofloateq"
+	"indoorloc/internal/analysis/pinbalance"
 	"indoorloc/internal/analysis/snapshotonce"
+	"indoorloc/internal/analysis/unsafebound"
 	"indoorloc/internal/analysis/walerr"
 )
 
@@ -22,5 +31,20 @@ func All() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		walerr.Analyzer,
 		nofloateq.Analyzer,
+		pinbalance.Analyzer,
+		errenvelope.Analyzer,
+		unsafebound.Analyzer,
+		goroutinelife.Analyzer,
+		lockorder.Analyzer,
 	}
+}
+
+// Names returns the registered analyzer names, the vocabulary
+// //loclint:allow directives may reference.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
 }

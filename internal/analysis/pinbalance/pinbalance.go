@@ -1,0 +1,597 @@
+// Package pinbalance enforces the venue pin discipline introduced
+// with the refcounted multi-venue registry: a venue handed out by
+// Registry.Acquire is pinned (refcounted) and its compiled map stays
+// mapped only while the pin is held. Three rules follow:
+//
+//  1. Balance: every Acquire must be paired with a Release on every
+//     path out of the function — a defer, an explicit Release/unref
+//     before each return, or transferring the pin to the caller by
+//     returning the venue (the function is then recorded as a
+//     "pinned returner" fact and its call sites inherit the same
+//     obligation). Early returns inside the acquire's own error/ok
+//     guard are exempt: no pin exists on those paths.
+//  2. Containment: a pinned venue must not escape the request scope —
+//     no stores into fields, maps or slices, no channel sends, no
+//     capture by a spawned goroutine. A pin that outlives its
+//     function body defeats the whole point of refcounted eviction.
+//  3. No unpinned use: calling venue methods on a value recovered
+//     from a type assertion (the raw sync.Map payload) without a
+//     tryRef pin races with eviction — the venue may be finalized
+//     and its artifact munmapped mid-read. The pin machinery itself
+//     (Release, unref, tryRef) is exempt.
+//
+// The pinned type is recognized structurally — a named type with both
+// a Release and a tryRef method — so the fixtures need no venue
+// import and any future registry with the same shape is covered.
+// Cross-function reasoning (rule 1's transfer case) runs on
+// callwalk.Decls with a same-package fixpoint plus exported
+// PinnedReturner facts for cross-package call sites.
+package pinbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/callwalk"
+	"indoorloc/internal/analysis/directive"
+)
+
+// PinnedReturner marks a function that transfers a pinned venue to
+// its caller: the caller owns the Release obligation.
+type PinnedReturner struct{}
+
+func (*PinnedReturner) AFact()         {}
+func (*PinnedReturner) String() string { return "pinnedReturner" }
+
+// Analyzer is the pinbalance analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinbalance",
+	Doc: "enforce Release on every path after venue Acquire, no pin escapes, no unpinned venue use\n\n" +
+		"A pinned venue keeps its compiled map mapped; a leaked pin defeats eviction\n" +
+		"and an unpinned read races with finalize/munmap.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*PinnedReturner)(nil)},
+}
+
+// machinery methods manage the refcount itself and are callable
+// without holding a pin.
+var machinery = map[string]bool{"Release": true, "unref": true, "tryRef": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+	decls := callwalk.Decls(pass)
+
+	// Same-package fixpoint: a function returning a pin it acquired is
+	// itself an acquire source for its callers, which may in turn
+	// return it, and so on (resolveVenue → handler chains).
+	returners := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if returners[fn] {
+				continue
+			}
+			if fnReturnsPin(pass, fd, returners) {
+				returners[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn := range returners {
+		pass.ExportObjectFact(fn, &PinnedReturner{})
+	}
+
+	for fn, fd := range decls {
+		if directive.InTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		checkBalance(pass, sup, fd, fn, returners)
+		checkUnpinnedUse(pass, sup, fd)
+	}
+	return nil, nil
+}
+
+// isPinnedType reports whether n is a pin-managed venue type: it owns
+// both Release and tryRef.
+func isPinnedType(n *types.Named) bool {
+	if n == nil {
+		return false
+	}
+	var release, tryRef bool
+	for i := 0; i < n.NumMethods(); i++ {
+		switch n.Method(i).Name() {
+		case "Release":
+			release = true
+		case "tryRef":
+			tryRef = true
+		}
+	}
+	return release && tryRef
+}
+
+// isAcquireCallee reports whether calling fn yields a fresh pin the
+// caller must release: the registry Acquire method, or a function
+// known (same-package fixpoint or imported fact) to transfer one.
+func isAcquireCallee(pass *analysis.Pass, fn *types.Func, returners map[*types.Func]bool) bool {
+	if fn == nil {
+		return false
+	}
+	if returners[fn] {
+		return true
+	}
+	var pr PinnedReturner
+	if pass.ImportObjectFact(fn, &pr) {
+		return true
+	}
+	if fn.Name() != "Acquire" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isPinnedType(callwalk.Named(sig.Results().At(0).Type()))
+}
+
+// acquireSite is one pin-producing call and how its result is bound.
+type acquireSite struct {
+	call   *ast.CallExpr
+	callee *types.Func
+	assign *ast.AssignStmt // nil when the result is dropped or returned directly
+	v      types.Object    // the pinned variable; nil when dropped
+	guards []types.Object  // companion results (err/ok) whose checks exempt early returns
+}
+
+// collectAcquires finds the acquire calls in fd and classifies each
+// binding. Calls whose result feeds straight into a return statement
+// are pin transfers and carry no local obligation.
+func collectAcquires(pass *analysis.Pass, fd *ast.FuncDecl, returners map[*types.Func]bool) []acquireSite {
+	info := pass.TypesInfo
+	var sites []acquireSite
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := typeutil.Callee(info, call).(*types.Func)
+		if !isAcquireCallee(pass, callee, returners) {
+			return true
+		}
+		site := acquireSite{call: call, callee: callee}
+		// Classify by the nearest enclosing statement.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch parent := stack[i].(type) {
+			case *ast.ReturnStmt:
+				return true // direct transfer: caller owns the pin
+			case *ast.AssignStmt:
+				site.assign = parent
+				if len(parent.Rhs) == 1 && parent.Rhs[0] == ast.Expr(call) {
+					for j, lhs := range parent.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := info.ObjectOf(id)
+						if j == 0 {
+							if id.Name != "_" {
+								site.v = obj
+							}
+						} else if obj != nil {
+							site.guards = append(site.guards, obj)
+						}
+					}
+				}
+				sites = append(sites, site)
+				return true
+			case ast.Stmt:
+				_ = parent
+				sites = append(sites, site) // dropped result (ExprStmt etc.)
+				return true
+			}
+		}
+		sites = append(sites, site)
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return sites
+}
+
+// fnReturnsPin reports whether fd returns a variable bound from an
+// acquire call (a pin transfer).
+func fnReturnsPin(pass *analysis.Pass, fd *ast.FuncDecl, returners map[*types.Func]bool) bool {
+	if directive.InTestFile(pass.Fset, fd.Pos()) {
+		return false
+	}
+	info := pass.TypesInfo
+	pinned := make(map[types.Object]bool)
+	direct := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				callee, _ := typeutil.Callee(info, call).(*types.Func)
+				if isAcquireCallee(pass, callee, returners) {
+					direct = true
+				}
+			}
+		}
+		return true
+	})
+	if direct {
+		return true
+	}
+	for _, site := range collectAcquires(pass, fd, returners) {
+		if site.v != nil {
+			pinned[site.v] = true
+		}
+	}
+	if len(pinned) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return !found
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && pinned[info.ObjectOf(id)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkBalance applies rules 1 and 2 to every acquire site in fd.
+func checkBalance(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl, fn *types.Func, returners map[*types.Func]bool) {
+	info := pass.TypesInfo
+	sites := collectAcquires(pass, fd, returners)
+	if len(sites) == 0 {
+		return
+	}
+	var g *cfg.CFG
+	for _, site := range sites {
+		name := "Acquire"
+		if site.callee != nil {
+			name = site.callee.Name()
+		}
+		if site.v == nil {
+			sup.Reportf(site.call.Pos(), "result of %s is dropped; the pin is never released", name)
+			continue
+		}
+		if esc, kind := escapeOf(info, fd, site.v); esc != nil {
+			sup.Reportf(esc.Pos(), "pinned venue %s escapes the request scope (%s); the pin can outlive the request and block eviction", site.v.Name(), kind)
+			continue
+		}
+		if hasDeferredRelease(info, fd, site.v) {
+			continue
+		}
+		if g == nil {
+			g = cfg.New(fd.Body, func(*ast.CallExpr) bool { return true })
+		}
+		if leaksOnSomePath(info, g, fd, site) {
+			sup.Reportf(site.call.Pos(), "%s acquired from %s is not released on every path; add defer %s.Release() or release before each return",
+				site.v.Name(), name, site.v.Name())
+		}
+	}
+}
+
+// escapeOf scans for a store of v beyond the request scope and
+// returns the offending node and a label for the escape kind.
+func escapeOf(info *types.Info, fd *ast.FuncDecl, v types.Object) (ast.Node, string) {
+	var node ast.Node
+	var kind string
+	mentionsV := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !mentionsV(rhs) {
+					continue
+				}
+				lhs := n.Lhs[0]
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				if _, isIdent := lhs.(*ast.Ident); !isIdent {
+					node, kind = n, "stored outside the stack frame"
+				}
+			}
+		case *ast.SendStmt:
+			if mentionsV(n.Value) {
+				node, kind = n, "sent on a channel"
+			}
+		case *ast.GoStmt:
+			if mentionsV(n.Call.Fun) || anyMentions(n.Call.Args, mentionsV) {
+				node, kind = n, "captured by a goroutine"
+			}
+		}
+		return node == nil
+	})
+	return node, kind
+}
+
+func anyMentions(exprs []ast.Expr, pred func(ast.Expr) bool) bool {
+	for _, e := range exprs {
+		if pred(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDeferredRelease reports whether some defer in fd releases v —
+// directly (defer v.Release()) or inside a deferred closure. A defer
+// covers every subsequent path, and the paths before it are the
+// acquire guard, which rule 1 exempts separately.
+func hasDeferredRelease(info *types.Info, fd *ast.FuncDecl, v types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if releasesV(info, d.Call, v) {
+			found = true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok && releasesV(info, call, v) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesV reports whether call is v.Release() or v.unref().
+func releasesV(info *types.Info, call *ast.CallExpr, v types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "unref") {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.ObjectOf(id) == v
+}
+
+// leaksOnSomePath walks the CFG from the acquire site and reports
+// whether some path reaches an exit without releasing v, returning v
+// (a transfer), or returning from inside the acquire's err/ok guard.
+func leaksOnSomePath(info *types.Info, g *cfg.CFG, fd *ast.FuncDecl, site acquireSite) bool {
+	exempt := guardRanges(info, fd, site)
+	contains := func(n, target ast.Node) bool {
+		return n.Pos() <= target.Pos() && target.End() <= n.End()
+	}
+	// Evidence that the path is settled at node n.
+	settled := func(n ast.Node) bool {
+		ok := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok2 := c.(*ast.CallExpr); ok2 && releasesV(info, call, site.v) {
+				ok = true
+			}
+			return !ok
+		})
+		if ok {
+			return true
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return false
+		}
+		for _, res := range ret.Results {
+			if id, ok2 := ast.Unparen(res).(*ast.Ident); ok2 && info.ObjectOf(id) == site.v {
+				return true // pin transferred to caller
+			}
+		}
+		for _, r := range exempt {
+			if ret.Pos() != token.NoPos && r.lo <= ret.Pos() && ret.End() <= r.hi {
+				return true // guard-path return: the pin never existed here
+			}
+		}
+		return false
+	}
+	// Locate the acquire in the CFG.
+	anchor := ast.Node(site.call)
+	if site.assign != nil {
+		anchor = site.assign
+	}
+	var home *cfg.Block
+	homeIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == anchor || contains(n, anchor) {
+				home, homeIdx = b, i
+				break
+			}
+		}
+		if home != nil {
+			break
+		}
+	}
+	if home == nil {
+		return false // unreachable code
+	}
+	for _, n := range home.Nodes[homeIdx+1:] {
+		if settled(n) {
+			return false
+		}
+	}
+	seen := map[*cfg.Block]bool{}
+	var escapes func(b *cfg.Block) bool
+	escapes = func(b *cfg.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if settled(n) {
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			return b.Live
+		}
+		for _, s := range b.Succs {
+			if escapes(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(home.Succs) == 0 {
+		return true // acquire in a returning block with nothing after it
+	}
+	for _, s := range home.Succs {
+		if escapes(s) {
+			return true
+		}
+	}
+	return false
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// guardRanges returns the body spans of if statements testing the
+// acquire's companion results (err/ok) or the pin against nil:
+// returns inside them run before a pin exists.
+func guardRanges(info *types.Info, fd *ast.FuncDecl, site acquireSite) []posRange {
+	guarded := make(map[types.Object]bool, len(site.guards)+1)
+	for _, g := range site.guards {
+		guarded[g] = true
+	}
+	guarded[site.v] = true
+	var out []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() < site.call.Pos() {
+			return true
+		}
+		mentions := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && guarded[info.ObjectOf(id)] {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			out = append(out, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// checkUnpinnedUse applies rule 3: venue methods invoked on a value
+// bound from a type assertion need a tryRef pin first.
+func checkUnpinnedUse(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || machinery[sel.Sel.Name] {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || !isPinnedType(callwalk.Named(tv.Type)) {
+			return true
+		}
+		if _, isMethod := info.Selections[sel]; !isMethod {
+			return true // field access through the selector chain
+		}
+		obj := info.ObjectOf(recv)
+		if obj == nil || !boundFromTypeAssertion(info, fd, obj) {
+			return true
+		}
+		if tryRefBefore(info, fd, obj, call.Pos()) {
+			return true
+		}
+		sup.Reportf(call.Pos(), "%s.%s called on a venue recovered by type assertion without a tryRef pin; it may be finalized (unmapped) concurrently", recv.Name, sel.Sel.Name)
+		return true
+	})
+}
+
+// boundFromTypeAssertion reports whether obj's defining assignment
+// draws from a type assertion (the raw registry map payload).
+func boundFromTypeAssertion(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || info.ObjectOf(id) != obj {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if _, isAssert := ast.Unparen(rhs).(*ast.TypeAssertExpr); isAssert {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// tryRefBefore reports whether obj.tryRef() is called before pos.
+func tryRefBefore(info *types.Info, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "tryRef" {
+			return !found
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package pinbalance_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/pinbalance"
+)
+
+func TestPinbalance(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), pinbalance.Analyzer, "a")
+}

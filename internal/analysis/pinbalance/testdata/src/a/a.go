@@ -1,0 +1,154 @@
+// Package a exercises the pinbalance analyzer.
+package a
+
+// Venue is matched structurally, mirroring venue.Venue: a named type
+// with both Release and tryRef is pin-managed.
+type Venue struct{ refs int }
+
+func (v *Venue) Release()      {}
+func (v *Venue) unref()        {}
+func (v *Venue) tryRef() bool  { return true }
+func (v *Venue) Snapshot() int { return 0 }
+func (v *Venue) touch()        {}
+
+type Registry struct{ m map[string]any }
+
+func (r *Registry) Acquire(id string) (*Venue, error) { return nil, nil }
+
+func deferRelease(r *Registry) int {
+	v, err := r.Acquire("a")
+	if err != nil {
+		return 0
+	}
+	defer v.Release()
+	return v.Snapshot()
+}
+
+func deferClosureRelease(r *Registry) int {
+	v, err := r.Acquire("a")
+	if err != nil {
+		return 0
+	}
+	defer func() {
+		v.Release()
+	}()
+	return v.Snapshot()
+}
+
+func allPathsRelease(r *Registry, x bool) int {
+	v, err := r.Acquire("a")
+	if err != nil {
+		return 0
+	}
+	if x {
+		n := v.Snapshot()
+		v.Release()
+		return n
+	}
+	v.Release()
+	return 1
+}
+
+func missingOnBranch(r *Registry, x bool) int {
+	v, err := r.Acquire("a") // want `v acquired from Acquire is not released on every path`
+	if err != nil {
+		return 0
+	}
+	if x {
+		return v.Snapshot()
+	}
+	v.Release()
+	return 1
+}
+
+func fallsOffEnd(r *Registry) {
+	v, _ := r.Acquire("a") // want `v acquired from Acquire is not released on every path`
+	v.touch()
+}
+
+func droppedResult(r *Registry) {
+	r.Acquire("a") // want `result of Acquire is dropped`
+}
+
+func blankResult(r *Registry) {
+	_, err := r.Acquire("a") // want `result of Acquire is dropped`
+	_ = err
+}
+
+type holder struct{ v *Venue }
+
+func escapesToField(r *Registry, h *holder) {
+	v, _ := r.Acquire("a")
+	h.v = v // want `pinned venue v escapes the request scope \(stored outside the stack frame\)`
+}
+
+func escapesToChannel(r *Registry, ch chan *Venue) {
+	v, _ := r.Acquire("a")
+	ch <- v // want `pinned venue v escapes the request scope \(sent on a channel\)`
+}
+
+func escapesToGoroutine(r *Registry) {
+	v, _ := r.Acquire("a")
+	go func(x *Venue) { x.Release() }(v) // want `pinned venue v escapes the request scope \(captured by a goroutine\)`
+}
+
+// resolve transfers the pin to its caller (PinnedReturner): its call
+// sites inherit the release obligation.
+func resolve(r *Registry, id string) (*Venue, bool) {
+	v, err := r.Acquire(id)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// directTransfer hands the acquire result straight through.
+func directTransfer(r *Registry, id string) (*Venue, error) {
+	return r.Acquire(id)
+}
+
+func callerBalanced(r *Registry) int {
+	v, ok := resolve(r, "a")
+	if !ok {
+		return 0
+	}
+	defer v.Release()
+	return v.Snapshot()
+}
+
+func callerLeaks(r *Registry) int {
+	v, ok := resolve(r, "a") // want `v acquired from resolve is not released on every path`
+	if !ok {
+		return 0
+	}
+	return v.Snapshot()
+}
+
+func transferCallerLeaks(r *Registry) int {
+	v, err := directTransfer(r, "a") // want `v acquired from directTransfer is not released on every path`
+	if err != nil {
+		return 0
+	}
+	return v.Snapshot()
+}
+
+func unpinnedUse(m map[string]any) int {
+	raw := m["a"]
+	lv := raw.(*Venue)
+	return lv.Snapshot() // want `lv.Snapshot called on a venue recovered by type assertion without a tryRef pin`
+}
+
+func pinnedUse(m map[string]any) int {
+	raw := m["a"]
+	lv := raw.(*Venue)
+	if !lv.tryRef() {
+		return 0
+	}
+	defer lv.unref()
+	return lv.Snapshot()
+}
+
+func machineryOnly(m map[string]any) {
+	lv := m["a"].(*Venue)
+	lv.unref()
+}

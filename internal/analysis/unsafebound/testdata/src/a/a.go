@@ -1,0 +1,55 @@
+// Package a exercises unsafebound in a package that does verify
+// checksums (the hash/crc32 call below satisfies the frame rule).
+package a
+
+import (
+	"hash/crc32"
+	"unsafe"
+)
+
+// Checksummed: the package verifies CRC frames somewhere.
+func verify(b []byte) bool { return crc32.ChecksumIEEE(b) == 0 }
+
+// byteView reinterprets s after rejecting the empty slice.
+//
+//loclint:mmapdecode len check precedes the cast
+func byteView(s []byte) []uint16 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&s[0])), len(s)/2)
+}
+
+// castRaw trusts its caller's section-table validation.
+//
+//loclint:mmapdecode caller-checked: bounds validated by parseHeader
+func castRaw(p *byte, n int) []byte {
+	return unsafe.Slice(p, n)
+}
+
+func unblessed(p *byte, n int) []byte {
+	return unsafe.Slice(p, n) // want `unsafe.Slice outside a //loclint:mmapdecode-blessed declaration`
+}
+
+//loclint:mmapdecode reason present but nothing guards the cast
+func missingGuard(p *byte, n int) []byte {
+	return unsafe.Slice(p, n) // want `no preceding len\(\) bounds check`
+}
+
+//loclint:mmapdecode this blessing is stale
+func nothingUnsafe(n int) int { // want `stale //loclint:mmapdecode`
+	return n + 1
+}
+
+func sizeOnly() uintptr {
+	return unsafe.Sizeof(int64(0)) // good: compile-time, exempt
+}
+
+// hostLittle probes byte order once at init; a var block carries the
+// blessing with no guard requirement.
+//
+//loclint:mmapdecode single-byte probe of a local scalar
+var hostLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

@@ -1,0 +1,10 @@
+// Package b has a blessed decode site but never verifies a checksum:
+// the package-level frame rule fires at the first site.
+package b
+
+import "unsafe"
+
+//loclint:mmapdecode caller-checked: fixture
+func cast(p *byte, n int) []byte {
+	return unsafe.Slice(p, n) // want `package b has //loclint:mmapdecode decode sites but never verifies a checksum`
+}

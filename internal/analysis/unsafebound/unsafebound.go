@@ -1,0 +1,161 @@
+// Package unsafebound gates the zero-copy mmap decode tricks. The
+// ILRMAPv2 artifact path reinterprets mapped bytes as typed slices
+// through unsafe.Slice/unsafe.Pointer; one unchecked length and a
+// truncated artifact becomes a fault at query time instead of a
+// decode error at load time. The rules:
+//
+//   - every unsafe.Slice / unsafe.String / unsafe.SliceData /
+//     unsafe.StringData / unsafe.Pointer use must sit inside a
+//     declaration blessed with //loclint:mmapdecode <reason> —
+//     the allowlist makes each site a reviewed, justified exception
+//     (unsafe.Sizeof/Alignof/Offsetof are compile-time and exempt)
+//   - inside a blessed function, a len(...) bounds check must
+//     lexically precede the unsafe operation, unless the reason
+//     carries the token "caller-checked" (the caller proved the
+//     bounds, e.g. parseHeader's section table validation)
+//   - a blessed declaration with no unsafe operation inside is stale
+//     and flagged, so blessings can't outlive refactors
+//   - a package with blessed decode sites must verify a checksum
+//     (any hash/* call) somewhere in non-test code: CRC-framed
+//     sections are only trustworthy after the frame check
+//
+// Package-level var initializers (the byte-order probe) may carry the
+// blessing on their var block; they get the reason requirement but no
+// guard requirement, having no body to guard.
+package unsafebound
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"indoorloc/internal/analysis/directive"
+)
+
+// Analyzer is the unsafebound analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafebound",
+	Doc: "require //loclint:mmapdecode blessing, bounds checks and package checksum verification for unsafe decode sites\n\n" +
+		"Unsafe casts over mmap'd artifacts fault at query time when unchecked;\n" +
+		"every site must be an audited, justified exception.",
+	Run: run,
+}
+
+// exempt are the compile-time unsafe operations.
+var exempt = map[string]bool{"Sizeof": true, "Alignof": true, "Offsetof": true}
+
+// blessedDecl tracks one //loclint:mmapdecode-annotated declaration.
+type blessedDecl struct {
+	decl   ast.Decl
+	reason string
+	sites  int
+	isFunc bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.NewSuppressor(pass)
+	var blessed []*blessedDecl
+	var firstSite token.Pos
+	checksummed := false
+	for _, f := range pass.Files {
+		if directive.InTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Any hash/* call (crc32.ChecksumIEEE, crc32.Update, ...)
+		// counts as the package verifying frames.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil &&
+				strings.HasPrefix(fn.Pkg().Path(), "hash") {
+				checksummed = true
+			}
+			return !checksummed
+		})
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			isFunc := false
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc, isFunc = d.Doc, true
+			case *ast.GenDecl:
+				doc = d.Doc
+			default:
+				continue
+			}
+			reason, ok := directive.Mmapdecode(doc)
+			var bd *blessedDecl
+			if ok {
+				bd = &blessedDecl{decl: decl, reason: reason, isFunc: isFunc}
+				blessed = append(blessed, bd)
+			}
+			checkDecl(pass, sup, decl, bd, &firstSite)
+		}
+	}
+	for _, bd := range blessed {
+		if bd.sites == 0 {
+			sup.Reportf(bd.decl.Pos(), "stale //loclint:mmapdecode: declaration contains no unsafe operations")
+		}
+	}
+	if firstSite != token.NoPos && !checksummed {
+		sup.Reportf(firstSite, "package %s has //loclint:mmapdecode decode sites but never verifies a checksum (hash/*); CRC-framed sections must be checked before reinterpretation", pass.Pkg.Name())
+	}
+	return nil, nil
+}
+
+// checkDecl scans one top-level declaration for unsafe operations and
+// applies the blessing and guard rules. bd is nil for unblessed
+// declarations.
+func checkDecl(pass *analysis.Pass, sup *directive.Suppressor, decl ast.Decl, bd *blessedDecl, firstSite *token.Pos) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "unsafe" || exempt[sel.Sel.Name] {
+			return true
+		}
+		if *firstSite == token.NoPos {
+			*firstSite = sel.Pos()
+		}
+		if bd == nil {
+			sup.Reportf(sel.Pos(), "unsafe.%s outside a //loclint:mmapdecode-blessed declaration; audit the bounds and bless the site with a reason", sel.Sel.Name)
+			return true
+		}
+		bd.sites++
+		if bd.isFunc && !strings.Contains(bd.reason, "caller-checked") && !lenCheckBefore(pass.TypesInfo, decl, sel.Pos()) {
+			sup.Reportf(sel.Pos(), "//loclint:mmapdecode site has no preceding len() bounds check; guard the decode or mark the reason caller-checked")
+		}
+		return true
+	})
+}
+
+// lenCheckBefore reports whether a builtin len(...) call lexically
+// precedes pos within the declaration.
+func lenCheckBefore(info *types.Info, decl ast.Decl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package unsafebound_test
+
+import (
+	"testing"
+
+	"indoorloc/internal/analysis/analyzertest"
+	"indoorloc/internal/analysis/unsafebound"
+)
+
+func TestUnsafebound(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), unsafebound.Analyzer, "a", "b")
+}

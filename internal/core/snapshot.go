@@ -63,6 +63,8 @@ func StaticSnapshot(svc *Service) (*SnapshotRegistry, error) {
 // Current returns the snapshot to serve this request from. Callers
 // must load it once per request and use only that snapshot for the
 // whole answer.
+//
+//loclint:hotpath
 func (r *SnapshotRegistry) Current() *Snapshot { return r.cur.Load() }
 
 // Publish atomically replaces the current snapshot. In-flight readers

@@ -88,3 +88,38 @@ func TestPublishIsAtomic(t *testing.T) {
 		t.Errorf("final generation %d", got)
 	}
 }
+
+// TestCurrentZeroAlloc pins the hot-swap read contract: Current is an
+// atomic pointer load and never allocates, even while a writer is
+// publishing — the price a follower pays per request for
+// hot-swappability is exactly one load.
+func TestCurrentZeroAlloc(t *testing.T) {
+	svc := &Service{Locator: &fixedLocator{name: "a"}}
+	reg, err := StaticSnapshot(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for gen := uint64(1); ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Publish(&Snapshot{Generation: gen, Service: svc, BuiltAt: time.Now()})
+			}
+		}
+	}()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if reg.Current() == nil {
+			t.Fatal("nil snapshot")
+		}
+	})
+	close(stop)
+	<-done
+	if allocs != 0 {
+		t.Errorf("Current allocates %.1f/op under publish churn, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -484,6 +485,52 @@ func TestServeSnapshotGenAssertion(t *testing.T) {
 	}
 	if code := get("?gen=bogus"); code != http.StatusBadRequest {
 		t.Errorf("unparsable gen: %d, want 400", code)
+	}
+}
+
+// TestReplErrorEnvelope: replication-endpoint errors carry the same
+// {"error":{code,message}} envelope as the serving API, with a stable
+// machine-readable code, so followers and operators branch on codes
+// rather than message text. Regression test for the ad-hoc
+// {"error":"msg"} bodies replError used to emit.
+func TestReplErrorEnvelope(t *testing.T) {
+	h := newTrainerHarness(t, filepath.Join(t.TempDir(), "t.wal"),
+		ingest.Config{FlushReports: 1, FlushInterval: time.Hour})
+	st := h.cur.Load().src.Stats()
+	cases := []struct {
+		path     string
+		status   int
+		wantCode string
+	}{
+		{"/v1/replicate/snapshot?gen=bogus", http.StatusBadRequest, "bad_request"},
+		{fmt.Sprintf("/v1/replicate/snapshot?gen=%d", st.Generation+1), http.StatusConflict, "generation_conflict"},
+		{"/v1/replicate/wal?from=bogus", http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(h.ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: body is not an error envelope: %v", tc.path, err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+		if env.Error.Code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.path, env.Error.Code, tc.wantCode)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty message", tc.path)
+		}
 	}
 }
 

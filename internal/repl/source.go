@@ -175,12 +175,36 @@ func (s *Source) Stats() SourceStats {
 	return st
 }
 
-// replError answers a JSON error body; the replication endpoints are
-// machine-to-machine, so the shape stays minimal.
-func replError(w http.ResponseWriter, status int, msg string) {
+// The replication endpoints emit the same {"error":{code,message}}
+// envelope as the serving API (see internal/server, "The stable error
+// codes"), so a follower and a human curl see one error shape
+// everywhere. Only the codes these endpoints can produce are declared
+// here.
+const (
+	codeBadRequest         = "bad_request"
+	codeNotReady           = "not_ready"
+	codeGenerationConflict = "generation_conflict"
+	codeInternal           = "internal"
+)
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// replError answers a JSON error body in the unified envelope; the
+// replication endpoints are machine-to-machine, and followers treat
+// the message as opaque text.
+//
+//loclint:errenvelope
+func replError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg}})
 }
 
 // ServeSnapshot answers GET /v1/replicate/snapshot: the bootstrap
@@ -190,17 +214,17 @@ func replError(w http.ResponseWriter, status int, msg string) {
 func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	b, _ := s.latest()
 	if b == nil {
-		replError(w, http.StatusServiceUnavailable, "no replicable snapshot captured yet")
+		replError(w, http.StatusServiceUnavailable, codeNotReady, "no replicable snapshot captured yet")
 		return
 	}
 	if g := r.URL.Query().Get("gen"); g != "" {
 		want, err := strconv.ParseUint(g, 10, 64)
 		if err != nil {
-			replError(w, http.StatusBadRequest, "bad gen parameter")
+			replError(w, http.StatusBadRequest, codeBadRequest, "bad gen parameter")
 			return
 		}
 		if want != b.manifest.Generation {
-			replError(w, http.StatusConflict,
+			replError(w, http.StatusConflict, codeGenerationConflict,
 				fmt.Sprintf("generation %d not available; latest is %d", want, b.manifest.Generation))
 			return
 		}
@@ -238,14 +262,14 @@ func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	b, mgr := s.latest()
 	if mgr == nil {
-		replError(w, http.StatusServiceUnavailable, "replication source not bound")
+		replError(w, http.StatusServiceUnavailable, codeNotReady, "replication source not bound")
 		return
 	}
 	var from, serving uint64
 	if q := r.URL.Query().Get("from"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
-			replError(w, http.StatusBadRequest, "bad from parameter")
+			replError(w, http.StatusBadRequest, codeBadRequest, "bad from parameter")
 			return
 		}
 		from = v
@@ -253,7 +277,7 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("gen"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
-			replError(w, http.StatusBadRequest, "bad gen parameter")
+			replError(w, http.StatusBadRequest, codeBadRequest, "bad gen parameter")
 			return
 		}
 		serving = v
@@ -261,7 +285,7 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	wal := mgr.WAL()
 	tail, err := ingest.OpenTail(wal.Path(), from)
 	if err != nil {
-		replError(w, http.StatusInternalServerError, "open wal tail: "+err.Error())
+		replError(w, http.StatusInternalServerError, codeInternal, "open wal tail: "+err.Error())
 		return
 	}
 	defer tail.Close()

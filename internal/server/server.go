@@ -445,6 +445,10 @@ const (
 	codeTimeout          = "timeout"
 )
 
+// writeJSON is the single success/error serialization point; all
+// error bodies funnel through it via writeErrorCode.
+//
+//loclint:errenvelope
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -457,11 +461,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeErrorCode(w, status, codeFor(status, err), err)
 }
 
+//loclint:errenvelope
 func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
 }
 
 // codeFor maps an error (and its HTTP status) to the stable code.
+//
+//loclint:errenvelope
 func codeFor(status int, err error) string {
 	switch {
 	case errors.Is(err, errNoRoute):

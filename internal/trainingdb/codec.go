@@ -91,6 +91,8 @@ var sectionNames = map[uint32]string{
 }
 
 // hostLittle reports the running machine's byte order.
+//
+//loclint:mmapdecode single-byte probe of a local stack scalar
 var hostLittle = func() bool {
 	x := uint16(1)
 	return *(*byte)(unsafe.Pointer(&x)) == 1
@@ -101,6 +103,8 @@ var hostLittle = func() bool {
 var _ = [1]struct{}{}[unsafe.Sizeof(geom.Point{})-16]
 
 // byteView reinterprets a typed slice as its raw bytes, sharing memory.
+//
+//loclint:mmapdecode empty slices are rejected and the length is computed from the input
 func byteView[T any](s []T) []byte {
 	if len(s) == 0 {
 		return nil
@@ -111,6 +115,8 @@ func byteView[T any](s []T) []byte {
 
 // castSlice reinterprets a byte payload as n elements of T. The caller
 // has already validated length and 8-byte base alignment.
+//
+//loclint:mmapdecode caller-checked: take/takeVar validate exact section length and alignment via parseHeader
 func castSlice[T any](b []byte, n int) []T {
 	if n == 0 {
 		// Non-nil, so "section present but dimension zero" stays
@@ -135,7 +141,11 @@ func putLE64(b []byte, v uint64) {
 }
 
 // f64bits round-trips float64 header fields through their IEEE bits.
-func f64bits(f float64) uint64     { return *(*uint64)(unsafe.Pointer(&f)) }
+//
+//loclint:mmapdecode caller-checked: reinterprets a local scalar in place
+func f64bits(f float64) uint64 { return *(*uint64)(unsafe.Pointer(&f)) }
+
+//loclint:mmapdecode caller-checked: reinterprets a local scalar in place
 func f64frombits(u uint64) float64 { return *(*float64)(unsafe.Pointer(&u)) }
 
 // stringTable flattens a string slice into the offsets+blob section
@@ -356,6 +366,8 @@ func parseHeader(data []byte) (gen uint64, floorRSSI, floorSigma float64, nE, nA
 
 // decodeStrings rebuilds a string slice from an offsets+blob section,
 // with every string an unsafe view into the payload (zero copy).
+//
+//loclint:mmapdecode table length, blob length, and offset monotonicity all checked before each view
 func decodeStrings(payload []byte, n int, what string) ([]string, error) {
 	offBytes := (n + 1) * 4
 	if len(payload) < offBytes {
@@ -384,6 +396,8 @@ func decodeStrings(payload []byte, n int, what string) ([]string, error) {
 // caller must keep data immutable and alive for the view's lifetime
 // (an mmap'd file region, or any byte slice). If data's base address
 // is not 8-byte aligned the payload is copied once instead of aliased.
+//
+//loclint:mmapdecode alignment probe behind a len guard; section casts delegate to the blessed helpers
 func DecodeCompiled(data []byte, opts DecodeOptions) (*Compiled, error) {
 	if len(data) > 0 && uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
 		aligned := make([]byte, len(data))

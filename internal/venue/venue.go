@@ -444,13 +444,20 @@ func (r *Registry) Status(id string) (Status, error) {
 	}
 	if v, ok := r.venues.Load(id); ok {
 		lv := v.(*Venue)
-		st.Loaded = true
-		st.Live = lv.mgr != nil
-		if snap := lv.Snapshot(); snap != nil {
-			st.Generation = snap.Generation
-			if snap.Service != nil && snap.Service.DB != nil {
-				st.Locations = snap.Service.DB.Len()
+		// Pin before reading the snapshot: an evicted venue's mmap can
+		// be unmapped the instant its refcount hits zero, and a bare
+		// Snapshot() on it would read freed memory. A venue draining to
+		// zero refuses the pin and is reported as not loaded.
+		if lv.tryRef() {
+			st.Loaded = true
+			st.Live = lv.mgr != nil
+			if snap := lv.Snapshot(); snap != nil {
+				st.Generation = snap.Generation
+				if snap.Service != nil && snap.Service.DB != nil {
+					st.Locations = snap.Service.DB.Len()
+				}
 			}
+			lv.unref()
 		}
 	}
 	return st, nil
@@ -495,16 +502,21 @@ func (r *Registry) List() ([]Status, error) {
 	for id, st := range seen {
 		if v, ok := r.venues.Load(id); ok {
 			lv := v.(*Venue)
-			st.Loaded = true
-			st.Live = lv.mgr != nil
-			// Each iteration reads a different venue's registry — the
-			// one-snapshot-per-answer rule guards repeated reads of the
-			// same registry, which this is not.
-			if snap := lv.Snapshot(); snap != nil { //loclint:allow snapshotonce
-				st.Generation = snap.Generation
-				if snap.Service != nil && snap.Service.DB != nil {
-					st.Locations = snap.Service.DB.Len()
+			// Pin before reading, as in Status: a concurrently evicted
+			// venue's snapshot may alias an unmapped artifact.
+			if lv.tryRef() {
+				st.Loaded = true
+				st.Live = lv.mgr != nil
+				// Each iteration reads a different venue's registry — the
+				// one-snapshot-per-answer rule guards repeated reads of the
+				// same registry, which this is not.
+				if snap := lv.Snapshot(); snap != nil { //loclint:allow snapshotonce
+					st.Generation = snap.Generation
+					if snap.Service != nil && snap.Service.DB != nil {
+						st.Locations = snap.Service.DB.Len()
+					}
 				}
+				lv.unref()
 			}
 		}
 		out = append(out, st)

@@ -322,6 +322,61 @@ func TestRegistryList(t *testing.T) {
 	}
 }
 
+// TestStatusSkipsDrainedVenue: Status and List must pin a resident
+// venue before touching its snapshot. A venue whose refcount has
+// drained to zero (evicted, last holder gone) refuses the pin, and
+// the probes report it as not loaded instead of reading a snapshot
+// whose artifact mapping may already be unmapped. Regression test for
+// the unpinned Snapshot() reads pinbalance flagged in Status/List.
+func TestStatusSkipsDrainedVenue(t *testing.T) {
+	dir := cityDir(t, 1, 1)
+	r, err := NewRegistry(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	defer r.Close()
+	id := sim.VenueID(0, 0)
+	v, err := r.Acquire(id)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	v.Release()
+
+	lv, ok := r.venues.Load(id)
+	if !ok {
+		t.Fatal("venue not resident after acquire")
+	}
+	// Freeze the venue in the eviction race window: still in the map,
+	// refcount already at zero. tryRef must refuse to resurrect it.
+	// Skip finalize — the mapping is still live; restored below so
+	// r.Close tears it down normally.
+	lv.(*Venue).refs.Store(0)
+
+	st, err := r.Status(id)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Loaded || st.Generation != 0 || st.Locations != 0 {
+		t.Errorf("drained venue reported loaded: %+v", st)
+	}
+	list, err := r.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 1 || list[0].Loaded {
+		t.Errorf("drained venue reported loaded in list: %+v", list)
+	}
+
+	lv.(*Venue).refs.Store(1)
+	st, err = r.Status(id)
+	if err != nil {
+		t.Fatalf("Status after restore: %v", err)
+	}
+	if !st.Loaded || st.Locations == 0 {
+		t.Errorf("pinnable venue status incomplete: %+v", st)
+	}
+}
+
 // TestRegistryTDBAndLiveIngest covers the .tdb source: without WALDir
 // the venue is frozen (no Manager); with WALDir it accepts training
 // reports through a per-venue ingest pipeline.
